@@ -1,0 +1,440 @@
+package gem5aladdin_test
+
+// The benchmark harness: one testing.B benchmark per paper table/figure
+// (regenerating its rows via internal/figures in quick mode) plus
+// ablations for the design choices DESIGN.md calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Figure benchmarks report wall time of regeneration; ablation benchmarks
+// additionally report the simulated metric they sweep via b.ReportMetric.
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"gem5aladdin/internal/cpu"
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/figures"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/mem/coherence"
+	"gem5aladdin/internal/mem/dram"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/trace"
+)
+
+func benchFigure(b *testing.B, fn func(io.Writer) error) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1Stencil3DSweep(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig1(w, true) })
+}
+
+func BenchmarkFig2aMdKnnTimeline(b *testing.B) {
+	benchFigure(b, figures.Fig2a)
+}
+
+func BenchmarkFig2bBreakdown(b *testing.B) {
+	benchFigure(b, figures.Fig2b)
+}
+
+func BenchmarkFig4Validation(b *testing.B) {
+	benchFigure(b, figures.Fig4)
+}
+
+func BenchmarkFig6aDMAOpts(b *testing.B) {
+	benchFigure(b, figures.Fig6a)
+}
+
+func BenchmarkFig6bParallelism(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig6b(w, true) })
+}
+
+func BenchmarkFig7CacheDecomposition(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig7(w, true) })
+}
+
+func BenchmarkFig8Pareto(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig8(w, true) })
+}
+
+func BenchmarkFig9Kiviat(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig9(w, true) })
+}
+
+func BenchmarkFig10EDP(b *testing.B) {
+	benchFigure(b, func(w io.Writer) error { return figures.Fig10(w, true) })
+}
+
+// --- simulator throughput microbenchmarks ---
+
+var benchGraphs = map[string]*ddg.Graph{}
+
+func graphFor(b *testing.B, name string) *ddg.Graph {
+	b.Helper()
+	if g, ok := benchGraphs[name]; ok {
+		return g
+	}
+	g := ddg.Build(machsuite.MustBuild(name))
+	benchGraphs[name] = g
+	return g
+}
+
+func runOnce(b *testing.B, g *ddg.Graph, cfg soc.Config) *soc.RunResult {
+	b.Helper()
+	r, err := soc.Run(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+// BenchmarkSimulate measures raw simulator throughput per memory system
+// (simulated accelerator cycles per wall second reported as cycles/s).
+func BenchmarkSimulate(b *testing.B) {
+	for _, mem := range []soc.MemKind{soc.Isolated, soc.DMA, soc.Cache} {
+		b.Run(mem.String(), func(b *testing.B) {
+			g := graphFor(b, "gemm-ncubed")
+			cfg := soc.DefaultConfig()
+			cfg.Mem = mem
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				cycles = runOnce(b, g, cfg).Cycles
+			}
+			b.ReportMetric(float64(cycles)*float64(b.N)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
+// BenchmarkTraceAndGraph measures the front-end: kernel tracing plus DDDG
+// construction.
+func BenchmarkTraceAndGraph(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ddg.Build(machsuite.MustBuild("md-knn"))
+	}
+}
+
+// --- ablations of DESIGN.md's called-out design choices ---
+
+// BenchmarkAblationDMAChunk sweeps the pipelined-DMA chunk size around the
+// paper's 4 KB page-sized choice and reports the md-knn runtime for each.
+func BenchmarkAblationDMAChunk(b *testing.B) {
+	for _, chunk := range []uint32{1024, 4096, 16384} {
+		b.Run(fmt.Sprintf("%dB", chunk), func(b *testing.B) {
+			g := graphFor(b, "md-knn")
+			cfg := soc.DefaultConfig()
+			cfg.DMAChunkBytes = chunk
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationReadyGranularity compares the paper's cache-line
+// full/empty-bit granularity against coarse double-buffer-style tracking.
+func BenchmarkAblationReadyGranularity(b *testing.B) {
+	for _, gran := range []struct {
+		name  string
+		bytes uint32
+	}{{"line32B", 32}, {"chunk4KB", 4096}, {"half-array", 11264}} {
+		b.Run(gran.name, func(b *testing.B) {
+			g := graphFor(b, "md-knn")
+			cfg := soc.DefaultConfig()
+			cfg.ReadyBitBytes = gran.bytes
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationMSHRs sweeps hit-under-miss capacity for the cache
+// design (spmv is miss-intensive).
+func BenchmarkAblationMSHRs(b *testing.B) {
+	for _, mshrs := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("%d", mshrs), func(b *testing.B) {
+			g := graphFor(b, "spmv-crs")
+			cfg := soc.DefaultConfig()
+			cfg.Mem = soc.Cache
+			cfg.MSHRs = mshrs
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationPrefetch toggles the strided prefetcher on the
+// streaming stencil2d cache design.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	for _, pf := range []bool{false, true} {
+		b.Run(fmt.Sprintf("prefetch=%v", pf), func(b *testing.B) {
+			g := graphFor(b, "stencil-stencil2d")
+			cfg := soc.DefaultConfig()
+			cfg.Mem = soc.Cache
+			cfg.Lanes = 16
+			cfg.CachePorts = 4
+			cfg.CacheKB = 8
+			cfg.Prefetch = pf
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationBarrier compares the paper's wave-synchronized lanes
+// against free-running lanes on an imbalanced kernel.
+func BenchmarkAblationBarrier(b *testing.B) {
+	for _, nb := range []bool{false, true} {
+		b.Run(fmt.Sprintf("noBarrier=%v", nb), func(b *testing.B) {
+			// bfs-bulk's frontier iterations are highly imbalanced, so
+			// wave synchronization costs real time there.
+			g := graphFor(b, "bfs-bulk")
+			cfg := soc.DefaultConfig()
+			cfg.Lanes, cfg.Partitions = 16, 16
+			cfg.NoWaveBarrier = nb
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationContention loads the bus with a background agent at
+// increasing intensity (the shared-resource contention axis).
+func BenchmarkAblationContention(b *testing.B) {
+	for _, period := range []sim.Tick{0, 2000 * sim.Nanosecond, 500 * sim.Nanosecond} {
+		name := "quiet"
+		if period != 0 {
+			name = fmt.Sprintf("every%dns", period/sim.Nanosecond)
+		}
+		b.Run(name, func(b *testing.B) {
+			g := graphFor(b, "fft-transpose")
+			cfg := soc.DefaultConfig()
+			if period != 0 {
+				cfg.Traffic = &soc.TrafficConfig{Period: period, Bytes: 256}
+			}
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationInterleave toggles this implementation's DMA descriptor
+// interleaving extension (spmv's indirect gathers are the sensitive case;
+// without interleaving the arrival order matches the paper's DMA).
+func BenchmarkAblationInterleave(b *testing.B) {
+	for _, no := range []bool{false, true} {
+		b.Run(fmt.Sprintf("interleave=%v", !no), func(b *testing.B) {
+			g := graphFor(b, "spmv-crs")
+			cfg := soc.DefaultConfig()
+			cfg.NoDMAInterleave = no
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkAblationBusWidth sweeps the system bus width (the Fig 9/10
+// contention proxy).
+func BenchmarkAblationBusWidth(b *testing.B) {
+	for _, bits := range []int{32, 64} {
+		b.Run(fmt.Sprintf("%db", bits), func(b *testing.B) {
+			g := graphFor(b, "stencil-stencil3d")
+			cfg := soc.DefaultConfig()
+			cfg.BusWidthBits = bits
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// --- extension experiments (paper's future-work directions) ---
+
+// BenchmarkExtensionCoherentDMA compares software coherence management
+// (flush + invalidate) against an IBM Cell-style hardware-coherent DMA
+// engine on the flush-heaviest kernel.
+func BenchmarkExtensionCoherentDMA(b *testing.B) {
+	for _, coherent := range []bool{false, true} {
+		name := "software-coherence"
+		if coherent {
+			name = "hardware-coherent"
+		}
+		b.Run(name, func(b *testing.B) {
+			g := graphFor(b, "stencil-stencil3d")
+			cfg := soc.DefaultConfig()
+			cfg.CoherentDMA = coherent
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkExtensionMultiAccel measures shared-fabric contention between
+// two accelerators (the Fig 3 ACCEL0/ACCEL1 arrangement) against each
+// running alone.
+func BenchmarkExtensionMultiAccel(b *testing.B) {
+	g1 := graphFor(b, "stencil-stencil3d")
+	g2 := graphFor(b, "fft-transpose")
+	cfg := soc.DefaultConfig()
+	cfg.Lanes, cfg.Partitions = 16, 16
+	b.Run("alone", func(b *testing.B) {
+		var us float64
+		for i := 0; i < b.N; i++ {
+			us = runOnce(b, g1, cfg).Seconds() * 1e6
+		}
+		b.ReportMetric(us, "sim_us")
+	})
+	b.Run("shared-bus", func(b *testing.B) {
+		var us float64
+		for i := 0; i < b.N; i++ {
+			multi, err := soc.RunMulti(
+				[]*ddg.Graph{g1, g2},
+				[]soc.Config{cfg, cfg})
+			if err != nil {
+				b.Fatal(err)
+			}
+			us = multi.Results[0].Seconds() * 1e6
+		}
+		b.ReportMetric(us, "sim_us")
+	})
+}
+
+// BenchmarkExtensionRepeatedInvocation compares cold vs steady-state
+// invocation latency for the cache interface when inputs stay resident —
+// viterbi's HMM parameter tables (6.4 KB) fit the accelerator cache, the
+// amortization case DMA cannot exploit.
+func BenchmarkExtensionRepeatedInvocation(b *testing.B) {
+	g := graphFor(b, "viterbi-viterbi")
+	for _, mem := range []soc.MemKind{soc.DMA, soc.Cache} {
+		b.Run(mem.String(), func(b *testing.B) {
+			cfg := soc.DefaultConfig()
+			cfg.Mem = mem
+			var cold, steady float64
+			for i := 0; i < b.N; i++ {
+				rr, err := soc.RunRepeated(g, cfg, 4, true)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cold = rr.Rounds[0].Nanos() / 1e3
+				steady = rr.SteadyState().Nanos() / 1e3
+			}
+			b.ReportMetric(cold, "cold_us")
+			b.ReportMetric(steady, "steady_us")
+		})
+	}
+}
+
+// BenchmarkAblationTreeReduction measures Aladdin's tree-height-reduction
+// DDDG optimization on gemm's dot-product chains: the serial accumulator
+// bounds each iteration at high lane counts until it is reassociated.
+func BenchmarkAblationTreeReduction(b *testing.B) {
+	for _, reassoc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("reassociated=%v", reassoc), func(b *testing.B) {
+			tr := machsuite.MustBuild("gemm-ncubed")
+			if reassoc {
+				if n := trace.ReassociateReductions(tr); n == 0 {
+					b.Fatal("no chains rewritten")
+				}
+			}
+			g := ddg.Build(tr)
+			cfg := soc.DefaultConfig()
+			cfg.Mem = soc.Isolated
+			cfg.Lanes, cfg.Partitions = 16, 16
+			var us float64
+			for i := 0; i < b.N; i++ {
+				us = runOnce(b, g, cfg).Seconds() * 1e6
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}
+
+// BenchmarkExtensionModeledFlush measures the per-line flush cost of the
+// modeled CPU L1+L2 hierarchy against the paper's characterized 84 ns/line
+// analytic constant (the hierarchy is built from the same cache model the
+// accelerator uses).
+func BenchmarkExtensionModeledFlush(b *testing.B) {
+	var perLine float64
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		d := dram.New(eng, dram.DefaultConfig())
+		sysBus := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+		coh := coherence.NewController()
+		peer := coh.AddPeer()
+		h := cpu.NewHierarchy(eng, cpu.DefaultHierarchyConfig(sim.NewClockHz(667e6)), sysBus, coh, peer)
+		h.Warm(0, 16*1024, func() {})
+		eng.Run()
+		start := eng.Now()
+		var end sim.Tick
+		h.FlushAll(func() { end = eng.Now() })
+		eng.Run()
+		perLine = (end - start).Nanos() / 512
+	}
+	b.ReportMetric(perLine, "ns/line")
+	b.ReportMetric(84, "paper_ns/line")
+}
+
+// BenchmarkAblationDRAMPolicy compares FCFS vs FR-FCFS memory scheduling
+// on the raw controller with two masters interleaving rows of one bank.
+// (At the SoC level the paper's 32-bit bus — or the CPU flush — throttles
+// long before the DRAM does, so the policy is second-order end to end;
+// the unit tests pin that the row-hit reordering itself works.)
+func BenchmarkAblationDRAMPolicy(b *testing.B) {
+	for _, pol := range []dram.Policy{dram.FCFS, dram.FRFCFS} {
+		name := "fcfs"
+		if pol == dram.FRFCFS {
+			name = "fr-fcfs"
+		}
+		b.Run(name, func(b *testing.B) {
+			var us float64
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine()
+				cfg := dram.DefaultConfig()
+				cfg.Policy = pol
+				d := dram.New(eng, cfg)
+				var last sim.Tick
+				for k := 0; k < 64; k++ {
+					d.Access(uint64(k*64), 64, false, func() { last = eng.Now() })
+					d.Access(8*2048+uint64(k*64), 64, false, func() { last = eng.Now() })
+				}
+				eng.Run()
+				us = last.Nanos() / 1e3
+			}
+			b.ReportMetric(us, "sim_us")
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Command advisor answers the designer-facing question of Sec V: for a
+// given workload, which memory system and which microarchitecture should
+// the accelerator use? It sweeps both DMA- and cache-based design spaces,
+// applies optional power/latency constraints, and prints a recommendation
+// with the evidence.
+//
+// Example:
+//
+//	go run ./cmd/advisor -bench spmv-crs
+//	go run ./cmd/advisor -bench gemm-ncubed -max-power-mw 3 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/stats"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "spmv-crs", "benchmark name")
+		busBits  = flag.Int("bus-bits", 32, "system bus width")
+		maxPower = flag.Float64("max-power-mw", 0, "optional power budget in mW (0 = unconstrained)")
+		slowdown = flag.Float64("within", 0, "optional latency target: lowest power within this factor of the fastest design (0 = off)")
+		full     = flag.Bool("full", false, "full Fig 3 sweep axes")
+	)
+	flag.Parse()
+
+	k, err := machsuite.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tr, err := k.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := ddg.Build(tr)
+
+	opt := dse.QuickOptions()
+	if *full {
+		opt = dse.FullOptions()
+	}
+	base := soc.DefaultConfig()
+	base.BusWidthBits = *busBits
+
+	sweep := func(cfgs []soc.Config) dse.Space {
+		space, err := dse.Sweep(g, cfgs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return space
+	}
+	dmaSpace := sweep(dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions))
+	cacheSpace := sweep(dse.CacheConfigs(base, opt.Lanes, opt.CacheKB,
+		opt.CacheLines, opt.CachePorts, opt.CacheAssoc))
+	all := append(append(dse.Space{}, dmaSpace...), cacheSpace...)
+
+	pick := func(space dse.Space) (dse.Point, string, bool) {
+		switch {
+		case *maxPower > 0:
+			p, ok := space.FastestUnderPower(*maxPower / 1e3)
+			return p, fmt.Sprintf("fastest under %.1f mW", *maxPower), ok
+		case *slowdown > 0:
+			p, ok := space.LowestPowerWithin(*slowdown)
+			return p, fmt.Sprintf("lowest power within %.2fx of fastest", *slowdown), ok
+		default:
+			return space.EDPOptimal(), "EDP optimal", true
+		}
+	}
+	best, criterion, ok := pick(all)
+	if !ok {
+		fmt.Printf("no design in the swept space satisfies the constraint\n")
+		os.Exit(1)
+	}
+
+	describe := func(p dse.Point) string {
+		if p.Cfg.Mem == soc.Cache {
+			return fmt.Sprintf("cache: %d lanes, %d KB %dB/line %d ports %d-way",
+				p.Cfg.Lanes, p.Cfg.CacheKB, p.Cfg.CacheLineBytes, p.Cfg.CachePorts, p.Cfg.CacheAssoc)
+		}
+		return fmt.Sprintf("scratchpad+DMA: %d lanes, %d banks", p.Cfg.Lanes, p.Cfg.Partitions)
+	}
+
+	fmt.Printf("%s on a %d-bit bus (%d designs evaluated, criterion: %s)\n\n",
+		*bench, *busBits, len(all), criterion)
+	fmt.Printf("recommended design: %s\n\n", describe(best))
+	tb := stats.NewTable("metric", "recommended", "best DMA", "best cache")
+	bd, bc := dmaSpace.EDPOptimal(), cacheSpace.EDPOptimal()
+	tb.Row("memory system", best.Cfg.Mem.String(), "dma", "cache")
+	tb.Row("runtime (us)", best.Res.Seconds()*1e6, bd.Res.Seconds()*1e6, bc.Res.Seconds()*1e6)
+	tb.Row("power (mW)", best.Res.AvgPowerW*1e3, bd.Res.AvgPowerW*1e3, bc.Res.AvgPowerW*1e3)
+	tb.Row("area (mm^2)", best.Res.AreaMM2, bd.Res.AreaMM2, bc.Res.AreaMM2)
+	tb.Row("EDP (nJ*s)", best.Res.EDPJs*1e9, bd.Res.EDPJs*1e9, bc.Res.EDPJs*1e9)
+	tb.Render(os.Stdout)
+}

@@ -1,0 +1,116 @@
+// Command dse sweeps an accelerator design space for one benchmark and
+// prints every evaluated point, the Pareto frontier, and the EDP optimum.
+//
+// Example:
+//
+//	go run ./cmd/dse -bench stencil-stencil3d -mem dma
+//	go run ./cmd/dse -bench spmv-crs -mem cache -bus-bits 64 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/report"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/stats"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "stencil-stencil3d", "benchmark name")
+		mem     = flag.String("mem", "dma", "memory system: isolated, dma, cache")
+		busBits = flag.Int("bus-bits", 32, "system bus width")
+		full    = flag.Bool("full", false, "full Fig 3 sweep axes (slower)")
+		front   = flag.Bool("pareto-only", false, "print only the Pareto frontier")
+		format  = flag.String("format", "table", "output format: table, json, csv")
+	)
+	flag.Parse()
+
+	k, err := machsuite.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	tr, err := k.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	g := ddg.Build(tr)
+
+	opt := dse.QuickOptions()
+	if *full {
+		opt = dse.FullOptions()
+	}
+	base := soc.DefaultConfig()
+	base.BusWidthBits = *busBits
+
+	var cfgs []soc.Config
+	switch *mem {
+	case "isolated":
+		cfgs = dse.SpadConfigs(base, soc.Isolated, opt.Lanes, opt.Partitions)
+	case "dma":
+		cfgs = dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions)
+	case "cache":
+		cfgs = dse.CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
+			opt.CachePorts, opt.CacheAssoc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mem %q\n", *mem)
+		os.Exit(2)
+	}
+
+	space, err := dse.Sweep(g, cfgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	best := space.EDPOptimal()
+	pts := space
+	if *front {
+		pts = space.ParetoFront()
+	}
+
+	if *format != "table" {
+		var recs []report.Record
+		for _, p := range pts {
+			recs = append(recs, report.FromResult(*bench, p.Res))
+		}
+		var werr error
+		switch *format {
+		case "json":
+			werr = report.WriteJSON(os.Stdout, recs)
+		case "csv":
+			werr = report.WriteCSV(os.Stdout, recs)
+		default:
+			werr = fmt.Errorf("unknown -format %q", *format)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	tb := stats.NewTable("lanes", "local memory", "time(us)", "power(mW)", "EDP(nJ*s)", "")
+	for _, p := range pts {
+		local := fmt.Sprintf("%d banks x %d ports", p.Cfg.Partitions, p.Cfg.SpadPorts)
+		if p.Cfg.Mem == soc.Cache {
+			local = fmt.Sprintf("%dKB %dB/line %dp %d-way",
+				p.Cfg.CacheKB, p.Cfg.CacheLineBytes, p.Cfg.CachePorts, p.Cfg.CacheAssoc)
+		}
+		mark := ""
+		if p.Cfg == best.Cfg {
+			mark = "<-- EDP optimal"
+		}
+		tb.Row(p.Cfg.Lanes, local, p.Res.Seconds()*1e6, p.Res.AvgPowerW*1e3,
+			p.Res.EDPJs*1e9, mark)
+	}
+	fmt.Printf("%s, %s, %d-bit bus: %d design points (%d on Pareto frontier)\n\n",
+		*bench, *mem, *busBits, len(space), len(space.ParetoFront()))
+	tb.Render(os.Stdout)
+}

@@ -1,0 +1,19 @@
+// Command validate runs the Fig 4 validation harness: the event-driven
+// simulator against the independent analytic golden models (the hardware
+// stand-in), reporting per-benchmark and average percentage error for the
+// flush, DMA, and compute components.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"gem5aladdin/internal/figures"
+)
+
+func main() {
+	if err := figures.Fig4(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

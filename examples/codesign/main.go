@@ -1,0 +1,72 @@
+// Codesign reruns the paper's motivating experiment (Fig 1): sweep the
+// stencil3d design space twice — once as an isolated accelerator and once
+// inside the SoC with DMA data movement — and show how the EDP-optimal
+// microarchitecture shifts toward a leaner design.
+//
+//	go run ./examples/codesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gem5aladdin "gem5aladdin"
+)
+
+func main() {
+	tr, err := gem5aladdin.BuildBenchmark("stencil-stencil3d")
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := gem5aladdin.BuildGraph(tr)
+
+	lanes := []int{1, 2, 4, 8, 16}
+	banks := []int{1, 2, 4, 8, 16}
+
+	type point struct {
+		lanes, banks int
+		res          *gem5aladdin.RunResult
+	}
+	sweep := func(mem gem5aladdin.MemKind) (best point, all []point) {
+		for _, l := range lanes {
+			for _, p := range banks {
+				cfg := gem5aladdin.DefaultConfig()
+				cfg.Mem = mem
+				cfg.Lanes = l
+				cfg.Partitions = p
+				res, err := gem5aladdin.RunGraph(g, cfg)
+				if err != nil {
+					log.Fatal(err)
+				}
+				pt := point{l, p, res}
+				all = append(all, pt)
+				if best.res == nil || res.EDPJs < best.res.EDPJs {
+					best = pt
+				}
+			}
+		}
+		return best, all
+	}
+
+	isoBest, _ := sweep(gem5aladdin.Isolated)
+	coBest, _ := sweep(gem5aladdin.DMA)
+
+	fmt.Println("stencil3d, 25-point design space (lanes x scratchpad banks):")
+	fmt.Printf("  isolated EDP optimum:    %2d lanes x %2d banks  (%6.1f us, %.2f mW)\n",
+		isoBest.lanes, isoBest.banks, isoBest.res.Seconds()*1e6, isoBest.res.AvgPowerW*1e3)
+	fmt.Printf("  co-designed EDP optimum: %2d lanes x %2d banks  (%6.1f us, %.2f mW)\n",
+		coBest.lanes, coBest.banks, coBest.res.Seconds()*1e6, coBest.res.AvgPowerW*1e3)
+
+	// Deploy the isolated winner in the real system and compare.
+	cfg := gem5aladdin.DefaultConfig()
+	cfg.Lanes, cfg.Partitions = isoBest.lanes, isoBest.banks
+	naive, err := gem5aladdin.RunGraph(g, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n  isolated design deployed in-system: %6.1f us, %.2f mW, EDP %.4g nJ*s\n",
+		naive.Seconds()*1e6, naive.AvgPowerW*1e3, naive.EDPJs*1e9)
+	fmt.Printf("  co-designed optimum:                %6.1f us, %.2f mW, EDP %.4g nJ*s\n",
+		coBest.res.Seconds()*1e6, coBest.res.AvgPowerW*1e3, coBest.res.EDPJs*1e9)
+	fmt.Printf("\n  co-design EDP improvement: %.2fx\n", naive.EDPJs/coBest.res.EDPJs)
+}

@@ -1,0 +1,78 @@
+// Custom-kernel shows how to bring your own workload to the simulator: a
+// histogram kernel with data-dependent (indirect) stores, traced with
+// explicit index dependences so the DDDG serializes conflicting bucket
+// updates, then swept across lane counts.
+//
+//	go run ./examples/custom-kernel
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gem5aladdin "gem5aladdin"
+)
+
+func main() {
+	const (
+		n       = 2048
+		buckets = 64
+	)
+	b := gem5aladdin.NewKernel("histogram")
+	data := b.Alloc("data", gem5aladdin.I32, n, gem5aladdin.In)
+	hist := b.Alloc("hist", gem5aladdin.I32, buckets, gem5aladdin.InOut)
+
+	// Host-side input: a skewed distribution so buckets collide.
+	seed := uint64(42)
+	vals := make([]int, n)
+	for i := range vals {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		vals[i] = int((seed >> 33) % buckets * uint64(i%3+1) % buckets)
+		b.SetInt(data, i, int64(vals[i]))
+	}
+
+	one := b.ConstI(1)
+	for i := 0; i < n; i++ {
+		b.BeginIter()
+		v := b.Load(data, i)
+		idx := int(v.Int())
+		// The loaded value produces the bucket address: pass it as the
+		// index dependence so read-modify-writes to the same bucket
+		// serialize in the dependence graph.
+		cur := b.Load(hist, idx, v)
+		b.Store(hist, idx, b.IAdd(cur, one), v)
+	}
+	tr := b.Finish()
+
+	// Verify functionally against plain Go.
+	want := make([]int64, buckets)
+	for _, v := range vals {
+		want[v]++
+	}
+	for i := 0; i < buckets; i++ {
+		if got := b.GetInt(hist, i); got != want[i] {
+			log.Fatalf("hist[%d] = %d, want %d", i, got, want[i])
+		}
+	}
+	fmt.Printf("histogram of %d values into %d buckets traced: %d ops\n\n", n, buckets, tr.NumNodes())
+
+	g := gem5aladdin.BuildGraph(tr)
+	fmt.Println("lanes sweep (DMA, all optimizations):")
+	var base float64
+	for _, lanes := range []int{1, 2, 4, 8, 16} {
+		cfg := gem5aladdin.DefaultConfig()
+		cfg.Lanes, cfg.Partitions = lanes, lanes
+		res, err := gem5aladdin.RunGraph(g, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Seconds()
+		}
+		fmt.Printf("  %2d lanes: %8.1f us  speedup %.2fx\n",
+			lanes, res.Seconds()*1e6, base/res.Seconds())
+	}
+	fmt.Println("\nBucket collisions serialize through the DDDG, capping the speedup")
+	fmt.Println("well below the lane count — exactly what the dependence-aware")
+	fmt.Println("scheduler is for.")
+}

@@ -1,0 +1,56 @@
+// Dma-vs-cache compares the two CPU-accelerator communication strategies
+// of Sec IV across three memory-behavior archetypes: a regular streaming
+// kernel (aes), an indirect-gather kernel (spmv), and a strided kernel
+// (fft) — showing when push-based DMA or a pull-based coherent cache wins.
+//
+//	go run ./examples/dma-vs-cache
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gem5aladdin "gem5aladdin"
+)
+
+func main() {
+	benches := []string{"aes-aes", "spmv-crs", "fft-transpose"}
+	fmt.Println("DMA vs cache across memory-behavior archetypes (4 lanes):")
+	fmt.Println()
+	for _, name := range benches {
+		tr, err := gem5aladdin.BuildBenchmark(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		g := gem5aladdin.BuildGraph(tr)
+
+		dmaCfg := gem5aladdin.DefaultConfig()
+		dmaCfg.Lanes, dmaCfg.Partitions = 4, 4
+		dmaRes, err := gem5aladdin.RunGraph(g, dmaCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		cacheCfg := gem5aladdin.DefaultConfig()
+		cacheCfg.Mem = gem5aladdin.Cache
+		cacheCfg.Lanes = 4
+		cacheCfg.CacheKB = 8
+		cacheRes, err := gem5aladdin.RunGraph(g, cacheCfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		winner := "DMA"
+		if cacheRes.EDPJs < dmaRes.EDPJs {
+			winner = "cache"
+		}
+		fmt.Printf("%-14s dma: %8.1f us %6.2f mW   cache: %8.1f us %6.2f mW (%d misses, %d TLB walks)   EDP winner: %s\n",
+			name,
+			dmaRes.Seconds()*1e6, dmaRes.AvgPowerW*1e3,
+			cacheRes.Seconds()*1e6, cacheRes.AvgPowerW*1e3,
+			cacheRes.Cache.Misses, cacheRes.TLB.Misses, winner)
+	}
+	fmt.Println()
+	fmt.Println("Regular small-footprint kernels favor scratchpads with DMA; strided and")
+	fmt.Println("irregular kernels benefit from a cache's on-demand, line-granular fetches.")
+}

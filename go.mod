@@ -1,0 +1,3 @@
+module gem5aladdin
+
+go 1.22

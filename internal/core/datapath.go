@@ -1,0 +1,524 @@
+// Package core is the heart of the gem5-Aladdin reproduction: the Aladdin
+// accelerator datapath simulator, integrated with the SoC's memory systems
+// so that dynamic accelerator-system interactions (DMA arrival, cache
+// misses, TLB walks, bus contention) feed back into the schedule.
+//
+// The datapath model follows Sec II and IV-D of the paper:
+//
+//   - An accelerator is L parallel lanes; loop iteration i runs on lane
+//     i mod L (how Aladdin realizes loop unrolling).
+//   - Each lane is a chain of functional units driven by an FSM: it issues
+//     its iteration's operations in order, one per cycle, with pipelined
+//     functional units. An operation issues only when its DDDG dependences
+//     have resolved.
+//   - Memory behavior is pluggable: ideal single-cycle memory (isolated
+//     Aladdin), partitioned scratchpads with optional full/empty-bit gating
+//     (DMA designs), or a hardware-managed cache with MSHRs where a miss
+//     stalls only the issuing lane (cache designs).
+//   - When lanes finish an iteration they synchronize with all other lanes
+//     before the next wave of iterations begins.
+package core
+
+import (
+	"fmt"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/mem/dma"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/trace"
+)
+
+// OpLatencies maps operation kinds to functional-unit latency in cycles.
+type OpLatencies [trace.NumKinds]uint8
+
+// DefaultOpLatencies returns the 100 MHz functional-unit latencies used to
+// match Vivado HLS default designs (integer ops single-cycle; FP adds 3,
+// multiplies 4, divides/square roots long-latency).
+func DefaultOpLatencies() OpLatencies {
+	var l OpLatencies
+	for k := range l {
+		l[k] = 1
+	}
+	l[trace.OpIMul] = 3
+	l[trace.OpIDiv] = 10
+	l[trace.OpFAdd] = 3
+	l[trace.OpFSub] = 3
+	l[trace.OpFMul] = 4
+	l[trace.OpFDiv] = 15
+	l[trace.OpFSqrt] = 15
+	l[trace.OpFExp] = 18
+	return l
+}
+
+// IssueStatus is a memory model's answer to an issue attempt.
+type IssueStatus uint8
+
+// Issue outcomes.
+const (
+	// IssueRetry: resource or data unavailable; the lane stalls and
+	// retries next cycle (or when Wake fires).
+	IssueRetry IssueStatus = iota
+	// IssueLocal: access accepted, completes with single-cycle latency.
+	IssueLocal
+	// IssueAsync: access accepted; the lane blocks until the model calls
+	// the provided completion callback.
+	IssueAsync
+)
+
+// MemModel abstracts the accelerator's local memory interface.
+type MemModel interface {
+	// Issue attempts the memory access of node id at the given
+	// accelerator cycle. complete must be invoked iff the return is
+	// IssueAsync.
+	Issue(id int32, n *trace.Node, cycle uint64, complete func()) IssueStatus
+	// Drained reports whether all outstanding accesses have finished
+	// (mfence semantics before signaling completion to the CPU).
+	Drained() bool
+}
+
+// Config parameterizes the datapath.
+type Config struct {
+	Lanes     int
+	Clock     sim.Clock
+	Latencies OpLatencies
+	// NoBarrier lets lanes run ahead into later iterations without
+	// synchronizing at wave boundaries (correctness is still enforced by
+	// the DDDG). An ablation of the paper's lane-synchronization design
+	// choice.
+	NoBarrier bool
+	// RecordSchedule captures per-node issue/complete times in the
+	// Result for schedule-validity checking and visualization. Costs
+	// memory proportional to the trace; off by default.
+	RecordSchedule bool
+}
+
+// completionWindow bounds how far ahead (in cycles) a synchronous
+// completion can land; it must exceed the largest functional-unit latency.
+const completionWindow = 64
+
+// ScheduleEntry records when one node issued and when its result became
+// visible, in ticks.
+type ScheduleEntry struct {
+	Issue    sim.Tick
+	Complete sim.Tick
+	Lane     int32
+}
+
+// Stats aggregates datapath activity.
+type Stats struct {
+	Cycles        uint64 // cycles from start to completion signal
+	ActiveCycles  uint64 // cycles with at least one op issued or in flight
+	OpsIssued     [trace.NumKinds]uint64
+	MemStalls     uint64 // lane-cycles stalled on memory (retry or async)
+	DepStalls     uint64 // lane-cycles stalled on dependences
+	BarrierStalls uint64 // lane-cycles stalled on the wave barrier
+	// LaneOps counts operations issued per lane; with Cycles it yields
+	// per-lane utilization (the paper's "wasted hardware" signal).
+	LaneOps []uint64
+}
+
+// LaneUtilization returns each lane's issue-slot occupancy in [0,1].
+func (s Stats) LaneUtilization() []float64 {
+	if s.Cycles == 0 || len(s.LaneOps) == 0 {
+		return nil
+	}
+	out := make([]float64, len(s.LaneOps))
+	for i, n := range s.LaneOps {
+		out[i] = float64(n) / float64(s.Cycles)
+	}
+	return out
+}
+
+// Result is the outcome of one datapath execution.
+type Result struct {
+	Start, End sim.Tick
+	Stats      Stats
+	// ComputeIntervals are the wall-clock windows in which the datapath
+	// was active, for the flush/DMA/compute runtime breakdown.
+	ComputeIntervals []dma.Interval
+	// Schedule holds per-node issue/complete times when
+	// Config.RecordSchedule was set; nil otherwise.
+	Schedule []ScheduleEntry
+}
+
+// laneState tracks one lane's progress through its assigned iterations.
+type laneState struct {
+	iters   []ddg.Range // iteration node ranges, in execution order
+	waves   []int       // wave index of each entry in iters
+	cur     int         // current index into iters
+	pc      int32       // next node within the current range
+	blocked bool        // waiting on an async memory completion
+}
+
+// Datapath is one accelerator instance's scheduler.
+type Datapath struct {
+	cfg Config
+	eng *sim.Engine
+	g   *ddg.Graph
+	mem MemModel
+
+	indeg  []int32
+	lanes  []laneState
+	issued []bool
+
+	// wave barrier
+	waveRemaining []int
+	completeWave  int // highest wave index fully complete
+
+	// completion ring: bucket c%completionWindow holds nodes whose
+	// results become visible at cycle c. Functional-unit latencies are
+	// far below the window, so collisions cannot occur.
+	completions  [completionWindow][]int32
+	completionAt [completionWindow]uint64 // the cycle each bucket is armed for
+	pendingSync  int                      // nodes waiting in the ring
+	inFlight     int                      // issued but not yet completed nodes
+
+	cycle         uint64
+	startTick     sim.Tick
+	tickScheduled bool
+	running       bool
+	finished      bool
+	done          func(*Result)
+
+	stats      Stats
+	intervals  []dma.Interval
+	lastActive uint64
+	activeOpen bool
+	sched      []ScheduleEntry
+}
+
+// NewDatapath builds a scheduler over graph g with the given memory model.
+func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datapath {
+	if cfg.Lanes <= 0 {
+		panic("core: non-positive lane count")
+	}
+	if cfg.Clock.Period == 0 {
+		panic("core: zero clock period")
+	}
+	n := g.NumNodes()
+	for _, lat := range cfg.Latencies {
+		if uint64(lat) >= completionWindow {
+			panic("core: functional-unit latency exceeds the completion window")
+		}
+	}
+	d := &Datapath{
+		cfg: cfg, eng: eng, g: g, mem: mem,
+		indeg:  make([]int32, n),
+		issued: make([]bool, n),
+		lanes:  make([]laneState, cfg.Lanes),
+	}
+	copy(d.indeg, g.InDeg)
+	d.stats.LaneOps = make([]uint64, cfg.Lanes)
+	if cfg.RecordSchedule {
+		d.sched = make([]ScheduleEntry, n)
+	}
+
+	// Assign iterations to lanes; prelude nodes run on lane 0 as wave 0,
+	// iteration k of the kernel loop is wave k/L + 1.
+	nWaves := 1 + (len(g.IterRange)+cfg.Lanes-1)/cfg.Lanes
+	d.waveRemaining = make([]int, nWaves+1)
+	d.completeWave = -1
+	if g.Prelude.Len() > 0 {
+		d.lanes[0].iters = append(d.lanes[0].iters, g.Prelude)
+		d.lanes[0].waves = append(d.lanes[0].waves, 0)
+		d.waveRemaining[0] += g.Prelude.Len()
+	}
+	for k, r := range g.IterRange {
+		lane := k % cfg.Lanes
+		wave := k/cfg.Lanes + 1
+		d.lanes[lane].iters = append(d.lanes[lane].iters, r)
+		d.lanes[lane].waves = append(d.lanes[lane].waves, wave)
+		d.waveRemaining[wave] += r.Len()
+	}
+	// Waves with zero nodes are trivially complete; normalize the pointer
+	// lazily in advanceWaves.
+	for i := range d.lanes {
+		d.lanes[i].pc = -1
+	}
+	return d
+}
+
+// Start begins execution at the current simulation time; done fires once
+// every node has completed and the memory model drained.
+func (d *Datapath) Start(done func(*Result)) {
+	if d.running {
+		panic("core: datapath already started")
+	}
+	d.running = true
+	d.done = done
+	d.startTick = d.eng.Now()
+	d.advanceWaves()
+	d.scheduleTick()
+}
+
+// Wake nudges the scheduler after an external event (DMA arrival setting a
+// full/empty bit) that may unblock stalled lanes.
+func (d *Datapath) Wake() {
+	if d.running && !d.finished {
+		d.scheduleTick()
+	}
+}
+
+func (d *Datapath) scheduleTick() {
+	if d.tickScheduled || d.finished {
+		return
+	}
+	d.tickScheduled = true
+	// Clock edges are relative to the datapath's start tick (the FSM
+	// starts when the accelerator is kicked, not on a global grid).
+	now := d.eng.Now()
+	c := d.cfg.Clock.CyclesAt(now - d.startTick)
+	next := d.startTick + d.cfg.Clock.Cycles(c)
+	if next < now {
+		next = d.startTick + d.cfg.Clock.Cycles(c+1)
+	}
+	d.eng.Schedule(next, d.tick)
+}
+
+// nextCompletionCycle returns the earliest cycle at which a pending result
+// becomes visible.
+func (d *Datapath) nextCompletionCycle() (uint64, bool) {
+	if d.pendingSync == 0 {
+		return 0, false
+	}
+	var best uint64
+	found := false
+	for b := 0; b < completionWindow; b++ {
+		if len(d.completions[b]) == 0 {
+			continue
+		}
+		if !found || d.completionAt[b] < best {
+			best = d.completionAt[b]
+			found = true
+		}
+	}
+	return best, found
+}
+
+// cycleAt converts the current tick into an accelerator cycle index.
+func (d *Datapath) cycleAt() uint64 {
+	return d.cfg.Clock.CyclesAt(d.eng.Now() - d.startTick)
+}
+
+func (d *Datapath) tick() {
+	d.tickScheduled = false
+	if d.finished {
+		return
+	}
+	d.cycle = d.cycleAt()
+
+	// Make results visible for completions scheduled at or before now.
+	if d.pendingSync > 0 {
+		for b := 0; b < completionWindow; b++ {
+			if len(d.completions[b]) == 0 || d.completionAt[b] > d.cycle {
+				continue
+			}
+			for _, id := range d.completions[b] {
+				d.complete(id)
+			}
+			d.pendingSync -= len(d.completions[b])
+			d.completions[b] = d.completions[b][:0]
+		}
+	}
+	d.advanceWaves()
+
+	anyIssued := false
+	anyStalledRetry := false
+	for li := range d.lanes {
+		ln := &d.lanes[li]
+		if ln.blocked {
+			d.stats.MemStalls++
+			continue
+		}
+		id, ok := d.nextNode(ln)
+		if !ok {
+			continue
+		}
+		nd := &d.g.Trace.Nodes[id]
+		// Wave barrier: a node may issue only when every prior wave is
+		// fully complete.
+		if !d.cfg.NoBarrier && ln.waves[ln.cur] > d.completeWave+1 {
+			d.stats.BarrierStalls++
+			anyStalledRetry = true
+			continue
+		}
+		if d.indeg[id] != 0 {
+			d.stats.DepStalls++
+			anyStalledRetry = true
+			continue
+		}
+		if nd.Kind.IsMem() {
+			switch d.mem.Issue(id, nd, d.cycle, func() { d.asyncComplete(li, id) }) {
+			case IssueRetry:
+				d.stats.MemStalls++
+				anyStalledRetry = true
+				continue
+			case IssueLocal:
+				d.issue(ln, li, id, 1)
+			case IssueAsync:
+				d.issue(ln, li, id, 0)
+				ln.blocked = true
+			}
+		} else {
+			lat := uint64(d.cfg.Latencies[nd.Kind])
+			if lat == 0 {
+				lat = 1
+			}
+			d.issue(ln, li, id, lat)
+		}
+		anyIssued = true
+	}
+
+	active := anyIssued || d.inFlight > 0
+	if active {
+		d.stats.ActiveCycles++
+		d.recordActive()
+	}
+
+	if d.allDone() {
+		d.finish()
+		return
+	}
+
+	// Decide when to tick next: next cycle if anything can progress, else
+	// at the earliest pending completion, else wait for async wakeups.
+	if anyIssued || anyStalledRetry {
+		d.eng.Schedule(d.startTick+d.cfg.Clock.Cycles(d.cycle+1), d.tick)
+		d.tickScheduled = true
+		return
+	}
+	if next, ok := d.nextCompletionCycle(); ok {
+		d.eng.Schedule(d.startTick+d.cfg.Clock.Cycles(next), d.tick)
+		d.tickScheduled = true
+	}
+	// Otherwise: every runnable lane is blocked on async memory or ready
+	// bits; asyncComplete/Wake will reschedule.
+}
+
+// nextNode returns the lane's next unissued node, advancing across its
+// iterations. ok=false when the lane has exhausted its work.
+func (d *Datapath) nextNode(ln *laneState) (int32, bool) {
+	for ln.cur < len(ln.iters) {
+		r := ln.iters[ln.cur]
+		if ln.pc < r.Start {
+			ln.pc = r.Start
+		}
+		if ln.pc < r.End {
+			return ln.pc, true
+		}
+		ln.cur++
+		ln.pc = -1
+	}
+	return 0, false
+}
+
+func (d *Datapath) issue(ln *laneState, lane int, id int32, lat uint64) {
+	nd := &d.g.Trace.Nodes[id]
+	d.stats.OpsIssued[nd.Kind]++
+	d.stats.LaneOps[lane]++
+	d.issued[id] = true
+	ln.pc = id + 1
+	d.inFlight++
+	if d.sched != nil {
+		d.sched[id].Issue = d.eng.Now()
+		d.sched[id].Lane = int32(lane)
+	}
+	if lat > 0 {
+		vis := d.cycle + lat
+		b := vis % completionWindow
+		d.completions[b] = append(d.completions[b], id)
+		d.completionAt[b] = vis
+		d.pendingSync++
+	}
+}
+
+// complete makes node id's result visible: successors' dependences resolve
+// and the wave accounting advances.
+func (d *Datapath) complete(id int32) {
+	d.inFlight--
+	if d.sched != nil {
+		d.sched[id].Complete = d.eng.Now()
+	}
+	for _, s := range d.g.Successors(id) {
+		d.indeg[s]--
+		if d.indeg[s] < 0 {
+			panic(fmt.Sprintf("core: node %d dependence underflow", s))
+		}
+	}
+	w := d.waveOf(id)
+	d.waveRemaining[w]--
+	if d.waveRemaining[w] < 0 {
+		panic(fmt.Sprintf("core: wave %d completion underflow", w))
+	}
+}
+
+func (d *Datapath) waveOf(id int32) int {
+	it := d.g.Trace.Nodes[id].Iter
+	if it < 0 {
+		return 0
+	}
+	return int(it)/d.cfg.Lanes + 1
+}
+
+// asyncComplete handles a variable-latency memory completion.
+func (d *Datapath) asyncComplete(lane int, id int32) {
+	d.complete(id)
+	d.lanes[lane].blocked = false
+	d.advanceWaves()
+	d.recordActive()
+	if d.allDone() {
+		d.finish()
+		return
+	}
+	d.scheduleTick()
+}
+
+func (d *Datapath) advanceWaves() {
+	for d.completeWave+1 < len(d.waveRemaining) && d.waveRemaining[d.completeWave+1] == 0 {
+		d.completeWave++
+	}
+}
+
+func (d *Datapath) allDone() bool {
+	if d.inFlight > 0 {
+		return false
+	}
+	for i := range d.lanes {
+		if _, ok := d.nextNode(&d.lanes[i]); ok {
+			return false
+		}
+	}
+	return d.mem.Drained()
+}
+
+func (d *Datapath) recordActive() {
+	c := d.cycleAt()
+	if d.activeOpen && c == d.lastActive+1 || (d.activeOpen && c == d.lastActive) {
+		d.lastActive = c
+		d.intervals[len(d.intervals)-1].End = d.startTick + d.cfg.Clock.Cycles(c+1)
+		return
+	}
+	start := d.startTick + d.cfg.Clock.Cycles(c)
+	d.intervals = append(d.intervals, dma.Interval{Start: start, End: start + d.cfg.Clock.Cycles(1)})
+	d.activeOpen = true
+	d.lastActive = c
+}
+
+func (d *Datapath) finish() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	end := d.eng.Now()
+	d.stats.Cycles = d.cfg.Clock.CyclesCeil(end - d.startTick)
+	res := &Result{
+		Start:            d.startTick,
+		End:              end,
+		Stats:            d.stats,
+		ComputeIntervals: dma.MergeIntervals(d.intervals),
+		Schedule:         d.sched,
+	}
+	if d.done != nil {
+		d.done(res)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/mem/spad"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/trace"
+)
+
+// checkScheduleValid verifies the fundamental scheduling contract over a
+// recorded schedule: every node issued exactly once, no node issued before
+// all of its DDDG dependences completed, and per-lane in-order issue.
+func checkScheduleValid(t *testing.T, g *ddg.Graph, sched []ScheduleEntry) {
+	t.Helper()
+	n := g.NumNodes()
+	if len(sched) != n {
+		t.Fatalf("schedule has %d entries for %d nodes", len(sched), n)
+	}
+	for to := int32(0); to < int32(n); to++ {
+		if sched[to].Complete < sched[to].Issue {
+			t.Fatalf("node %d completed at %v before issuing at %v",
+				to, sched[to].Complete, sched[to].Issue)
+		}
+	}
+	for from := int32(0); from < int32(n); from++ {
+		for _, to := range g.Successors(from) {
+			if sched[to].Issue < sched[from].Complete {
+				t.Fatalf("node %d issued at %v before dependence %d completed at %v",
+					to, sched[to].Issue, from, sched[from].Complete)
+			}
+		}
+	}
+	// Per-lane in-order issue: nodes on the same lane issue in trace
+	// order (equal ticks cannot happen: one issue per lane per cycle).
+	lastIssue := map[int32]sim.Tick{}
+	for id := int32(0); id < int32(n); id++ {
+		lane := sched[id].Lane
+		if prev, ok := lastIssue[lane]; ok && sched[id].Issue <= prev {
+			t.Fatalf("lane %d issued node %d at %v, not after previous issue %v",
+				lane, id, sched[id].Issue, prev)
+		}
+		lastIssue[lane] = sched[id].Issue
+	}
+}
+
+// randomKernel generates a random but legal kernel mixing arithmetic,
+// loads, stores, and cross-iteration memory traffic.
+func randomKernel(seed int64) *ddg.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := trace.NewBuilder("random")
+	a := b.Alloc("a", trace.F64, 32, trace.InOut)
+	for i := 0; i < 32; i++ {
+		b.SetF64(a, i, rng.Float64())
+	}
+	iters := 4 + rng.Intn(20)
+	var last trace.Value
+	hasLast := false
+	for it := 0; it < iters; it++ {
+		b.BeginIter()
+		ops := 1 + rng.Intn(8)
+		for o := 0; o < ops; o++ {
+			switch rng.Intn(5) {
+			case 0:
+				v := b.Load(a, rng.Intn(32))
+				last, hasLast = v, true
+			case 1:
+				if hasLast {
+					b.Store(a, rng.Intn(32), last)
+				}
+			case 2:
+				v := b.FMul(b.ConstF(rng.Float64()), b.ConstF(rng.Float64()))
+				last, hasLast = v, true
+			case 3:
+				if hasLast {
+					last = b.FAdd(last, b.ConstF(1))
+				}
+			case 4:
+				if hasLast {
+					last = b.FSqrt(last)
+				}
+			}
+		}
+	}
+	return ddg.Build(b.Finish())
+}
+
+// TestScheduleValidityProperty runs random kernels through random lane and
+// scratchpad configurations and checks the recorded schedule against the
+// dependence graph.
+func TestScheduleValidityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomKernel(seed)
+		eng := sim.NewEngine()
+		cfg := cfgLanes(1 + rng.Intn(16))
+		cfg.RecordSchedule = true
+		cfg.NoBarrier = rng.Intn(2) == 0
+		sp := spad.New(spad.Config{Partitions: 1 + rng.Intn(4), Ports: 1 + rng.Intn(2)}, g.Trace.Arrays)
+		d := NewDatapath(eng, g, cfg, NewSpadMem(sp))
+		var res *Result
+		d.Start(func(r *Result) { res = r })
+		eng.Run()
+		if res == nil {
+			t.Logf("seed %d: never finished", seed)
+			return false
+		}
+		checkScheduleValid(t, g, res.Schedule)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScheduleValidityRealKernel checks the contract on a real benchmark
+// with the cache memory system (variable-latency completions).
+func TestScheduleValidityRealKernel(t *testing.T) {
+	b := trace.NewBuilder("mini-spmv")
+	idx := b.Alloc("idx", trace.I32, 32, trace.In)
+	vec := b.Alloc("vec", trace.F64, 32, trace.In)
+	out := b.Alloc("out", trace.F64, 32, trace.Out)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 32; i++ {
+		b.SetInt(idx, i, int64(rng.Intn(32)))
+		b.SetF64(vec, i, rng.Float64())
+	}
+	for i := 0; i < 32; i++ {
+		b.BeginIter()
+		iv := b.Load(idx, i)
+		x := b.Load(vec, int(iv.Int()), iv)
+		b.Store(out, i, b.FMul(x, b.ConstF(2)))
+	}
+	g := ddg.Build(b.Finish())
+
+	eng, mem, _, _ := cacheRig(t, g)
+	cfg := cfgLanes(4)
+	cfg.RecordSchedule = true
+	d := NewDatapath(eng, g, cfg, mem)
+	var res *Result
+	d.Start(func(r *Result) { res = r })
+	eng.Run()
+	if res == nil {
+		t.Fatal("never finished")
+	}
+	checkScheduleValid(t, g, res.Schedule)
+}
+
+func TestScheduleNilWhenNotRecording(t *testing.T) {
+	g := parallelTrace(4, 2)
+	res := runIdeal(t, g, 2)
+	if res.Schedule != nil {
+		t.Fatal("schedule recorded without RecordSchedule")
+	}
+}

@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"testing"
+
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/mem/dram"
+	"gem5aladdin/internal/sim"
+)
+
+func TestInvokeTiming(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.InvokeLatency = 2 * sim.Microsecond
+	c := New(eng, cfg)
+
+	var startedAt, observedAt sim.Tick
+	c.Invoke(func(signal func()) {
+		startedAt = eng.Now()
+		eng.After(10*sim.Microsecond, signal)
+	}, func() { observedAt = eng.Now() })
+	eng.Run()
+
+	if startedAt != 2*sim.Microsecond {
+		t.Fatalf("accelerator started at %v, want 2us", startedAt)
+	}
+	if observedAt < 12*sim.Microsecond {
+		t.Fatalf("completion observed at %v, before the accelerator finished", observedAt)
+	}
+	// Poll granularity: 20 cycles at 667 MHz ~ 30 ns; the observation may
+	// lag by at most one poll period.
+	maxLag := cfg.Clock.Cycles(cfg.PollCycles)
+	if observedAt > 12*sim.Microsecond+maxLag {
+		t.Fatalf("poll lag too large: observed at %v", observedAt)
+	}
+}
+
+func TestPollBoundaryExact(t *testing.T) {
+	eng := sim.NewEngine()
+	c := New(eng, DefaultConfig())
+	var observed sim.Tick
+	c.Invoke(func(signal func()) { signal() }, func() { observed = eng.Now() })
+	eng.Run()
+	if observed != 0 {
+		t.Fatalf("signal at a poll boundary observed at %v, want immediately", observed)
+	}
+}
+
+func TestZeroClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero clock did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{})
+}
+
+func TestTrafficGenInjects(t *testing.T) {
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	g := NewTrafficGen(eng, b, 500*sim.Nanosecond, 64)
+	g.Start()
+	eng.RunUntil(5 * sim.Microsecond)
+	g.Stop()
+	eng.Run()
+	if g.Issued() < 8 {
+		t.Fatalf("traffic gen issued %d transactions in 5us", g.Issued())
+	}
+	if b.Stats().BytesMoved != g.Issued()*64 {
+		t.Fatalf("bus moved %d bytes for %d transactions", b.Stats().BytesMoved, g.Issued())
+	}
+}
+
+func TestTrafficGenStops(t *testing.T) {
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	g := NewTrafficGen(eng, b, 100*sim.Nanosecond, 32)
+	g.Start()
+	eng.RunUntil(1 * sim.Microsecond)
+	g.Stop()
+	eng.Run() // must terminate
+	n := g.Issued()
+	if n == 0 {
+		t.Fatal("no traffic before stop")
+	}
+}
+
+func TestTrafficGenInvalidPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid traffic config did not panic")
+		}
+	}()
+	NewTrafficGen(eng, b, 0, 64)
+}

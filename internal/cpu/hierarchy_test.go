@@ -1,0 +1,118 @@
+package cpu
+
+import (
+	"testing"
+
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/mem/coherence"
+	"gem5aladdin/internal/mem/dram"
+	"gem5aladdin/internal/sim"
+)
+
+func newHierarchy(t *testing.T) (*sim.Engine, *Hierarchy) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	sysBus := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	coh := coherence.NewController()
+	peer := coh.AddPeer()
+	cpuClock := sim.NewClockHz(667e6)
+	return eng, NewHierarchy(eng, DefaultHierarchyConfig(cpuClock), sysBus, coh, peer)
+}
+
+func TestHierarchyL1HitFasterThanL2(t *testing.T) {
+	eng, h := newHierarchy(t)
+	access := func(addr uint64) sim.Tick {
+		start := eng.Now()
+		var end sim.Tick
+		h.Access(addr, 4, false, func() { end = eng.Now() })
+		eng.Run()
+		return end - start
+	}
+	cold := access(0x1000) // misses both levels, goes to DRAM
+	warm := access(0x1000) // L1 hit
+	if warm >= cold {
+		t.Fatalf("L1 hit (%v) not faster than cold miss (%v)", warm, cold)
+	}
+	if warm > 10*sim.Nanosecond {
+		t.Fatalf("L1 hit latency %v too slow", warm)
+	}
+}
+
+func TestHierarchyL2CatchesL1Evictions(t *testing.T) {
+	eng, h := newHierarchy(t)
+	// Touch a span larger than L1 (32 KB) but smaller than L2 (512 KB):
+	// re-touching the start must be an L2 hit, far cheaper than DRAM.
+	span := uint64(64 * 1024)
+	done := 0
+	for off := uint64(0); off < span; off += 32 {
+		h.Access(off, 4, false, func() { done++ })
+	}
+	eng.Run()
+	start := eng.Now()
+	var end sim.Tick
+	h.Access(0, 4, false, func() { end = eng.Now() })
+	eng.Run()
+	lat := end - start
+	st1 := h.L1.Stats()
+	if st1.Misses == 0 {
+		t.Fatal("L1 never missed over a 64KB span")
+	}
+	// The retouch: L1 miss (evicted), L2 hit. Must be well under a DRAM
+	// round trip (~90ns+).
+	if lat > 60*sim.Nanosecond {
+		t.Fatalf("L2 hit latency %v looks like a DRAM access", lat)
+	}
+}
+
+func TestHierarchyWarmThenFlush(t *testing.T) {
+	eng, h := newHierarchy(t)
+	const bytes = 16 * 1024 // 512 lines
+	warmed := false
+	h.Warm(0, bytes, func() { warmed = true })
+	eng.Run()
+	if !warmed {
+		t.Fatal("warm never completed")
+	}
+
+	start := eng.Now()
+	var end sim.Tick
+	h.FlushAll(func() { end = eng.Now() })
+	eng.Run()
+	if end == 0 {
+		t.Fatal("flush never completed")
+	}
+	lines := float64(bytes / 32)
+	perLine := (end - start).Nanos() / lines
+	// The paper's characterized constant is 84 ns/line on the A9. The
+	// modeled hierarchy (L1 writeback into L2, L2 writeback over a 32-bit
+	// 100 MHz bus into DRAM) should land in the same regime — this is the
+	// validation of the analytic flush model.
+	if perLine < 30 || perLine > 200 {
+		t.Fatalf("modeled flush = %.1f ns/line, out of the 84 ns/line regime", perLine)
+	}
+	t.Logf("modeled flush cost: %.1f ns/line (paper constant: 84)", perLine)
+
+	// All data must have reached DRAM: re-reading is a full miss.
+	st2Before := h.L2.Stats().Misses
+	var relat sim.Tick
+	s2 := eng.Now()
+	h.Access(0, 4, false, func() { relat = eng.Now() - s2 })
+	eng.Run()
+	if h.L2.Stats().Misses != st2Before+1 {
+		t.Fatal("flushed line still resident in L2")
+	}
+	if relat < 50*sim.Nanosecond {
+		t.Fatalf("post-flush access latency %v too fast for DRAM", relat)
+	}
+}
+
+func TestHierarchyWarmZeroBytes(t *testing.T) {
+	eng, h := newHierarchy(t)
+	called := false
+	h.Warm(0, 0, func() { called = true })
+	eng.Run()
+	if !called {
+		t.Fatal("zero-byte warm never completed")
+	}
+}

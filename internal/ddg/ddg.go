@@ -1,0 +1,292 @@
+// Package ddg builds the Dynamic Data Dependence Graph (DDDG) that Aladdin
+// schedules. Vertices are dynamic trace operations; edges are true register
+// dependences (captured by the trace builder) plus memory dependences
+// recovered from concrete addresses: read-after-write, write-after-write,
+// and write-after-read on the same location.
+//
+// The graph is built once per kernel trace and then shared read-only across
+// every design point the scheduler evaluates, which is what makes large
+// design-space sweeps cheap.
+package ddg
+
+import (
+	"fmt"
+
+	"gem5aladdin/internal/trace"
+)
+
+// PageSize is the virtual memory page size used throughout the SoC model.
+const PageSize = 4096
+
+// Range is a half-open interval of node indices [Start, End).
+type Range struct{ Start, End int32 }
+
+// Len returns the number of nodes in the range.
+func (r Range) Len() int { return int(r.End - r.Start) }
+
+// Graph is an immutable scheduled form of a kernel trace.
+type Graph struct {
+	Trace *trace.Trace
+
+	// InDeg[i] is the total number of dependences (register + memory) of
+	// node i.
+	InDeg []int32
+
+	// Successor adjacency in CSR form: successors of node i are
+	// Succ[SuccIdx[i]:SuccIdx[i+1]].
+	SuccIdx []int32
+	Succ    []int32
+
+	// Bases[a] is the page-aligned base address of array a in the
+	// accelerator's virtual address space.
+	Bases []uint64
+
+	// Prelude covers nodes emitted before the first BeginIter.
+	Prelude Range
+	// IterRange[k] covers the nodes of iteration k.
+	IterRange []Range
+
+	// CritPath is the longest dependence chain length in nodes, a lower
+	// bound on schedulable latency regardless of parallelism.
+	CritPath int
+}
+
+// NumNodes returns the vertex count.
+func (g *Graph) NumNodes() int { return len(g.Trace.Nodes) }
+
+// NodeAddr returns the absolute accelerator-virtual address accessed by
+// memory node i. Calling it for non-memory nodes is a bug.
+func (g *Graph) NodeAddr(i int32) uint64 {
+	n := &g.Trace.Nodes[i]
+	if n.Arr < 0 {
+		panic(fmt.Sprintf("ddg: node %d (%v) is not a memory access", i, n.Kind))
+	}
+	return g.Bases[n.Arr] + uint64(n.Addr)
+}
+
+// ArrayRange returns the [base, base+len) address span of array a.
+func (g *Graph) ArrayRange(a int16) (base, limit uint64) {
+	base = g.Bases[a]
+	return base, base + uint64(g.Trace.Arrays[a].Bytes())
+}
+
+// memState tracks outstanding accesses per address for memory-dependence
+// edges.
+type memState struct {
+	lastStore int32
+	loads     []int32 // loads since lastStore
+}
+
+// Build constructs the DDDG for tr. It panics if the trace violates builder
+// invariants (dependences must point strictly backwards, iteration labels
+// must be nondecreasing) since those always indicate kernel bugs.
+func Build(tr *trace.Trace) *Graph {
+	g := &Graph{Trace: tr}
+	n := len(tr.Nodes)
+
+	// Assign page-aligned array base addresses.
+	g.Bases = make([]uint64, len(tr.Arrays))
+	next := uint64(PageSize) // leave page 0 unmapped
+	for i, a := range tr.Arrays {
+		g.Bases[i] = next
+		sz := uint64(a.Bytes())
+		next += (sz + PageSize - 1) / PageSize * PageSize
+		if sz%PageSize == 0 {
+			next += PageSize // keep arrays on distinct pages even when exact
+		}
+	}
+
+	// Iteration ranges.
+	g.Prelude = Range{0, 0}
+	g.IterRange = make([]Range, tr.Iters)
+	lastIter := int32(-1)
+	for i := range tr.Nodes {
+		it := tr.Nodes[i].Iter
+		if it < lastIter {
+			panic(fmt.Sprintf("ddg: iteration labels decrease at node %d", i))
+		}
+		for lastIter < it {
+			// Close the previous range, open the next.
+			if lastIter < 0 {
+				g.Prelude.End = int32(i)
+			} else {
+				g.IterRange[lastIter].End = int32(i)
+			}
+			lastIter++
+			if lastIter >= 0 && int(lastIter) < tr.Iters {
+				g.IterRange[lastIter].Start = int32(i)
+			}
+		}
+	}
+	if lastIter < 0 {
+		g.Prelude.End = int32(n)
+	} else if int(lastIter) < tr.Iters {
+		g.IterRange[lastIter].End = int32(n)
+	}
+	// Iterations that emitted no nodes keep zero ranges; normalize any
+	// trailing unset ranges.
+	for k := int(lastIter) + 1; k < tr.Iters && k >= 0; k++ {
+		g.IterRange[k] = Range{int32(n), int32(n)}
+	}
+
+	// Collect edges: register deps plus memory deps.
+	type edge struct{ from, to int32 }
+	edges := make([]edge, 0, n*2)
+	addEdge := func(from, to int32) {
+		if from == trace.NoDep {
+			return
+		}
+		if from >= to {
+			panic(fmt.Sprintf("ddg: dependence %d -> %d not strictly backwards", from, to))
+		}
+		edges = append(edges, edge{from, to})
+	}
+
+	mem := make(map[uint64]*memState)
+	key := func(nd *trace.Node) uint64 {
+		return uint64(uint16(nd.Arr))<<48 | uint64(nd.Addr)
+	}
+	for i := range tr.Nodes {
+		nd := &tr.Nodes[i]
+		id := int32(i)
+		for _, d := range nd.Deps {
+			addEdge(d, id)
+		}
+		if !nd.Kind.IsMem() {
+			continue
+		}
+		k := key(nd)
+		st := mem[k]
+		if st == nil {
+			st = &memState{lastStore: trace.NoDep}
+			mem[k] = st
+		}
+		switch nd.Kind {
+		case trace.OpLoad:
+			addEdge(st.lastStore, id) // RAW
+			st.loads = append(st.loads, id)
+		case trace.OpStore:
+			addEdge(st.lastStore, id) // WAW
+			for _, ld := range st.loads {
+				addEdge(ld, id) // WAR
+			}
+			st.lastStore = id
+			st.loads = st.loads[:0]
+		}
+	}
+
+	// Deduplicate edges per destination and build CSR + in-degrees.
+	g.InDeg = make([]int32, n)
+	counts := make([]int32, n+1)
+	// Bucket edges by destination, then dedupe (from, to) pairs; fan-in per
+	// node is tiny so a quadratic scan within each bucket is cheap.
+	perDest := make([][]int32, n)
+	for _, e := range edges {
+		perDest[e.to] = append(perDest[e.to], e.from)
+	}
+	total := 0
+	for i := range perDest {
+		froms := perDest[i]
+		uniq := froms[:0]
+		for _, f := range froms {
+			dup := false
+			for _, u := range uniq {
+				if u == f {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				uniq = append(uniq, f)
+			}
+		}
+		perDest[i] = uniq
+		g.InDeg[i] = int32(len(uniq))
+		for _, f := range uniq {
+			counts[f+1]++
+		}
+		total += len(uniq)
+	}
+	g.SuccIdx = make([]int32, n+1)
+	for i := 0; i < n; i++ {
+		g.SuccIdx[i+1] = g.SuccIdx[i] + counts[i+1]
+	}
+	g.Succ = make([]int32, total)
+	fill := make([]int32, n)
+	copy(fill, g.SuccIdx[:n])
+	for to := range perDest {
+		for _, f := range perDest[to] {
+			g.Succ[fill[f]] = int32(to)
+			fill[f]++
+		}
+	}
+
+	// Critical path (unit latency): longest chain ending at each node.
+	depth := make([]int32, n)
+	maxd := int32(0)
+	for to := 0; to < n; to++ {
+		d := int32(0)
+		for _, f := range perDest[to] {
+			if depth[f] > d {
+				d = depth[f]
+			}
+		}
+		depth[to] = d + 1
+		if depth[to] > maxd {
+			maxd = depth[to]
+		}
+	}
+	g.CritPath = int(maxd)
+	return g
+}
+
+// Successors returns the successor list of node i.
+func (g *Graph) Successors(i int32) []int32 {
+	return g.Succ[g.SuccIdx[i]:g.SuccIdx[i+1]]
+}
+
+// Predecessors reconstructs the predecessor list of node i (register plus
+// memory dependences). It is O(edges) and intended for tests and debugging,
+// not the scheduler hot path.
+func (g *Graph) Predecessors(i int32) []int32 {
+	var preds []int32
+	for from := int32(0); from < int32(g.NumNodes()); from++ {
+		for _, to := range g.Successors(from) {
+			if to == i {
+				preds = append(preds, from)
+			}
+		}
+	}
+	return preds
+}
+
+// CheckInvariants validates structural properties: CSR consistency, edge
+// direction, and in-degree agreement. It returns an error describing the
+// first violation found.
+func (g *Graph) CheckInvariants() error {
+	n := g.NumNodes()
+	if len(g.SuccIdx) != n+1 {
+		return fmt.Errorf("ddg: SuccIdx length %d, want %d", len(g.SuccIdx), n+1)
+	}
+	indeg := make([]int32, n)
+	for from := 0; from < n; from++ {
+		if g.SuccIdx[from] > g.SuccIdx[from+1] {
+			return fmt.Errorf("ddg: SuccIdx not monotone at %d", from)
+		}
+		for _, to := range g.Successors(int32(from)) {
+			if to <= int32(from) {
+				return fmt.Errorf("ddg: edge %d -> %d not forward", from, to)
+			}
+			if to >= int32(n) {
+				return fmt.Errorf("ddg: edge %d -> %d out of range", from, to)
+			}
+			indeg[to]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		if indeg[i] != g.InDeg[i] {
+			return fmt.Errorf("ddg: node %d in-degree %d, recomputed %d", i, g.InDeg[i], indeg[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,377 @@
+// Package dse is the design-space explorer behind the paper's co-design
+// studies: it sweeps accelerator design points (Fig 3's parameter table)
+// over a kernel's DDDG, extracts Pareto frontiers and EDP-optimal designs
+// (Figs 1 and 8), compares microarchitectural parameters across design
+// scenarios (Fig 9), and computes the EDP improvement of co-design over
+// isolated optimization (Figs 1 and 10).
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/trace"
+)
+
+// Point is one evaluated design.
+type Point struct {
+	Cfg soc.Config
+	Res *soc.RunResult
+}
+
+// Space is a set of evaluated designs.
+type Space []Point
+
+// Sweep evaluates every config over g, in parallel across CPUs. Each run
+// owns a private simulation engine, so results are deterministic
+// regardless of scheduling.
+func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
+	out := make(Space, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range cfgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			res, err := soc.Run(g, cfgs[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
+				return
+			}
+			out[i] = Point{Cfg: cfgs[i], Res: res}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParetoFront returns the points not dominated in (runtime, power): a
+// point survives if no other point is at least as fast AND at least as
+// low-power, with one strict. The result is sorted by runtime.
+func (s Space) ParetoFront() Space {
+	var front Space
+	for i, p := range s {
+		dominated := false
+		for j, q := range s {
+			if i == j {
+				continue
+			}
+			qFasterEq := q.Res.Runtime <= p.Res.Runtime
+			qCoolerEq := q.Res.AvgPowerW <= p.Res.AvgPowerW
+			strict := q.Res.Runtime < p.Res.Runtime || q.Res.AvgPowerW < p.Res.AvgPowerW
+			if qFasterEq && qCoolerEq && strict {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Res.Runtime != front[j].Res.Runtime {
+			return front[i].Res.Runtime < front[j].Res.Runtime
+		}
+		return front[i].Res.AvgPowerW < front[j].Res.AvgPowerW
+	})
+	return front
+}
+
+// EDPOptimal returns the point with the minimum energy-delay product.
+func (s Space) EDPOptimal() Point {
+	if len(s) == 0 {
+		panic("dse: EDPOptimal of empty space")
+	}
+	best := s[0]
+	for _, p := range s[1:] {
+		if p.Res.EDPJs < best.Res.EDPJs {
+			best = p
+		}
+	}
+	return best
+}
+
+// FastestUnderPower returns the lowest-runtime design whose average
+// accelerator power stays within budgetW — the constrained-optimization
+// question a designer with a thermal envelope asks of the space. ok is
+// false when no design fits the budget.
+func (s Space) FastestUnderPower(budgetW float64) (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range s {
+		if p.Res.AvgPowerW > budgetW {
+			continue
+		}
+		if !found || p.Res.Runtime < best.Res.Runtime {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// LowestPowerWithin returns the lowest-power design no slower than
+// slowdown times the space's fastest design — the question an
+// energy-constrained designer with a latency target asks. slowdown must
+// be >= 1.
+func (s Space) LowestPowerWithin(slowdown float64) (Point, bool) {
+	if len(s) == 0 || slowdown < 1 {
+		return Point{}, false
+	}
+	fastest := s[0].Res.Runtime
+	for _, p := range s[1:] {
+		if p.Res.Runtime < fastest {
+			fastest = p.Res.Runtime
+		}
+	}
+	limit := float64(fastest) * slowdown
+	var best Point
+	found := false
+	for _, p := range s {
+		if float64(p.Res.Runtime) > limit {
+			continue
+		}
+		if !found || p.Res.AvgPowerW < best.Res.AvgPowerW {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// --- Sweep axes ---
+
+// DefaultLanes is the Fig 3 datapath-lane sweep.
+func DefaultLanes() []int { return []int{1, 2, 4, 8, 16} }
+
+// DefaultPartitions is the Fig 3 scratchpad-partitioning sweep.
+func DefaultPartitions() []int { return []int{1, 2, 4, 8, 16} }
+
+// DefaultCacheKB is the Fig 3 cache-size sweep.
+func DefaultCacheKB() []int { return []int{2, 4, 8, 16, 32, 64} }
+
+// DefaultCachePorts is the Fig 3 cache-port sweep.
+func DefaultCachePorts() []int { return []int{1, 2, 4, 8} }
+
+// DefaultCacheLines is the Fig 3 cache-line sweep.
+func DefaultCacheLines() []int { return []int{16, 32, 64} }
+
+// DefaultCacheAssocs is the Fig 3 associativity sweep.
+func DefaultCacheAssocs() []int { return []int{4, 8} }
+
+// SpadConfigs enumerates lanes x partitions for Isolated or DMA designs.
+func SpadConfigs(base soc.Config, mem soc.MemKind, lanes, partitions []int) []soc.Config {
+	var out []soc.Config
+	for _, l := range lanes {
+		for _, p := range partitions {
+			c := base
+			c.Mem = mem
+			c.Lanes = l
+			c.Partitions = p
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CacheConfigs enumerates cache design points.
+func CacheConfigs(base soc.Config, lanes, sizesKB, lines, ports, assocs []int) []soc.Config {
+	var out []soc.Config
+	for _, l := range lanes {
+		for _, kb := range sizesKB {
+			for _, ln := range lines {
+				for _, pt := range ports {
+					for _, as := range assocs {
+						c := base
+						c.Mem = soc.Cache
+						c.Lanes = l
+						c.CacheKB = kb
+						c.CacheLineBytes = ln
+						c.CachePorts = pt
+						c.CacheAssoc = as
+						if c.Validate() != nil {
+							continue // e.g. 2KB/64B/8-way has too few sets
+						}
+						out = append(out, c)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Scenario is one of the paper's four design contexts (Sec V-B).
+type Scenario struct {
+	Name    string
+	Mem     soc.MemKind
+	BusBits int
+}
+
+// Scenarios returns the Fig 9/10 design scenarios: isolated, co-designed
+// DMA over a 32-bit bus, co-designed cache over 32- and 64-bit buses.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{Name: "isolated", Mem: soc.Isolated, BusBits: 32},
+		{Name: "dma-32b", Mem: soc.DMA, BusBits: 32},
+		{Name: "cache-32b", Mem: soc.Cache, BusBits: 32},
+		{Name: "cache-64b", Mem: soc.Cache, BusBits: 64},
+	}
+}
+
+// SweepOptions sizes a scenario sweep. Quick trims the cache cross-product
+// for test-speed; Full is the paper's Fig 3 table.
+type SweepOptions struct {
+	Lanes      []int
+	Partitions []int
+	CacheKB    []int
+	CacheLines []int
+	CachePorts []int
+	CacheAssoc []int
+}
+
+// FullOptions is the complete Fig 3 sweep.
+func FullOptions() SweepOptions {
+	return SweepOptions{
+		Lanes:      DefaultLanes(),
+		Partitions: DefaultPartitions(),
+		CacheKB:    DefaultCacheKB(),
+		CacheLines: DefaultCacheLines(),
+		CachePorts: DefaultCachePorts(),
+		CacheAssoc: DefaultCacheAssocs(),
+	}
+}
+
+// QuickOptions is a pruned sweep for tests and fast iteration: the lane
+// and size axes are kept (they drive the co-design conclusions), line size
+// and associativity pin to their defaults.
+func QuickOptions() SweepOptions {
+	return SweepOptions{
+		Lanes:      []int{1, 4, 16},
+		Partitions: []int{1, 4, 16},
+		CacheKB:    []int{2, 8, 32},
+		CacheLines: []int{32},
+		CachePorts: []int{1, 4},
+		CacheAssoc: []int{4},
+	}
+}
+
+// ScenarioConfigs builds the config list for one scenario.
+func ScenarioConfigs(sc Scenario, opt SweepOptions) []soc.Config {
+	base := soc.DefaultConfig()
+	base.BusWidthBits = sc.BusBits
+	switch sc.Mem {
+	case soc.Isolated, soc.DMA:
+		return SpadConfigs(base, sc.Mem, opt.Lanes, opt.Partitions)
+	default:
+		return CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
+			opt.CachePorts, opt.CacheAssoc)
+	}
+}
+
+// --- Fig 9 microarchitectural metrics ---
+
+// Metrics are the three Kiviat axes of Fig 9, normalized later against the
+// isolated design.
+type Metrics struct {
+	Lanes   int
+	SRAMKB  float64 // local SRAM capacity (scratchpads, or cache + local spads)
+	LocalBW float64 // local memory bandwidth to the lanes, bytes per cycle
+}
+
+// PointMetrics extracts the Kiviat axes from a design point.
+func PointMetrics(p Point, g *ddg.Graph) Metrics {
+	m := Metrics{Lanes: p.Cfg.Lanes}
+	const word = 8.0
+	switch p.Cfg.Mem {
+	case soc.Cache:
+		m.SRAMKB = float64(p.Cfg.CacheKB)
+		for _, a := range g.Trace.Arrays {
+			if a.Dir == trace.Local {
+				m.SRAMKB += float64(a.Bytes()) / 1024
+			}
+		}
+		m.LocalBW = float64(p.Cfg.CachePorts) * word
+	default:
+		for _, a := range g.Trace.Arrays {
+			m.SRAMKB += float64(a.Bytes()) / 1024
+		}
+		m.LocalBW = float64(p.Cfg.Partitions*p.Cfg.SpadPorts) * word
+	}
+	return m
+}
+
+// --- Fig 1 / Fig 10 EDP improvement ---
+
+// Improvement quantifies what co-design buys: the isolated-optimal design
+// is re-evaluated under the system scenario (its naive deployment), and
+// compared against the scenario's own EDP optimum.
+type Improvement struct {
+	Scenario     Scenario
+	IsolatedBest Point // isolated-optimal parameters evaluated in-system
+	CoBest       Point // the scenario's own EDP optimum
+	EDPRatio     float64
+}
+
+// EDPImprovement runs the comparison for one scenario. isolatedOpt is the
+// EDP optimum of the isolated sweep.
+func EDPImprovement(g *ddg.Graph, isolatedOpt Point, sc Scenario, opt SweepOptions) (Improvement, error) {
+	cfgs := ScenarioConfigs(sc, opt)
+	space, err := Sweep(g, cfgs)
+	if err != nil {
+		return Improvement{}, err
+	}
+	coBest := space.EDPOptimal()
+
+	// Deploy the isolated design naively in the same system: keep its
+	// lanes/partitions, take the scenario's memory system with default
+	// local-memory parameters scaled to match the isolated bandwidth.
+	naive := coBest.Cfg
+	naive.Lanes = isolatedOpt.Cfg.Lanes
+	naive.Partitions = isolatedOpt.Cfg.Partitions
+	if sc.Mem == soc.Cache {
+		// An isolated designer sizes the cache to hold the whole
+		// footprint and matches ports to the scratchpad bandwidth.
+		in, out := g.Trace.FootprintBytes()
+		need := (in + out + 1023) / 1024
+		naive.CacheKB = 64
+		for _, kb := range DefaultCacheKB() {
+			if uint64(kb) >= need {
+				naive.CacheKB = kb
+				break
+			}
+		}
+		ports := isolatedOpt.Cfg.Partitions * isolatedOpt.Cfg.SpadPorts
+		naive.CachePorts = 1
+		for _, p := range DefaultCachePorts() {
+			if p <= ports {
+				naive.CachePorts = p
+			}
+		}
+		naive.CacheLineBytes = 32
+		naive.CacheAssoc = 4
+	}
+	naiveRes, err := soc.Run(g, naive)
+	if err != nil {
+		return Improvement{}, err
+	}
+	imp := Improvement{
+		Scenario:     sc,
+		IsolatedBest: Point{Cfg: naive, Res: naiveRes},
+		CoBest:       coBest,
+		EDPRatio:     naiveRes.EDPJs / coBest.Res.EDPJs,
+	}
+	return imp, nil
+}

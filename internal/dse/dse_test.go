@@ -1,0 +1,281 @@
+package dse
+
+import (
+	"testing"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/soc"
+)
+
+var testGraphs = map[string]*ddg.Graph{}
+
+func graphOf(t testing.TB, name string) *ddg.Graph {
+	t.Helper()
+	if g, ok := testGraphs[name]; ok {
+		return g
+	}
+	g := ddg.Build(machsuite.MustBuild(name))
+	testGraphs[name] = g
+	return g
+}
+
+func TestSweepParallelDeterministic(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
+	a, err := Sweep(g, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(g, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 4 {
+		t.Fatalf("space size = %d", len(a))
+	}
+	for i := range a {
+		if a[i].Res.Runtime != b[i].Res.Runtime || a[i].Res.EDPJs != b[i].Res.EDPJs {
+			t.Fatalf("point %d nondeterministic across sweeps", i)
+		}
+	}
+}
+
+func TestParetoFrontProperties(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, DefaultLanes(), []int{1, 4, 16})
+	space, err := Sweep(g, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := space.ParetoFront()
+	if len(front) == 0 || len(front) > len(space) {
+		t.Fatalf("front size %d of %d", len(front), len(space))
+	}
+	// No front point dominates another front point.
+	for i, p := range front {
+		for j, q := range front {
+			if i == j {
+				continue
+			}
+			if q.Res.Runtime <= p.Res.Runtime && q.Res.AvgPowerW <= p.Res.AvgPowerW &&
+				(q.Res.Runtime < p.Res.Runtime || q.Res.AvgPowerW < p.Res.AvgPowerW) {
+				t.Fatal("front contains dominated point")
+			}
+		}
+	}
+	// Sorted by runtime; power must be non-increasing along the front.
+	for i := 1; i < len(front); i++ {
+		if front[i].Res.Runtime < front[i-1].Res.Runtime {
+			t.Fatal("front not sorted by runtime")
+		}
+		if front[i].Res.AvgPowerW > front[i-1].Res.AvgPowerW {
+			t.Fatal("front power not monotone")
+		}
+	}
+	// Every space point is dominated by or equal to some front point.
+	for _, p := range space {
+		ok := false
+		for _, q := range front {
+			if q.Res.Runtime <= p.Res.Runtime && q.Res.AvgPowerW <= p.Res.AvgPowerW {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Fatal("space point not covered by front")
+		}
+	}
+}
+
+func TestEDPOptimalIsMinimum(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4, 16}, []int{1, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := space.EDPOptimal()
+	for _, p := range space {
+		if p.Res.EDPJs < best.Res.EDPJs {
+			t.Fatal("EDPOptimal missed a better point")
+		}
+	}
+}
+
+func TestEDPOptimalEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty EDPOptimal did not panic")
+		}
+	}()
+	Space{}.EDPOptimal()
+}
+
+func TestCacheConfigsSkipInvalid(t *testing.T) {
+	cfgs := CacheConfigs(soc.DefaultConfig(), []int{1}, []int{2}, []int{64}, []int{1}, []int{8})
+	// 2KB / 64B lines / 8-way = 4 sets: power of two, fine. But 2KB/64B
+	// lines = 32 lines, 8-way -> 4 sets: valid. Try a genuinely bad one.
+	for _, c := range cfgs {
+		if c.Validate() != nil {
+			t.Fatal("CacheConfigs produced invalid config")
+		}
+	}
+}
+
+func TestScenarioConfigs(t *testing.T) {
+	opt := QuickOptions()
+	for _, sc := range Scenarios() {
+		cfgs := ScenarioConfigs(sc, opt)
+		if len(cfgs) == 0 {
+			t.Fatalf("%s: no configs", sc.Name)
+		}
+		for _, c := range cfgs {
+			if c.Mem != sc.Mem || c.BusWidthBits != sc.BusBits {
+				t.Fatalf("%s: config has wrong scenario fields", sc.Name)
+			}
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s: %v", sc.Name, err)
+			}
+		}
+	}
+}
+
+func TestPointMetrics(t *testing.T) {
+	g := graphOf(t, "nw-nw")
+	dmaCfg := soc.DefaultConfig()
+	dmaCfg.Lanes, dmaCfg.Partitions, dmaCfg.SpadPorts = 4, 8, 1
+	m := PointMetrics(Point{Cfg: dmaCfg}, g)
+	if m.Lanes != 4 {
+		t.Fatalf("lanes = %d", m.Lanes)
+	}
+	if m.SRAMKB <= 0 {
+		t.Fatal("no SRAM capacity")
+	}
+	if m.LocalBW != 64 {
+		t.Fatalf("local BW = %v, want 8 banks * 8 B", m.LocalBW)
+	}
+
+	cacheCfg := soc.DefaultConfig()
+	cacheCfg.Mem = soc.Cache
+	cacheCfg.CacheKB, cacheCfg.CachePorts = 8, 2
+	mc := PointMetrics(Point{Cfg: cacheCfg}, g)
+	// nw has Local matrices, so cache-design SRAM = cache + local spads.
+	if mc.SRAMKB <= 8 {
+		t.Fatalf("cache SRAM = %v, should include local arrays", mc.SRAMKB)
+	}
+	if mc.LocalBW != 16 {
+		t.Fatalf("cache local BW = %v", mc.LocalBW)
+	}
+}
+
+// TestCoDesignShrinksDesigns is the core Fig 1/Fig 9 shape: the co-designed
+// EDP optimum uses no more lanes than the isolated optimum, and the
+// isolated design deployed in-system has worse (or equal) EDP than the
+// co-designed optimum.
+func TestCoDesignShrinksDesigns(t *testing.T) {
+	g := graphOf(t, "stencil-stencil3d")
+	opt := QuickOptions()
+	isoSpace, err := Sweep(g, ScenarioConfigs(Scenarios()[0], opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	isoBest := isoSpace.EDPOptimal()
+
+	imp, err := EDPImprovement(g, isoBest, Scenarios()[1], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imp.EDPRatio < 1 {
+		t.Fatalf("co-design made EDP worse: ratio %.2f", imp.EDPRatio)
+	}
+	if imp.CoBest.Cfg.Lanes > imp.IsolatedBest.Cfg.Lanes {
+		t.Fatalf("co-designed optimum (%d lanes) more aggressive than isolated (%d)",
+			imp.CoBest.Cfg.Lanes, imp.IsolatedBest.Cfg.Lanes)
+	}
+	t.Logf("stencil3d DMA-32b: isolated %d lanes x %d banks -> co %d lanes x %d banks, EDP ratio %.2fx",
+		imp.IsolatedBest.Cfg.Lanes, imp.IsolatedBest.Cfg.Partitions,
+		imp.CoBest.Cfg.Lanes, imp.CoBest.Cfg.Partitions, imp.EDPRatio)
+}
+
+// TestIsolatedPrefersParallel pins the motivation: in isolation, more
+// lanes always look at least as fast, pushing the optimizer toward
+// aggressive designs.
+func TestIsolatedPrefersParallel(t *testing.T) {
+	g := graphOf(t, "stencil-stencil3d")
+	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.Isolated,
+		[]int{1, 16}, []int{16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var t1, t16 sim.Tick
+	for _, p := range space {
+		if p.Cfg.Lanes == 1 {
+			t1 = p.Res.Runtime
+		} else {
+			t16 = p.Res.Runtime
+		}
+	}
+	if t16 >= t1 {
+		t.Fatalf("16 lanes (%v) not faster than 1 (%v) in isolation", t16, t1)
+	}
+}
+
+func TestFastestUnderPower(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA,
+		DefaultLanes(), []int{1, 4, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A generous budget admits the global fastest point.
+	fastest, ok := space.FastestUnderPower(1e3)
+	if !ok {
+		t.Fatal("no design under an unlimited budget")
+	}
+	for _, p := range space {
+		if p.Res.Runtime < fastest.Res.Runtime {
+			t.Fatal("missed a faster design")
+		}
+	}
+	// A tight budget forces a leaner, slower design.
+	tight, ok := space.FastestUnderPower(fastest.Res.AvgPowerW / 2)
+	if !ok {
+		t.Skip("space has no design under half the fastest design's power")
+	}
+	if tight.Res.AvgPowerW > fastest.Res.AvgPowerW/2 {
+		t.Fatal("budget violated")
+	}
+	if tight.Res.Runtime < fastest.Res.Runtime {
+		t.Fatal("tight-budget design cannot be faster than the unconstrained optimum")
+	}
+	// An impossible budget returns no design.
+	if _, ok := space.FastestUnderPower(1e-9); ok {
+		t.Fatal("impossible budget satisfied")
+	}
+}
+
+func TestLowestPowerWithin(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA,
+		DefaultLanes(), []int{1, 4, 16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, ok := space.LowestPowerWithin(1.10)
+	if !ok {
+		t.Fatal("no design within 10% of fastest")
+	}
+	p2x, ok := space.LowestPowerWithin(2)
+	if !ok {
+		t.Fatal("no design within 2x of fastest")
+	}
+	// Loosening the latency target can only lower (or keep) the power.
+	if p2x.Res.AvgPowerW > p10.Res.AvgPowerW {
+		t.Fatalf("2x target picked higher power (%v) than 1.1x (%v)",
+			p2x.Res.AvgPowerW, p10.Res.AvgPowerW)
+	}
+	if _, ok := space.LowestPowerWithin(0.5); ok {
+		t.Fatal("sub-1 slowdown accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package golden provides the independent analytical timing models used by
+// the Fig 4 validation harness. In the paper, gem5-Aladdin is validated
+// against a Zynq Zedboard: accelerator RTL from Vivado HLS, DMA transfer
+// waveforms from on-fabric logic analyzers, and flush costs from CPU cycle
+// counters. Without that hardware, these closed-form models play the role
+// of the measurement source: they are derived independently of the
+// event-driven simulator (no event queue, no per-access bookkeeping — just
+// first-principles arithmetic over the kernel's DDDG and the system
+// constants), so the percentage gaps between the two are a meaningful
+// consistency check of the simulator's timing composition, reported through
+// the same harness and error metric as the paper's Figure 4.
+package golden
+
+import (
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/trace"
+)
+
+// Prediction holds the analytic timing estimates in nanoseconds.
+type Prediction struct {
+	FlushNs   float64 // CPU flush + invalidate work
+	DMANs     float64 // DMA transfer engine busy time
+	ComputeNs float64 // accelerator datapath busy time
+	TotalNs   float64 // end-to-end baseline-flow estimate
+}
+
+// Constants mirrored from the paper's characterization (Fig 3 table and
+// Sec IV-B1); they are inputs to both the simulator and the golden model,
+// exactly as the measured constants were inputs to gem5-Aladdin itself.
+const (
+	cpuLineBytes = 32
+	flushNsLine  = 84
+	invalNsLine  = 71
+	dmaSetupNs   = 400 // 40 cycles at 100 MHz
+	dramLeadNs   = 45  // activate + CAS on a cold row
+	accelCycleNs = 10
+	fuLatFAdd    = 3
+	fuLatFMul    = 4
+	fuLatLong    = 15
+	fuLatIMul    = 3
+	fuLatIDiv    = 10
+)
+
+// opLatNs returns the analytic per-op latency in cycles.
+func opLat(k trace.OpKind) int {
+	switch k {
+	case trace.OpFAdd, trace.OpFSub:
+		return fuLatFAdd
+	case trace.OpFMul:
+		return fuLatFMul
+	case trace.OpFDiv, trace.OpFSqrt:
+		return fuLatLong
+	case trace.OpFExp:
+		return 18
+	case trace.OpIMul:
+		return fuLatIMul
+	case trace.OpIDiv:
+		return fuLatIDiv
+	default:
+		return 1
+	}
+}
+
+// Predict computes the analytic estimate for a baseline (non-pipelined,
+// non-triggered) DMA flow of graph g under cfg, matching the validation
+// configuration of Sec III-F.
+func Predict(g *ddg.Graph, cfg soc.Config) Prediction {
+	var p Prediction
+	inB, outB := g.Trace.FootprintBytes()
+
+	// CPU coherence work: serial per-line flush and invalidate.
+	lines := func(b uint64) float64 { return float64((b + cpuLineBytes - 1) / cpuLineBytes) }
+	p.FlushNs = lines(inB)*flushNsLine + lines(outB)*invalNsLine
+
+	// DMA: one descriptor per array and direction; bus beats plus one
+	// DRAM activation lead per descriptor.
+	busBytesPerCycle := float64(cfg.BusWidthBits / 8)
+	busCycleNs := 1e9 / cfg.BusHz
+	addBytes := func(b uint64) float64 {
+		if b == 0 {
+			return 0
+		}
+		beats := float64((b + uint64(busBytesPerCycle) - 1) / uint64(busBytesPerCycle))
+		return dmaSetupNs + dramLeadNs + (beats+1)*busCycleNs
+	}
+	for _, a := range g.Trace.Arrays {
+		if a.Dir.IsIn() {
+			p.DMANs += addBytes(uint64(a.Bytes()))
+		}
+		if a.Dir.IsOut() {
+			p.DMANs += addBytes(uint64(a.Bytes()))
+		}
+	}
+
+	p.ComputeNs = computeEstimate(g, cfg) * accelCycleNs
+
+	p.TotalNs = p.FlushNs + p.DMANs + p.ComputeNs
+	return p
+}
+
+// computeEstimate is a closed-form cycle estimate of the datapath: a
+// single wave-by-wave pass that charges each iteration its in-order lane
+// schedule under the full DDDG dependences (register and memory, including
+// chains that cascade across lanes and waves, which is what serializes
+// nw-style dynamic programming), with each wave floored by issue width and
+// scratchpad-port throughput and closed by the synchronization barrier.
+// This is the estimate one would produce by hand from an HLS initiation-
+// interval report plus the loop-carried dependence structure; it involves
+// no event simulation and no memory-system state.
+func computeEstimate(g *ddg.Graph, cfg soc.Config) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	lat := func(i int32) int64 { return int64(opLat(g.Trace.Nodes[i].Kind)) }
+
+	// Predecessor lists (register + memory edges) from the successor CSR.
+	predIdx := make([]int32, n+1)
+	for i := int32(0); i < int32(n); i++ {
+		for _, s := range g.Successors(i) {
+			predIdx[s+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		predIdx[i+1] += predIdx[i]
+	}
+	preds := make([]int32, predIdx[n])
+	fill := make([]int32, n)
+	copy(fill, predIdx[:n])
+	for i := int32(0); i < int32(n); i++ {
+		for _, s := range g.Successors(i) {
+			preds[fill[s]] = i
+			fill[s]++
+		}
+	}
+
+	finish := make([]int64, n)
+	// scheduleRange runs one iteration in-order on a lane starting no
+	// earlier than start, returning its completion time.
+	scheduleRange := func(r ddg.Range, start int64) int64 {
+		clock := start
+		end := start
+		for i := r.Start; i < r.End; i++ {
+			earliest := clock + 1
+			for _, p := range preds[predIdx[i]:predIdx[i+1]] {
+				if f := finish[p] + 1; f > earliest {
+					earliest = f
+				}
+			}
+			clock = earliest
+			f := clock + lat(i) - 1
+			finish[i] = f
+			if f > end {
+				end = f
+			}
+		}
+		return end
+	}
+
+	bw := int64(cfg.Partitions * cfg.SpadPorts)
+	barrier := scheduleRange(g.Prelude, 0)
+	for w := 0; w < len(g.IterRange); w += cfg.Lanes {
+		waveEnd := barrier
+		var waveNodes int64
+		memPerArray := make(map[int16]int64)
+		for l := 0; l < cfg.Lanes && w+l < len(g.IterRange); l++ {
+			r := g.IterRange[w+l]
+			if e := scheduleRange(r, barrier); e > waveEnd {
+				waveEnd = e
+			}
+			waveNodes += int64(r.Len())
+			for i := r.Start; i < r.End; i++ {
+				if g.Trace.Nodes[i].Kind.IsMem() {
+					memPerArray[g.Trace.Nodes[i].Arr]++
+				}
+			}
+		}
+		if e := barrier + waveNodes/int64(cfg.Lanes); e > waveEnd {
+			waveEnd = e
+		}
+		for _, c := range memPerArray {
+			if e := barrier + c/bw; e > waveEnd {
+				waveEnd = e
+			}
+		}
+		barrier = waveEnd
+	}
+	return float64(barrier)
+}
+
+// Errors compares a simulated baseline run against the prediction,
+// returning percentage errors for the three validated components and the
+// total, in the spirit of Fig 4 (Aladdin ~5%, DMA ~6.4%, flush ~5%).
+type Errors struct {
+	FlushPct, DMAPct, ComputePct, TotalPct float64
+}
+
+// Compare derives component errors from a simulated run. The simulator's
+// component times are taken from the runtime breakdown: flush-only +
+// DMA-without-compute approximate the movement components of the baseline
+// flow (which never overlaps), and compute-only the datapath.
+func Compare(r *soc.RunResult, p Prediction) Errors {
+	simFlush := float64(r.Breakdown.FlushOnly) / 1e3
+	simDMA := float64(r.Breakdown.DMAFlush+r.Breakdown.Idle) / 1e3
+	simCompute := float64(r.Breakdown.ComputeOnly+r.Breakdown.ComputeDMA) / 1e3
+	simTotal := float64(r.Runtime) / 1e3
+	return Errors{
+		FlushPct:   pct(simFlush, p.FlushNs),
+		DMAPct:     pct(simDMA, p.DMANs),
+		ComputePct: pct(simCompute, p.ComputeNs),
+		TotalPct:   pct(simTotal, p.TotalNs),
+	}
+}
+
+func pct(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return 100
+	}
+	e := (got - want) / want * 100
+	if e < 0 {
+		return -e
+	}
+	return e
+}
+
+// ValidationSuite is the benchmark subset used in the paper's Zedboard
+// validation (Fig 4 covers a MachSuite subset).
+func ValidationSuite() []string {
+	return []string{
+		"aes-aes", "fft-transpose", "gemm-ncubed", "md-knn",
+		"nw-nw", "spmv-crs", "stencil-stencil2d", "stencil-stencil3d",
+	}
+}
+
+// PredictTrace is a convenience wrapper over ddg.Build + Predict.
+func PredictTrace(tr *trace.Trace, cfg soc.Config) Prediction {
+	return Predict(ddg.Build(tr), cfg)
+}

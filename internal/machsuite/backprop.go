@@ -1,0 +1,167 @@
+package machsuite
+
+import (
+	"math"
+
+	"gem5aladdin/internal/trace"
+)
+
+// backprop: one training step of a fully-connected neural network with
+// sigmoid activations (MachSuite backprop). Scaled to a 13-26-26-3
+// network over a small batch.
+const (
+	bpIn     = 13
+	bpHidden = 26
+	bpOut    = 3
+	bpBatch  = 8
+	bpLR     = 0.01
+)
+
+func init() {
+	register(Kernel{
+		Name: "backprop-backprop",
+		Description: "Neural-network training step: dense matrix-vector " +
+			"products with sigmoid activations forward, then the chain-rule " +
+			"backward pass updating every weight. FU-heavy with exp units.",
+		Build: buildBackprop,
+	})
+}
+
+func buildBackprop() (*trace.Trace, error) {
+	r := newRNG(252)
+
+	w1v := make([]float64, bpIn*bpHidden)
+	w2v := make([]float64, bpHidden*bpOut)
+	xv := make([]float64, bpBatch*bpIn)
+	tv := make([]float64, bpBatch*bpOut)
+	for i := range w1v {
+		w1v[i] = r.float() - 0.5
+	}
+	for i := range w2v {
+		w2v[i] = r.float() - 0.5
+	}
+	for i := range xv {
+		xv[i] = r.float()
+	}
+	for i := range tv {
+		tv[i] = r.float()
+	}
+
+	b := trace.NewBuilder("backprop-backprop")
+	w1 := b.Alloc("weights1", trace.F64, len(w1v), trace.InOut)
+	w2 := b.Alloc("weights2", trace.F64, len(w2v), trace.InOut)
+	x := b.Alloc("training_data", trace.F64, len(xv), trace.In)
+	targ := b.Alloc("training_targets", trace.F64, len(tv), trace.In)
+	hid := b.Alloc("activations2", trace.F64, bpHidden, trace.Local)
+	outA := b.Alloc("activations3", trace.F64, bpOut, trace.Local)
+	dOut := b.Alloc("delta3", trace.F64, bpOut, trace.Local)
+	dHid := b.Alloc("delta2", trace.F64, bpHidden, trace.Local)
+	for i, v := range w1v {
+		b.SetF64(w1, i, v)
+	}
+	for i, v := range w2v {
+		b.SetF64(w2, i, v)
+	}
+	for i, v := range xv {
+		b.SetF64(x, i, v)
+	}
+	for i, v := range tv {
+		b.SetF64(targ, i, v)
+	}
+
+	// Reference state mirrors the traced computation exactly.
+	rw1 := append([]float64(nil), w1v...)
+	rw2 := append([]float64(nil), w2v...)
+
+	sigmoid := func(z trace.Value) trace.Value {
+		// 1 / (1 + e^-z)
+		return b.FDiv(b.ConstF(1), b.FAdd(b.ConstF(1), b.FExp(b.FSub(b.ConstF(0), z))))
+	}
+	gsig := func(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+	for s := 0; s < bpBatch; s++ {
+		rh := make([]float64, bpHidden)
+		ro := make([]float64, bpOut)
+		rdo := make([]float64, bpOut)
+		rdh := make([]float64, bpHidden)
+
+		// Forward, hidden layer: one iteration per neuron.
+		for h := 0; h < bpHidden; h++ {
+			b.BeginIter()
+			z := b.ConstF(0)
+			gz := 0.0
+			for i := 0; i < bpIn; i++ {
+				z = b.FAdd(z, b.FMul(b.Load(x, s*bpIn+i), b.Load(w1, i*bpHidden+h)))
+				gz += xv[s*bpIn+i] * rw1[i*bpHidden+h]
+			}
+			b.Store(hid, h, sigmoid(z))
+			rh[h] = gsig(gz)
+		}
+		// Forward, output layer.
+		for o := 0; o < bpOut; o++ {
+			b.BeginIter()
+			z := b.ConstF(0)
+			gz := 0.0
+			for h := 0; h < bpHidden; h++ {
+				z = b.FAdd(z, b.FMul(b.Load(hid, h), b.Load(w2, h*bpOut+o)))
+				gz += rh[h] * rw2[h*bpOut+o]
+			}
+			b.Store(outA, o, sigmoid(z))
+			ro[o] = gsig(gz)
+		}
+		// Output deltas: (a - t) * a * (1 - a).
+		for o := 0; o < bpOut; o++ {
+			b.BeginIter()
+			a := b.Load(outA, o)
+			e := b.FSub(a, b.Load(targ, s*bpOut+o))
+			b.Store(dOut, o, b.FMul(e, b.FMul(a, b.FSub(b.ConstF(1), a))))
+			ga := ro[o]
+			rdo[o] = (ga - tv[s*bpOut+o]) * (ga * (1 - ga))
+		}
+		// Hidden deltas.
+		for h := 0; h < bpHidden; h++ {
+			b.BeginIter()
+			sum := b.ConstF(0)
+			gsum := 0.0
+			for o := 0; o < bpOut; o++ {
+				sum = b.FAdd(sum, b.FMul(b.Load(dOut, o), b.Load(w2, h*bpOut+o)))
+				gsum += rdo[o] * rw2[h*bpOut+o]
+			}
+			a := b.Load(hid, h)
+			b.Store(dHid, h, b.FMul(sum, b.FMul(a, b.FSub(b.ConstF(1), a))))
+			rdh[h] = gsum * (rh[h] * (1 - rh[h]))
+		}
+		// Weight updates.
+		lr := b.ConstF(bpLR)
+		for h := 0; h < bpHidden; h++ {
+			b.BeginIter()
+			for o := 0; o < bpOut; o++ {
+				idx := h*bpOut + o
+				cur := b.Load(w2, idx)
+				b.Store(w2, idx, b.FSub(cur, b.FMul(lr, b.FMul(b.Load(dOut, o), b.Load(hid, h)))))
+				rw2[idx] -= bpLR * (rdo[o] * rh[h])
+			}
+		}
+		for i := 0; i < bpIn; i++ {
+			b.BeginIter()
+			for h := 0; h < bpHidden; h++ {
+				idx := i*bpHidden + h
+				cur := b.Load(w1, idx)
+				b.Store(w1, idx, b.FSub(cur, b.FMul(lr, b.FMul(b.Load(dHid, h), b.Load(x, s*bpIn+i)))))
+				rw1[idx] -= bpLR * (rdh[h] * xv[s*bpIn+i])
+			}
+		}
+	}
+
+	for i := range rw1 {
+		if got := b.GetF64(w1, i); got != rw1[i] {
+			return nil, mismatch("backprop", "weights1", i, got, rw1[i])
+		}
+	}
+	for i := range rw2 {
+		if got := b.GetF64(w2, i); got != rw2[i] {
+			return nil, mismatch("backprop", "weights2", i, got, rw2[i])
+		}
+	}
+	return b.Finish(), nil
+}

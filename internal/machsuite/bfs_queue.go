@@ -1,0 +1,114 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// bfs-queue: breadth-first search with an explicit work queue (MachSuite
+// bfs-queue): the serial, pointer-chasing counterpart of bfs-bulk.
+const (
+	bfsqNodes  = 128
+	bfsqDegree = 4
+)
+
+func init() {
+	register(Kernel{
+		Name: "bfs-queue",
+		Description: "Queue-based BFS: dequeue, expand, enqueue. Entirely " +
+			"serial pointer chasing through the queue with irregular " +
+			"edge-list loads.",
+		Build: buildBFSQueue,
+	})
+}
+
+func buildBFSQueue() (*trace.Trace, error) {
+	n := bfsqNodes
+	r := newRNG(191)
+
+	begin := make([]int, n+1)
+	var edges []int
+	for v := 0; v < n; v++ {
+		begin[v] = len(edges)
+		edges = append(edges, (v+1)%n)
+		for e := 1; e < bfsqDegree; e++ {
+			edges = append(edges, r.intn(n))
+		}
+	}
+	begin[n] = len(edges)
+
+	b := trace.NewBuilder("bfs-queue")
+	nodeBegin := b.Alloc("nodes_begin", trace.I32, n+1, trace.In)
+	edgeDst := b.Alloc("edges", trace.I32, len(edges), trace.In)
+	level := b.Alloc("level", trace.U8, n, trace.InOut)
+	queue := b.Alloc("queue", trace.I32, n, trace.Local)
+	counts := b.Alloc("level_counts", trace.I32, bfsMaxHor, trace.Out)
+
+	for i, v := range begin {
+		b.SetInt(nodeBegin, i, int64(v))
+	}
+	for i, v := range edges {
+		b.SetInt(edgeDst, i, int64(v))
+	}
+	for v := 0; v < n; v++ {
+		if v == 0 {
+			b.SetInt(level, v, 0)
+		} else {
+			b.SetInt(level, v, bfsUnset)
+		}
+	}
+	refCounts := make([]int, bfsMaxHor)
+
+	// Seed the queue.
+	b.BeginIter()
+	b.Store(queue, 0, b.ConstI(0))
+	head, tail := 0, 1
+
+	for head < tail {
+		b.BeginIter()
+		hv := b.Load(queue, head%n)
+		v := int(hv.Int())
+		head++
+		lv := b.Load(level, v, hv)
+		horizon := int(lv.Int())
+		bg := b.Load(nodeBegin, v, hv)
+		for e := begin[v]; e < begin[v+1]; e++ {
+			dst := b.Load(edgeDst, e, bg)
+			dl := b.Load(level, int(dst.Int()), dst)
+			if dl.Int() == bfsUnset {
+				nl := b.IAdd(lv, b.ConstI(1))
+				b.Store(level, int(dst.Int()), nl, dst)
+				b.Store(queue, tail%n, dst)
+				tail++
+				if horizon+1 < bfsMaxHor {
+					refCounts[horizon]++
+				}
+			}
+		}
+	}
+	b.BeginIter()
+	for h := 0; h < bfsMaxHor; h++ {
+		b.Store(counts, h, b.ConstI(int64(refCounts[h])))
+	}
+
+	// Reference BFS levels.
+	refLevel := make([]int, n)
+	for v := range refLevel {
+		refLevel[v] = bfsUnset
+	}
+	refLevel[0] = 0
+	q := []int{0}
+	for len(q) > 0 {
+		v := q[0]
+		q = q[1:]
+		for e := begin[v]; e < begin[v+1]; e++ {
+			if refLevel[edges[e]] == bfsUnset {
+				refLevel[edges[e]] = refLevel[v] + 1
+				q = append(q, edges[e])
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		if got := b.GetInt(level, v); got != int64(refLevel[v]) {
+			return nil, mismatch("bfs-queue", "level", v, got, refLevel[v])
+		}
+	}
+	return b.Finish(), nil
+}

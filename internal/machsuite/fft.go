@@ -1,0 +1,98 @@
+package machsuite
+
+import (
+	"math"
+
+	"gem5aladdin/internal/trace"
+)
+
+// fft-transpose: the strided phase of MachSuite's 512-point transpose-based
+// FFT. Each work unit performs an 8-point DFT whose inputs are strided 64
+// elements (512 bytes) apart — the access pattern the paper singles out:
+// "each loop iteration only reads eight bytes per 512 bytes of data".
+const (
+	fftPoints = 512
+	fftRadix  = 8
+	fftStride = fftPoints / fftRadix // 64 elements = 512 bytes of float64
+)
+
+func init() {
+	register(Kernel{
+		Name: "fft-transpose",
+		Description: "Transpose-based 512-point FFT stage: radix-8 butterflies " +
+			"over 512-byte-strided data. Sequential DMA must deliver nearly the " +
+			"whole array before any iteration can finish; caches fetch the " +
+			"strided lines on demand.",
+		Build: buildFFT,
+	})
+}
+
+func buildFFT() (*trace.Trace, error) {
+	r := newRNG(606)
+	b := trace.NewBuilder("fft-transpose")
+	re := b.Alloc("work_x", trace.F64, fftPoints, trace.InOut)
+	im := b.Alloc("work_y", trace.F64, fftPoints, trace.InOut)
+
+	reV := make([]float64, fftPoints)
+	imV := make([]float64, fftPoints)
+	for i := range reV {
+		reV[i] = 2*r.float() - 1
+		imV[i] = 2*r.float() - 1
+		b.SetF64(re, i, reV[i])
+		b.SetF64(im, i, imV[i])
+	}
+
+	// DFT-8 twiddle table: w[o][k] = exp(-2*pi*i*o*k/8).
+	var twRe, twIm [fftRadix][fftRadix]float64
+	for o := 0; o < fftRadix; o++ {
+		for k := 0; k < fftRadix; k++ {
+			ang := -2 * math.Pi * float64(o*k) / fftRadix
+			twRe[o][k] = math.Cos(ang)
+			twIm[o][k] = math.Sin(ang)
+		}
+	}
+
+	for g := 0; g < fftStride; g++ {
+		b.BeginIter()
+		var xr, xi [fftRadix]trace.Value
+		for k := 0; k < fftRadix; k++ {
+			xr[k] = b.Load(re, g+k*fftStride)
+			xi[k] = b.Load(im, g+k*fftStride)
+		}
+		for o := 0; o < fftRadix; o++ {
+			accR := b.ConstF(0)
+			accI := b.ConstF(0)
+			for k := 0; k < fftRadix; k++ {
+				wr := b.ConstF(twRe[o][k])
+				wi := b.ConstF(twIm[o][k])
+				// (xr + i*xi) * (wr + i*wi)
+				pr := b.FSub(b.FMul(xr[k], wr), b.FMul(xi[k], wi))
+				pi := b.FAdd(b.FMul(xr[k], wi), b.FMul(xi[k], wr))
+				accR = b.FAdd(accR, pr)
+				accI = b.FAdd(accI, pi)
+			}
+			b.Store(re, g+o*fftStride, accR)
+			b.Store(im, g+o*fftStride, accI)
+		}
+	}
+
+	// Independent reference over the saved inputs.
+	for g := 0; g < fftStride; g++ {
+		for o := 0; o < fftRadix; o++ {
+			var wr, wi float64
+			for k := 0; k < fftRadix; k++ {
+				xr, xi := reV[g+k*fftStride], imV[g+k*fftStride]
+				twr, twi := twRe[o][k], twIm[o][k]
+				wr += xr*twr - xi*twi
+				wi += xr*twi + xi*twr
+			}
+			if got := b.GetF64(re, g+o*fftStride); got != wr {
+				return nil, mismatch("fft-transpose", "work_x", g+o*fftStride, got, wr)
+			}
+			if got := b.GetF64(im, g+o*fftStride); got != wi {
+				return nil, mismatch("fft-transpose", "work_y", g+o*fftStride, got, wi)
+			}
+		}
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,94 @@
+package machsuite
+
+import (
+	"math"
+
+	"gem5aladdin/internal/trace"
+)
+
+// fft-strided: the classic iterative radix-2 FFT (MachSuite fft-strided):
+// log2(n) stages of butterflies whose strides halve each stage.
+const fftStridedN = 256
+
+func init() {
+	register(Kernel{
+		Name: "fft-strided",
+		Description: "Iterative radix-2 FFT: log2(n) butterfly stages with " +
+			"halving strides — a moving mix of long-stride and unit-stride " +
+			"access as stages progress.",
+		Build: buildFFTStrided,
+	})
+}
+
+func buildFFTStrided() (*trace.Trace, error) {
+	n := fftStridedN
+	r := newRNG(212)
+
+	reV := make([]float64, n)
+	imV := make([]float64, n)
+	for i := range reV {
+		reV[i] = 2*r.float() - 1
+		imV[i] = 2*r.float() - 1
+	}
+
+	b := trace.NewBuilder("fft-strided")
+	re := b.Alloc("real", trace.F64, n, trace.InOut)
+	im := b.Alloc("img", trace.F64, n, trace.InOut)
+	for i := range reV {
+		b.SetF64(re, i, reV[i])
+		b.SetF64(im, i, imV[i])
+	}
+
+	// Traced DIF butterflies (one iteration per butterfly).
+	for span := n / 2; span > 0; span /= 2 {
+		for odd := span; odd < n; odd++ {
+			if odd&span == 0 {
+				continue
+			}
+			even := odd ^ span
+			b.BeginIter()
+			ang := -math.Pi * float64(even%(2*span)) / float64(span)
+			wr := b.ConstF(math.Cos(ang))
+			wi := b.ConstF(math.Sin(ang))
+			er := b.Load(re, even)
+			ei := b.Load(im, even)
+			or := b.Load(re, odd)
+			oi := b.Load(im, odd)
+			sumR := b.FAdd(er, or)
+			sumI := b.FAdd(ei, oi)
+			difR := b.FSub(er, or)
+			difI := b.FSub(ei, oi)
+			b.Store(re, even, sumR)
+			b.Store(im, even, sumI)
+			b.Store(re, odd, b.FSub(b.FMul(difR, wr), b.FMul(difI, wi)))
+			b.Store(im, odd, b.FAdd(b.FMul(difR, wi), b.FMul(difI, wr)))
+		}
+	}
+
+	// Reference: identical butterfly schedule in plain Go.
+	for span := n / 2; span > 0; span /= 2 {
+		for odd := span; odd < n; odd++ {
+			if odd&span == 0 {
+				continue
+			}
+			even := odd ^ span
+			ang := -math.Pi * float64(even%(2*span)) / float64(span)
+			wr, wi := math.Cos(ang), math.Sin(ang)
+			er, ei := reV[even], imV[even]
+			or, oi := reV[odd], imV[odd]
+			difR, difI := er-or, ei-oi
+			reV[even], imV[even] = er+or, ei+oi
+			reV[odd] = difR*wr - difI*wi
+			imV[odd] = difR*wi + difI*wr
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := b.GetF64(re, i); got != reV[i] {
+			return nil, mismatch("fft-strided", "real", i, got, reV[i])
+		}
+		if got := b.GetF64(im, i); got != imV[i] {
+			return nil, mismatch("fft-strided", "img", i, got, imV[i])
+		}
+	}
+	return b.Finish(), nil
+}

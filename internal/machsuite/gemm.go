@@ -1,0 +1,60 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// gemmN is the matrix dimension (MachSuite uses 64; scaled to keep the
+// trace near 10^5 nodes).
+const gemmN = 32
+
+func init() {
+	register(Kernel{
+		Name: "gemm-ncubed",
+		Description: "Dense matrix-matrix multiply, naive O(n^3). Streaming " +
+			"loads with high compute-to-memory ratio; each (i,j) output cell " +
+			"is one unrollable iteration with a serial dot-product inside.",
+		Build: buildGEMM,
+	})
+}
+
+func buildGEMM() (*trace.Trace, error) {
+	n := gemmN
+	r := newRNG(101)
+	b := trace.NewBuilder("gemm-ncubed")
+	ma := b.Alloc("m1", trace.F64, n*n, trace.In)
+	mb := b.Alloc("m2", trace.F64, n*n, trace.In)
+	mc := b.Alloc("prod", trace.F64, n*n, trace.Out)
+
+	av := make([]float64, n*n)
+	bv := make([]float64, n*n)
+	for i := range av {
+		av[i] = r.float()
+		bv[i] = r.float()
+		b.SetF64(ma, i, av[i])
+		b.SetF64(mb, i, bv[i])
+	}
+
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			b.BeginIter()
+			acc := b.ConstF(0)
+			for k := 0; k < n; k++ {
+				acc = b.FAdd(acc, b.FMul(b.Load(ma, i*n+k), b.Load(mb, k*n+j)))
+			}
+			b.Store(mc, i*n+j, acc)
+		}
+	}
+
+	// Reference: identical accumulation order gives exact equality.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			for k := 0; k < n; k++ {
+				want += av[i*n+k] * bv[k*n+j]
+			}
+			if got := b.GetF64(mc, i*n+j); got != want {
+				return nil, mismatch("gemm-ncubed", "prod", i*n+j, got, want)
+			}
+		}
+	}
+	return b.Finish(), nil
+}

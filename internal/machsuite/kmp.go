@@ -1,0 +1,116 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// kmp: Knuth-Morris-Pratt string matching (MachSuite kmp-kmp). Scaled to a
+// 2 KB text with a 4-character pattern.
+const (
+	kmpTextLen = 2048
+	kmpPatLen  = 4
+)
+
+func init() {
+	register(Kernel{
+		Name: "kmp-kmp",
+		Description: "Knuth-Morris-Pratt substring search. A byte-serial scan " +
+			"with a loop-carried automaton state: minimal parallelism, " +
+			"streaming single-byte loads.",
+		Build: buildKMP,
+	})
+}
+
+func buildKMP() (*trace.Trace, error) {
+	r := newRNG(1010)
+	pat := []byte("abab")
+	text := make([]byte, kmpTextLen)
+	alphabet := []byte("ab")
+	for i := range text {
+		text[i] = alphabet[r.intn(len(alphabet))]
+	}
+
+	b := trace.NewBuilder("kmp-kmp")
+	input := b.Alloc("input", trace.U8, len(text), trace.In)
+	pattern := b.Alloc("pattern", trace.U8, kmpPatLen, trace.In)
+	next := b.Alloc("kmpNext", trace.I32, kmpPatLen, trace.Local)
+	nMatches := b.Alloc("n_matches", trace.I32, 1, trace.Out)
+
+	for i, c := range text {
+		b.SetInt(input, i, int64(c))
+	}
+	for i, c := range pat {
+		b.SetInt(pattern, i, int64(c))
+	}
+
+	// Failure-table construction (the kernel's CPF preamble): serial.
+	refNext := make([]int, kmpPatLen)
+	{
+		k := 0
+		b.BeginIter()
+		b.Store(next, 0, b.ConstI(0))
+		for q := 1; q < kmpPatLen; q++ {
+			b.BeginIter()
+			for k > 0 && pat[k] != pat[q] {
+				kv := b.Load(next, k-1)
+				k = int(kv.Int())
+			}
+			pk := b.Load(pattern, k)
+			pq := b.Load(pattern, q)
+			eq := b.IEq(pk, pq)
+			_ = eq
+			if pat[k] == pat[q] {
+				k++
+			}
+			refNext[q] = k
+			b.Store(next, q, b.ConstI(int64(k)))
+		}
+	}
+
+	// Matching loop: one iteration per text byte, automaton state q is a
+	// loop-carried register dependence.
+	matches := b.ConstI(0)
+	q := 0
+	for i := 0; i < len(text); i++ {
+		b.BeginIter()
+		c := b.Load(input, i)
+		for q > 0 && pat[q] != text[i] {
+			nq := b.Load(next, q-1)
+			q = int(nq.Int())
+		}
+		pq := b.Load(pattern, q)
+		eq := b.IEq(pq, c)
+		if pat[q] == text[i] {
+			q++
+		}
+		_ = eq
+		if q == kmpPatLen {
+			matches = b.IAdd(matches, b.ConstI(1))
+			nq := b.Load(next, q-1)
+			q = int(nq.Int())
+		}
+	}
+	b.BeginIter()
+	b.Store(nMatches, 0, matches)
+
+	// Reference scan.
+	refMatches := 0
+	rq := 0
+	for i := 0; i < len(text); i++ {
+		for rq > 0 && pat[rq] != text[i] {
+			rq = refNext[rq-1]
+		}
+		if pat[rq] == text[i] {
+			rq++
+		}
+		if rq == kmpPatLen {
+			refMatches++
+			rq = refNext[rq-1]
+		}
+	}
+	if got := b.GetInt(nMatches, 0); got != int64(refMatches) {
+		return nil, mismatch("kmp-kmp", "n_matches", 0, got, refMatches)
+	}
+	if refMatches == 0 {
+		return nil, mismatch("kmp-kmp", "n_matches", 0, refMatches, "> 0")
+	}
+	return b.Finish(), nil
+}

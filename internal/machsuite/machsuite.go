@@ -1,0 +1,111 @@
+// Package machsuite reimplements the MachSuite accelerator benchmark suite
+// (Reagen et al., IISWC 2014) against the trace builder, providing the
+// workloads of the paper's evaluation. Each kernel:
+//
+//   - allocates its arrays with the same host/accelerator transfer
+//     directions the original's dmaLoad/dmaStore calls imply,
+//   - executes functionally while emitting the dynamic trace (so results
+//     are verified against an independent pure-Go reference in tests), and
+//   - labels the loop iterations that Aladdin unrolls across datapath
+//     lanes.
+//
+// Problem sizes are scaled from the MachSuite defaults to keep dynamic
+// traces in the 10^4-10^5 node range, which keeps full design-space sweeps
+// tractable; the memory-behavior character of each kernel (streaming,
+// strided, indirect, serial) is preserved, and that character — not the
+// absolute size — is what the paper's conclusions rest on.
+package machsuite
+
+import (
+	"fmt"
+	"sort"
+
+	"gem5aladdin/internal/trace"
+)
+
+// Kernel is one benchmark.
+type Kernel struct {
+	// Name is the MachSuite identifier, e.g. "md-knn".
+	Name string
+	// Description summarizes the computation and its memory character.
+	Description string
+	// Build traces one invocation on the default (scaled) problem size
+	// and verifies the functional result against a pure-Go reference,
+	// returning an error on mismatch.
+	Build func() (*trace.Trace, error)
+}
+
+var registry []Kernel
+
+func register(k Kernel) { registry = append(registry, k) }
+
+// All returns every benchmark, sorted by name.
+func All() []Kernel {
+	out := make([]Kernel, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Names returns the sorted benchmark names.
+func Names() []string {
+	ks := All()
+	names := make([]string, len(ks))
+	for i, k := range ks {
+		names[i] = k.Name
+	}
+	return names
+}
+
+// ByName looks a benchmark up.
+func ByName(name string) (Kernel, error) {
+	for _, k := range registry {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return Kernel{}, fmt.Errorf("machsuite: unknown benchmark %q (have %v)", name, Names())
+}
+
+// MustBuild traces the named benchmark, panicking on functional mismatch —
+// for use in benchmarks and examples where an error can only be a bug.
+func MustBuild(name string) *trace.Trace {
+	k, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	tr, err := k.Build()
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// rng is a small deterministic xorshift64* generator so inputs are stable
+// across runs and platforms without pulling in math/rand state.
+type rng uint64
+
+func newRNG(seed uint64) *rng {
+	r := rng(seed*2685821657736338717 + 1)
+	return &r
+}
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 2685821657736338717
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// float returns a value in [0, 1).
+func (r *rng) float() float64 { return float64(r.next()>>11) / (1 << 53) }
+
+// mismatch formats a functional self-check failure.
+func mismatch(kernel, what string, i int, got, want any) error {
+	return fmt.Errorf("machsuite/%s: %s[%d] = %v, want %v", kernel, what, i, got, want)
+}

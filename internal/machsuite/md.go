@@ -1,0 +1,120 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// md-knn: Lennard-Jones force computation over a k-nearest-neighbor list
+// (MachSuite md-knn). Scaled to 256 atoms x 16 neighbors.
+const (
+	mdAtoms     = 256
+	mdNeighbors = 16
+	mdLJ1       = 1.5
+	mdLJ2       = 2.0
+)
+
+func init() {
+	register(Kernel{
+		Name: "md-knn",
+		Description: "Molecular dynamics k-nearest-neighbor force kernel: 12 " +
+			"FP multiplies per atom pair, FU-dominated power. Neighbor lists " +
+			"have spatial locality, so full/empty bits overlap nearly all of " +
+			"the DMA transfer with compute.",
+		Build: buildMDKnn,
+	})
+}
+
+func buildMDKnn() (*trace.Trace, error) {
+	n, k := mdAtoms, mdNeighbors
+	r := newRNG(404)
+	b := trace.NewBuilder("md-knn")
+	posX := b.Alloc("position_x", trace.F64, n, trace.In)
+	posY := b.Alloc("position_y", trace.F64, n, trace.In)
+	posZ := b.Alloc("position_z", trace.F64, n, trace.In)
+	nl := b.Alloc("NL", trace.I32, n*k, trace.In)
+	frcX := b.Alloc("force_x", trace.F64, n, trace.Out)
+	frcY := b.Alloc("force_y", trace.F64, n, trace.Out)
+	frcZ := b.Alloc("force_z", trace.F64, n, trace.Out)
+
+	px := make([]float64, n)
+	py := make([]float64, n)
+	pz := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i], py[i], pz[i] = 10*r.float(), 10*r.float(), 10*r.float()
+		b.SetF64(posX, i, px[i])
+		b.SetF64(posY, i, py[i])
+		b.SetF64(posZ, i, pz[i])
+	}
+	// Neighbor lists with index locality (atoms are spatially sorted in
+	// MachSuite's input): neighbor j of atom i is i±1..±k/2.
+	nlv := make([]int, n*k)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			d := j/2 + 1
+			if j%2 == 1 {
+				d = -d
+			}
+			nb := ((i+d)%n + n) % n
+			nlv[i*k+j] = nb
+			b.SetInt(nl, i*k+j, int64(nb))
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		b.BeginIter()
+		ix := b.Load(posX, i)
+		iy := b.Load(posY, i)
+		iz := b.Load(posZ, i)
+		fx := b.ConstF(0)
+		fy := b.ConstF(0)
+		fz := b.ConstF(0)
+		for j := 0; j < k; j++ {
+			idx := b.Load(nl, i*k+j)
+			nb := int(idx.Int())
+			jx := b.Load(posX, nb, idx)
+			jy := b.Load(posY, nb, idx)
+			jz := b.Load(posZ, nb, idx)
+			delx := b.FSub(ix, jx)
+			dely := b.FSub(iy, jy)
+			delz := b.FSub(iz, jz)
+			r2 := b.FAdd(b.FAdd(b.FMul(delx, delx), b.FMul(dely, dely)), b.FMul(delz, delz))
+			r2inv := b.FDiv(b.ConstF(1), r2)
+			r6inv := b.FMul(b.FMul(r2inv, r2inv), r2inv)
+			pot := b.FMul(r6inv, b.FSub(b.FMul(b.ConstF(mdLJ1), r6inv), b.ConstF(mdLJ2)))
+			force := b.FMul(r2inv, pot)
+			fx = b.FAdd(fx, b.FMul(delx, force))
+			fy = b.FAdd(fy, b.FMul(dely, force))
+			fz = b.FAdd(fz, b.FMul(delz, force))
+		}
+		b.Store(frcX, i, fx)
+		b.Store(frcY, i, fy)
+		b.Store(frcZ, i, fz)
+	}
+
+	// Reference with identical operation order.
+	for i := 0; i < n; i++ {
+		var wx, wy, wz float64
+		for j := 0; j < k; j++ {
+			nb := nlv[i*k+j]
+			delx := px[i] - px[nb]
+			dely := py[i] - py[nb]
+			delz := pz[i] - pz[nb]
+			r2 := delx*delx + dely*dely + delz*delz
+			r2inv := 1 / r2
+			r6inv := r2inv * r2inv * r2inv
+			pot := r6inv * (mdLJ1*r6inv - mdLJ2)
+			force := r2inv * pot
+			wx += delx * force
+			wy += dely * force
+			wz += delz * force
+		}
+		if got := b.GetF64(frcX, i); got != wx {
+			return nil, mismatch("md-knn", "force_x", i, got, wx)
+		}
+		if got := b.GetF64(frcY, i); got != wy {
+			return nil, mismatch("md-knn", "force_y", i, got, wy)
+		}
+		if got := b.GetF64(frcZ, i); got != wz {
+			return nil, mismatch("md-knn", "force_z", i, got, wz)
+		}
+	}
+	return b.Finish(), nil
+}

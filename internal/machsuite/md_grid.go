@@ -1,0 +1,147 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// md-grid: Lennard-Jones forces over a 3D cell grid (MachSuite md-grid):
+// every atom interacts with the atoms of its own and neighboring cells.
+// Scaled to a 4x4x4 grid with 4 atoms per cell.
+const (
+	mdgDim     = 4
+	mdgDensity = 4
+)
+
+func init() {
+	register(Kernel{
+		Name: "md-grid",
+		Description: "Cell-grid molecular dynamics: nested neighbor-cell " +
+			"loops with blocked position loads — more regular reuse than " +
+			"md-knn's per-atom gather lists.",
+		Build: buildMDGrid,
+	})
+}
+
+func buildMDGrid() (*trace.Trace, error) {
+	dim, dens := mdgDim, mdgDensity
+	cells := dim * dim * dim
+	atoms := cells * dens
+	cellOf := func(cx, cy, cz int) int { return (cx*dim+cy)*dim + cz }
+	r := newRNG(232)
+
+	px := make([]float64, atoms)
+	py := make([]float64, atoms)
+	pz := make([]float64, atoms)
+	for c := 0; c < cells; c++ {
+		for a := 0; a < dens; a++ {
+			i := c*dens + a
+			px[i] = float64(c%dim) + r.float()
+			py[i] = float64((c/dim)%dim) + r.float()
+			pz[i] = float64(c/(dim*dim)) + r.float()
+		}
+	}
+
+	b := trace.NewBuilder("md-grid")
+	posX := b.Alloc("d_x", trace.F64, atoms, trace.In)
+	posY := b.Alloc("d_y", trace.F64, atoms, trace.In)
+	posZ := b.Alloc("d_z", trace.F64, atoms, trace.In)
+	frcX := b.Alloc("f_x", trace.F64, atoms, trace.Out)
+	frcY := b.Alloc("f_y", trace.F64, atoms, trace.Out)
+	frcZ := b.Alloc("f_z", trace.F64, atoms, trace.Out)
+	for i := 0; i < atoms; i++ {
+		b.SetF64(posX, i, px[i])
+		b.SetF64(posY, i, py[i])
+		b.SetF64(posZ, i, pz[i])
+	}
+
+	wx := make([]float64, atoms)
+	wy := make([]float64, atoms)
+	wz := make([]float64, atoms)
+
+	clamp := func(v int) (int, bool) {
+		if v < 0 || v >= dim {
+			return 0, false
+		}
+		return v, true
+	}
+	// One iteration per (cell, atom): accumulate forces from all atoms in
+	// the 27-cell neighborhood.
+	for cx := 0; cx < dim; cx++ {
+		for cy := 0; cy < dim; cy++ {
+			for cz := 0; cz < dim; cz++ {
+				base := cellOf(cx, cy, cz) * dens
+				for a := 0; a < dens; a++ {
+					i := base + a
+					b.BeginIter()
+					ix := b.Load(posX, i)
+					iy := b.Load(posY, i)
+					iz := b.Load(posZ, i)
+					fx := b.ConstF(0)
+					fy := b.ConstF(0)
+					fz := b.ConstF(0)
+					var rfx, rfy, rfz float64
+					for dx := -1; dx <= 1; dx++ {
+						for dy := -1; dy <= 1; dy++ {
+							for dz := -1; dz <= 1; dz++ {
+								nx, okx := clamp(cx + dx)
+								ny, oky := clamp(cy + dy)
+								nz, okz := clamp(cz + dz)
+								if !okx || !oky || !okz {
+									continue
+								}
+								nbase := cellOf(nx, ny, nz) * dens
+								for na := 0; na < dens; na++ {
+									j := nbase + na
+									if j == i {
+										continue
+									}
+									jx := b.Load(posX, j)
+									jy := b.Load(posY, j)
+									jz := b.Load(posZ, j)
+									delx := b.FSub(ix, jx)
+									dely := b.FSub(iy, jy)
+									delz := b.FSub(iz, jz)
+									r2 := b.FAdd(b.FAdd(b.FMul(delx, delx), b.FMul(dely, dely)), b.FMul(delz, delz))
+									r2inv := b.FDiv(b.ConstF(1), r2)
+									r6 := b.FMul(b.FMul(r2inv, r2inv), r2inv)
+									pot := b.FMul(r6, b.FSub(b.FMul(b.ConstF(mdLJ1), r6), b.ConstF(mdLJ2)))
+									force := b.FMul(r2inv, pot)
+									fx = b.FAdd(fx, b.FMul(delx, force))
+									fy = b.FAdd(fy, b.FMul(dely, force))
+									fz = b.FAdd(fz, b.FMul(delz, force))
+
+									gdx := px[i] - px[j]
+									gdy := py[i] - py[j]
+									gdz := pz[i] - pz[j]
+									gr2 := gdx*gdx + gdy*gdy + gdz*gdz
+									gr2i := 1 / gr2
+									gr6 := gr2i * gr2i * gr2i
+									gp := gr6 * (mdLJ1*gr6 - mdLJ2)
+									gf := gr2i * gp
+									rfx += gdx * gf
+									rfy += gdy * gf
+									rfz += gdz * gf
+								}
+							}
+						}
+					}
+					b.Store(frcX, i, fx)
+					b.Store(frcY, i, fy)
+					b.Store(frcZ, i, fz)
+					wx[i], wy[i], wz[i] = rfx, rfy, rfz
+				}
+			}
+		}
+	}
+
+	for i := 0; i < atoms; i++ {
+		if got := b.GetF64(frcX, i); got != wx[i] {
+			return nil, mismatch("md-grid", "f_x", i, got, wx[i])
+		}
+		if got := b.GetF64(frcY, i); got != wy[i] {
+			return nil, mismatch("md-grid", "f_y", i, got, wy[i])
+		}
+		if got := b.GetF64(frcZ, i); got != wz[i] {
+			return nil, mismatch("md-grid", "f_z", i, got, wz[i])
+		}
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,176 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// nw: Needleman-Wunsch global DNA sequence alignment (MachSuite nw-nw).
+// Scaled to 64-base sequences.
+const (
+	nwLen   = 64
+	nwMatch = 1
+	nwMism  = -1
+	nwGap   = -1
+)
+
+func init() {
+	register(Kernel{
+		Name: "nw-nw",
+		Description: "Needleman-Wunsch dynamic programming alignment. The " +
+			"score matrix lives in a private scratchpad; loop-carried " +
+			"dependences along rows serialize the datapath, so parallelism " +
+			"buys little and DMA with small inputs wins.",
+		Build: buildNW,
+	})
+}
+
+func buildNW() (*trace.Trace, error) {
+	n := nwLen
+	cols := n + 1
+	r := newRNG(707)
+	b := trace.NewBuilder("nw-nw")
+	seqA := b.Alloc("seqA", trace.U8, n, trace.In)
+	seqB := b.Alloc("seqB", trace.U8, n, trace.In)
+	// The DP score and traceback-pointer matrices are private
+	// intermediates: scratchpad-resident even in cache designs (Sec IV-D).
+	m := b.Alloc("M", trace.I32, cols*cols, trace.Local)
+	ptr := b.Alloc("ptr", trace.U8, cols*cols, trace.Local)
+	alignA := b.Alloc("alignedA", trace.U8, 2*n, trace.Out)
+	alignB := b.Alloc("alignedB", trace.U8, 2*n, trace.Out)
+
+	bases := []byte{'A', 'C', 'G', 'T'}
+	av := make([]byte, n)
+	bv := make([]byte, n)
+	for i := 0; i < n; i++ {
+		av[i] = bases[r.intn(4)]
+		bv[i] = bases[r.intn(4)]
+		b.SetInt(seqA, i, int64(av[i]))
+		b.SetInt(seqB, i, int64(bv[i]))
+	}
+
+	// Boundary initialization, one iteration per cell (the MachSuite
+	// init loops).
+	for a := 0; a < cols; a++ {
+		b.BeginIter()
+		b.Store(m, a, b.ConstI(int64(a*nwGap)))
+	}
+	for a := 1; a < cols; a++ {
+		b.BeginIter()
+		b.Store(m, a*cols, b.ConstI(int64(a*nwGap)))
+	}
+
+	// DP fill, row-major, one iteration per cell.
+	const (
+		ptrDiag = 0
+		ptrUp   = 1
+		ptrLeft = 2
+	)
+	for i := 1; i < cols; i++ {
+		for j := 1; j < cols; j++ {
+			b.BeginIter()
+			ca := b.Load(seqA, i-1)
+			cb := b.Load(seqB, j-1)
+			eq := b.IEq(ca, cb)
+			score := b.Select(eq, b.ConstI(nwMatch), b.ConstI(nwMism))
+			diag := b.IAdd(b.Load(m, (i-1)*cols+j-1), score)
+			up := b.IAdd(b.Load(m, (i-1)*cols+j), b.ConstI(nwGap))
+			left := b.IAdd(b.Load(m, i*cols+j-1), b.ConstI(nwGap))
+			// Ties resolve toward diag, then toward the up/diag winner,
+			// matching the reference's strict-greater preference order.
+			bestUD := b.Select(b.ILess(diag, up), up, diag)
+			dir1 := b.Select(b.ILess(diag, up), b.ConstI(ptrUp), b.ConstI(ptrDiag))
+			best := b.Select(b.ILess(bestUD, left), left, bestUD)
+			dir := b.Select(b.ILess(bestUD, left), b.ConstI(ptrLeft), dir1)
+			b.Store(m, i*cols+j, best)
+			b.Store(ptr, i*cols+j, dir)
+		}
+	}
+
+	// Traceback: inherently serial pointer chasing.
+	type step struct{ ai, bi int64 } // emitted characters (0 = gap '-')
+	var refSteps []step
+	{
+		// Pure-Go reference DP + traceback.
+		ref := make([]int, cols*cols)
+		rptr := make([]byte, cols*cols)
+		for a := 0; a < cols; a++ {
+			ref[a] = a * nwGap
+		}
+		for a := 1; a < cols; a++ {
+			ref[a*cols] = a * nwGap
+		}
+		for i := 1; i < cols; i++ {
+			for j := 1; j < cols; j++ {
+				s := nwMism
+				if av[i-1] == bv[j-1] {
+					s = nwMatch
+				}
+				diag := ref[(i-1)*cols+j-1] + s
+				up := ref[(i-1)*cols+j] + nwGap
+				left := ref[i*cols+j-1] + nwGap
+				best, dir := diag, byte(ptrDiag)
+				if up > diag {
+					best, dir = up, ptrUp
+				}
+				if left > best {
+					best, dir = left, ptrLeft
+				}
+				ref[i*cols+j] = best
+				rptr[i*cols+j] = dir
+			}
+		}
+		for i, j := n, n; i > 0 || j > 0; {
+			switch {
+			case i > 0 && j > 0 && rptr[i*cols+j] == ptrDiag:
+				refSteps = append(refSteps, step{int64(av[i-1]), int64(bv[j-1])})
+				i, j = i-1, j-1
+			case i > 0 && (j == 0 || rptr[i*cols+j] == ptrUp):
+				refSteps = append(refSteps, step{int64(av[i-1]), '-'})
+				i--
+			default:
+				refSteps = append(refSteps, step{'-', int64(bv[j-1])})
+				j--
+			}
+		}
+	}
+
+	// Traced traceback (follows the same pointers; values concrete).
+	pos := 0
+	for i, j := n, n; i > 0 || j > 0; {
+		b.BeginIter()
+		var dir int64 = ptrLeft
+		dv := b.ConstI(0) // dependence-free placeholder at the borders
+		if i > 0 && j > 0 {
+			dv = b.Load(ptr, i*cols+j)
+			dir = dv.Int()
+		} else if i > 0 {
+			dir = ptrUp
+		}
+		switch dir {
+		case ptrDiag:
+			b.Store(alignA, pos, b.Load(seqA, i-1), dv)
+			b.Store(alignB, pos, b.Load(seqB, j-1), dv)
+			i, j = i-1, j-1
+		case ptrUp:
+			b.Store(alignA, pos, b.Load(seqA, i-1), dv)
+			b.Store(alignB, pos, b.ConstI('-'), dv)
+			i--
+		default:
+			b.Store(alignA, pos, b.ConstI('-'), dv)
+			b.Store(alignB, pos, b.Load(seqB, j-1), dv)
+			j--
+		}
+		pos++
+	}
+
+	if pos != len(refSteps) {
+		return nil, mismatch("nw-nw", "alignment length", 0, pos, len(refSteps))
+	}
+	for s := 0; s < pos; s++ {
+		if got := b.GetInt(alignA, s); got != refSteps[s].ai {
+			return nil, mismatch("nw-nw", "alignedA", s, got, refSteps[s].ai)
+		}
+		if got := b.GetInt(alignB, s); got != refSteps[s].bi {
+			return nil, mismatch("nw-nw", "alignedB", s, got, refSteps[s].bi)
+		}
+	}
+	return b.Finish(), nil
+}

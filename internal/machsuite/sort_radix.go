@@ -1,0 +1,102 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// sort-radix: LSD radix sort with 4-bit digits (MachSuite sort-radix).
+// Scaled to 512 20-bit keys.
+const (
+	radixN      = 512
+	radixDigit  = 4
+	radixKeyBit = 20
+)
+
+func init() {
+	register(Kernel{
+		Name: "sort-radix",
+		Description: "LSD radix sort: per-pass histogram, exclusive scan, " +
+			"and data-dependent scatter. Regular streaming reads with " +
+			"indirect permutation writes.",
+		Build: buildSortRadix,
+	})
+}
+
+func buildSortRadix() (*trace.Trace, error) {
+	n := radixN
+	buckets := 1 << radixDigit
+	passes := radixKeyBit / radixDigit
+	r := newRNG(171)
+
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(r.intn(1 << radixKeyBit))
+	}
+
+	b := trace.NewBuilder("sort-radix")
+	a := b.Alloc("a", trace.I32, n, trace.InOut)
+	tmp := b.Alloc("b", trace.I32, n, trace.Local)
+	hist := b.Alloc("bucket", trace.I32, buckets, trace.Local)
+	for i, v := range in {
+		b.SetInt(a, i, v)
+	}
+
+	src, dst := a, tmp
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixDigit)
+		mask := b.ConstI(int64(buckets - 1))
+
+		// Histogram: one iteration per key.
+		b.BeginIter()
+		for d := 0; d < buckets; d++ {
+			b.Store(hist, d, b.ConstI(0))
+		}
+		for i := 0; i < n; i++ {
+			b.BeginIter()
+			k := b.Load(src, i)
+			d := b.And(b.Shr(k, shift), mask)
+			di := int(d.Int())
+			b.Store(hist, di, b.IAdd(b.Load(hist, di, d), b.ConstI(1)), d)
+		}
+		// Exclusive scan: serial across buckets.
+		b.BeginIter()
+		sum := b.ConstI(0)
+		for d := 0; d < buckets; d++ {
+			c := b.Load(hist, d)
+			b.Store(hist, d, sum)
+			sum = b.IAdd(sum, c)
+		}
+		// Scatter: data-dependent destination per key.
+		for i := 0; i < n; i++ {
+			b.BeginIter()
+			k := b.Load(src, i)
+			d := b.And(b.Shr(k, shift), mask)
+			di := int(d.Int())
+			pos := b.Load(hist, di, d)
+			b.Store(dst, int(pos.Int()), k, pos)
+			b.Store(hist, di, b.IAdd(pos, b.ConstI(1)), d)
+		}
+		src, dst = dst, src
+	}
+
+	// passes is odd or even decides where the data ends; copy back if it
+	// ended in the temporary (the real kernel does the same final copy).
+	if src != a {
+		for i := 0; i < n; i++ {
+			b.BeginIter()
+			b.Store(a, i, b.Load(src, i))
+		}
+	}
+
+	sorted := make([]int64, n)
+	copy(sorted, in)
+	for x := 1; x < n; x++ {
+		for y := x; y > 0 && sorted[y] < sorted[y-1]; y-- {
+			sorted[y], sorted[y-1] = sorted[y-1], sorted[y]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := b.GetInt(a, i); got != sorted[i] {
+			return nil, mismatch("sort-radix", "a", i, got, sorted[i])
+		}
+	}
+	return b.Finish(), nil
+}

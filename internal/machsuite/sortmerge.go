@@ -1,0 +1,86 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// sort-merge: bottom-up mergesort (MachSuite sort-merge). Scaled to 512
+// 32-bit keys.
+const sortN = 512
+
+func init() {
+	register(Kernel{
+		Name: "sort-merge",
+		Description: "Bottom-up mergesort. Data-dependent pointer advances " +
+			"serialize each merge; the final passes are one long serial merge, " +
+			"so the kernel is memory-bound and parallelism-insensitive.",
+		Build: buildSortMerge,
+	})
+}
+
+func buildSortMerge() (*trace.Trace, error) {
+	n := sortN
+	r := newRNG(1111)
+	b := trace.NewBuilder("sort-merge")
+	a := b.Alloc("a", trace.I32, n, trace.InOut)
+	tmp := b.Alloc("temp", trace.I32, n, trace.Local)
+
+	in := make([]int64, n)
+	for i := range in {
+		in[i] = int64(r.intn(1 << 20))
+		b.SetInt(a, i, in[i])
+	}
+
+	// Each merge of one [start,mid,stop) window is an iteration: copy to
+	// temp, then the serial two-pointer merge back into a.
+	for width := 1; width < n; width *= 2 {
+		for start := 0; start < n; start += 2 * width {
+			mid := start + width
+			stop := start + 2*width
+			if mid > n {
+				mid = n
+			}
+			if stop > n {
+				stop = n
+			}
+			b.BeginIter()
+			for i := start; i < stop; i++ {
+				b.Store(tmp, i, b.Load(a, i))
+			}
+			i, j := start, mid
+			for k := start; k < stop; k++ {
+				var take trace.Value
+				if i < mid && (j >= stop || b.GetInt(tmp, i) <= b.GetInt(tmp, j)) {
+					take = b.Load(tmp, i)
+					if j < stop {
+						// The comparison the FSM performed to pick side i.
+						other := b.Load(tmp, j)
+						b.ILess(other, take)
+					}
+					i++
+				} else {
+					take = b.Load(tmp, j)
+					if i < mid {
+						other := b.Load(tmp, i)
+						b.ILess(take, other)
+					}
+					j++
+				}
+				b.Store(a, k, take)
+			}
+		}
+	}
+
+	// Reference: the input must come out sorted and be a permutation.
+	sorted := make([]int64, n)
+	copy(sorted, in)
+	for x := 1; x < n; x++ {
+		for y := x; y > 0 && sorted[y] < sorted[y-1]; y-- {
+			sorted[y], sorted[y-1] = sorted[y-1], sorted[y]
+		}
+	}
+	for i := 0; i < n; i++ {
+		if got := b.GetInt(a, i); got != sorted[i] {
+			return nil, mismatch("sort-merge", "a", i, got, sorted[i])
+		}
+	}
+	return b.Finish(), nil
+}

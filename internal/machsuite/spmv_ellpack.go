@@ -1,0 +1,81 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// spmv-ellpack: sparse matrix-vector multiply in ELLPACK format (MachSuite
+// spmv-ellpack): every row padded to a fixed nonzero count, giving regular
+// loop bounds but the same indirect vector gathers as CRS.
+const (
+	ellRows = 256
+	ellL    = 8 // nonzeros per row (padded)
+)
+
+func init() {
+	register(Kernel{
+		Name: "spmv-ellpack",
+		Description: "ELLPACK sparse matrix-vector multiply: regular row " +
+			"structure (fixed nonzeros per row) but indirect vec[cols] " +
+			"gathers like CRS.",
+		Build: buildSpMVEllpack,
+	})
+}
+
+func buildSpMVEllpack() (*trace.Trace, error) {
+	n, L := ellRows, ellL
+	r := newRNG(151)
+
+	colsV := make([]int, n*L)
+	valsV := make([]float64, n*L)
+	vecV := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vecV[i] = r.float()
+		seen := map[int]bool{}
+		for j := 0; j < L; j++ {
+			c := r.intn(n)
+			for seen[c] {
+				c = r.intn(n)
+			}
+			seen[c] = true
+			colsV[i*L+j] = c
+			valsV[i*L+j] = r.float()
+		}
+	}
+
+	b := trace.NewBuilder("spmv-ellpack")
+	nzval := b.Alloc("nzval", trace.F64, n*L, trace.In)
+	cols := b.Alloc("cols", trace.I32, n*L, trace.In)
+	vec := b.Alloc("vec", trace.F64, n, trace.In)
+	out := b.Alloc("out", trace.F64, n, trace.Out)
+	for i, v := range valsV {
+		b.SetF64(nzval, i, v)
+	}
+	for i, c := range colsV {
+		b.SetInt(cols, i, int64(c))
+	}
+	for i, v := range vecV {
+		b.SetF64(vec, i, v)
+	}
+
+	for i := 0; i < n; i++ {
+		b.BeginIter()
+		sum := b.ConstF(0)
+		for j := 0; j < L; j++ {
+			col := b.Load(cols, i*L+j)
+			v := b.Load(nzval, i*L+j)
+			x := b.Load(vec, int(col.Int()), col)
+			sum = b.FAdd(sum, b.FMul(v, x))
+		}
+		b.Store(out, i, sum)
+	}
+
+	for i := 0; i < n; i++ {
+		want := 0.0
+		for j := 0; j < L; j++ {
+			want += valsV[i*L+j] * vecV[colsV[i*L+j]]
+		}
+		if got := b.GetF64(out, i); got != want {
+			return nil, mismatch("spmv-ellpack", "out", i, got, want)
+		}
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,148 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// stencil2d: 3x3 convolution over a 2D grid (MachSuite stencil-stencil2d).
+const (
+	s2dRows = 64
+	s2dCols = 64
+)
+
+// stencil3d: 7-point stencil over a 3D grid (MachSuite stencil-stencil3d).
+const (
+	s3dH = 16
+	s3dC = 16
+	s3dR = 16
+)
+
+func init() {
+	register(Kernel{
+		Name: "stencil-stencil2d",
+		Description: "3x3 filter over a 2D grid. Row-streaming access: only " +
+			"the first three rows must arrive before compute can start, so " +
+			"DMA-triggered computation recovers most of the transfer time.",
+		Build: buildStencil2D,
+	})
+	register(Kernel{
+		Name: "stencil-stencil3d",
+		Description: "7-point stencil over a 3D grid. Plane-strided accesses " +
+			"create nonuniform reuse distances that favor an on-demand cache " +
+			"over bulk DMA.",
+		Build: buildStencil3D,
+	})
+}
+
+func buildStencil2D() (*trace.Trace, error) {
+	rows, cols := s2dRows, s2dCols
+	r := newRNG(202)
+	b := trace.NewBuilder("stencil-stencil2d")
+	orig := b.Alloc("orig", trace.F64, rows*cols, trace.In)
+	sol := b.Alloc("sol", trace.F64, rows*cols, trace.Out)
+	filt := b.Alloc("filter", trace.F64, 9, trace.In)
+
+	in := make([]float64, rows*cols)
+	for i := range in {
+		in[i] = r.float()
+		b.SetF64(orig, i, in[i])
+	}
+	fv := [9]float64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	for i, v := range fv {
+		b.SetF64(filt, i, v)
+	}
+
+	for row := 0; row < rows-2; row++ {
+		for col := 0; col < cols-2; col++ {
+			b.BeginIter()
+			acc := b.ConstF(0)
+			for k1 := 0; k1 < 3; k1++ {
+				for k2 := 0; k2 < 3; k2++ {
+					mul := b.FMul(b.Load(filt, k1*3+k2), b.Load(orig, (row+k1)*cols+col+k2))
+					acc = b.FAdd(acc, mul)
+				}
+			}
+			b.Store(sol, row*cols+col, acc)
+		}
+	}
+
+	for row := 0; row < rows-2; row++ {
+		for col := 0; col < cols-2; col++ {
+			want := 0.0
+			for k1 := 0; k1 < 3; k1++ {
+				for k2 := 0; k2 < 3; k2++ {
+					want += fv[k1*3+k2] * in[(row+k1)*cols+col+k2]
+				}
+			}
+			if got := b.GetF64(sol, row*cols+col); got != want {
+				return nil, mismatch("stencil2d", "sol", row*cols+col, got, want)
+			}
+		}
+	}
+	return b.Finish(), nil
+}
+
+func buildStencil3D() (*trace.Trace, error) {
+	h, c, rDim := s3dH, s3dC, s3dR
+	idx := func(i, j, k int) int { return i*c*rDim + j*rDim + k }
+	r := newRNG(303)
+	b := trace.NewBuilder("stencil-stencil3d")
+	orig := b.Alloc("orig", trace.F64, h*c*rDim, trace.In)
+	sol := b.Alloc("sol", trace.F64, h*c*rDim, trace.Out)
+
+	in := make([]float64, h*c*rDim)
+	for i := range in {
+		in[i] = r.float()
+		b.SetF64(orig, i, in[i])
+	}
+	const c0, c1 = 0.5, 0.25
+	k0, k1 := b.ConstF(c0), b.ConstF(c1)
+
+	// Boundary copy: one iteration per face cell, as in the MachSuite
+	// kernel's boundary loops.
+	onBoundary := func(i, j, k int) bool {
+		return i == 0 || i == h-1 || j == 0 || j == c-1 || k == 0 || k == rDim-1
+	}
+	for i := 0; i < h; i++ {
+		for j := 0; j < c; j++ {
+			for k := 0; k < rDim; k++ {
+				if !onBoundary(i, j, k) {
+					continue
+				}
+				b.BeginIter()
+				b.Store(sol, idx(i, j, k), b.Load(orig, idx(i, j, k)))
+			}
+		}
+	}
+	// Interior: sol = C0*center + C1*(sum of 6 face neighbors).
+	for i := 1; i < h-1; i++ {
+		for j := 1; j < c-1; j++ {
+			for k := 1; k < rDim-1; k++ {
+				b.BeginIter()
+				sum0 := b.Load(orig, idx(i, j, k))
+				sum1 := b.FAdd(b.Load(orig, idx(i+1, j, k)), b.Load(orig, idx(i-1, j, k)))
+				sum1 = b.FAdd(sum1, b.FAdd(b.Load(orig, idx(i, j+1, k)), b.Load(orig, idx(i, j-1, k))))
+				sum1 = b.FAdd(sum1, b.FAdd(b.Load(orig, idx(i, j, k+1)), b.Load(orig, idx(i, j, k-1))))
+				b.Store(sol, idx(i, j, k), b.FAdd(b.FMul(sum0, k0), b.FMul(sum1, k1)))
+			}
+		}
+	}
+
+	for i := 0; i < h; i++ {
+		for j := 0; j < c; j++ {
+			for k := 0; k < rDim; k++ {
+				var want float64
+				if onBoundary(i, j, k) {
+					want = in[idx(i, j, k)]
+				} else {
+					sum1 := in[idx(i+1, j, k)] + in[idx(i-1, j, k)]
+					sum1 = sum1 + (in[idx(i, j+1, k)] + in[idx(i, j-1, k)])
+					sum1 = sum1 + (in[idx(i, j, k+1)] + in[idx(i, j, k-1)])
+					want = in[idx(i, j, k)]*c0 + sum1*c1
+				}
+				if got := b.GetF64(sol, idx(i, j, k)); got != want {
+					return nil, mismatch("stencil3d", "sol", idx(i, j, k), got, want)
+				}
+			}
+		}
+	}
+	return b.Finish(), nil
+}

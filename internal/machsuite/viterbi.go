@@ -1,0 +1,164 @@
+package machsuite
+
+import "gem5aladdin/internal/trace"
+
+// viterbi: Viterbi HMM decoding with negative-log-likelihoods (MachSuite
+// viterbi-viterbi). Scaled to 16 states, 32 steps, 32 observation symbols.
+const (
+	vitStates = 16
+	vitSteps  = 32
+	vitAlpha  = 32
+)
+
+func init() {
+	register(Kernel{
+		Name: "viterbi-viterbi",
+		Description: "Viterbi HMM decode. Dynamic programming serial across " +
+			"time steps, parallel across states, dense transition-matrix " +
+			"reads every step.",
+		Build: buildViterbi,
+	})
+}
+
+func buildViterbi() (*trace.Trace, error) {
+	s, tSteps := vitStates, vitSteps
+	r := newRNG(1212)
+
+	initV := make([]float64, s)
+	transV := make([]float64, s*s)
+	emitV := make([]float64, s*vitAlpha)
+	obsV := make([]int, tSteps)
+	for i := range initV {
+		initV[i] = r.float() * 5
+	}
+	for i := range transV {
+		transV[i] = r.float() * 5
+	}
+	for i := range emitV {
+		emitV[i] = r.float() * 5
+	}
+	for i := range obsV {
+		obsV[i] = r.intn(vitAlpha)
+	}
+
+	b := trace.NewBuilder("viterbi-viterbi")
+	obs := b.Alloc("obs", trace.I32, tSteps, trace.In)
+	initA := b.Alloc("init", trace.F64, s, trace.In)
+	trans := b.Alloc("transition", trace.F64, s*s, trace.In)
+	emit := b.Alloc("emission", trace.F64, s*vitAlpha, trace.In)
+	llike := b.Alloc("llike", trace.F64, tSteps*s, trace.Local)
+	path := b.Alloc("path", trace.I32, tSteps, trace.Out)
+
+	for i, v := range obsV {
+		b.SetInt(obs, i, int64(v))
+	}
+	for i, v := range initV {
+		b.SetF64(initA, i, v)
+	}
+	for i, v := range transV {
+		b.SetF64(trans, i, v)
+	}
+	for i, v := range emitV {
+		b.SetF64(emit, i, v)
+	}
+
+	// t = 0 initialization, one iteration per state.
+	ob0 := obsV[0]
+	for st := 0; st < s; st++ {
+		b.BeginIter()
+		o := b.Load(obs, 0)
+		v := b.FAdd(b.Load(initA, st), b.Load(emit, st*vitAlpha+ob0, o))
+		b.Store(llike, st, v)
+	}
+	// Forward DP: iteration per (t, curr) pair.
+	for t := 1; t < tSteps; t++ {
+		ob := obsV[t]
+		for curr := 0; curr < s; curr++ {
+			b.BeginIter()
+			o := b.Load(obs, t)
+			e := b.Load(emit, curr*vitAlpha+ob, o)
+			var best trace.Value
+			for prev := 0; prev < s; prev++ {
+				p := b.FAdd(b.FAdd(b.Load(llike, (t-1)*s+prev), b.Load(trans, prev*s+curr)), e)
+				if prev == 0 {
+					best = p
+				} else {
+					best = b.Select(b.FLess(p, best), p, best)
+				}
+			}
+			b.Store(llike, t*s+curr, best)
+		}
+	}
+	// Backtrack: serial min-scan per step (MachSuite recovers the path by
+	// minimizing llike + transition at each step backwards).
+	// Final state: argmin of llike[T-1][*].
+	b.BeginIter()
+	bestIdx := b.ConstI(0)
+	bestVal := b.Load(llike, (tSteps-1)*s)
+	for st := 1; st < s; st++ {
+		v := b.Load(llike, (tSteps-1)*s+st)
+		better := b.FLess(v, bestVal)
+		bestVal = b.Select(better, v, bestVal)
+		bestIdx = b.Select(better, b.ConstI(int64(st)), bestIdx)
+	}
+	b.Store(path, tSteps-1, bestIdx)
+	lastState := int(bestIdx.Int())
+	for t := tSteps - 2; t >= 0; t-- {
+		b.BeginIter()
+		bi := b.ConstI(0)
+		bv := b.FAdd(b.Load(llike, t*s), b.Load(trans, lastState))
+		for st := 1; st < s; st++ {
+			v := b.FAdd(b.Load(llike, t*s+st), b.Load(trans, st*s+lastState))
+			better := b.FLess(v, bv)
+			bv = b.Select(better, v, bv)
+			bi = b.Select(better, b.ConstI(int64(st)), bi)
+		}
+		b.Store(path, t, bi)
+		lastState = int(bi.Int())
+	}
+
+	// Reference DP + backtrack.
+	ref := make([]float64, tSteps*s)
+	for st := 0; st < s; st++ {
+		ref[st] = initV[st] + emitV[st*vitAlpha+obsV[0]]
+	}
+	for t := 1; t < tSteps; t++ {
+		for curr := 0; curr < s; curr++ {
+			e := emitV[curr*vitAlpha+obsV[t]]
+			best := 0.0
+			for prev := 0; prev < s; prev++ {
+				p := ref[(t-1)*s+prev] + transV[prev*s+curr] + e
+				if prev == 0 || p < best {
+					best = p
+				}
+			}
+			ref[t*s+curr] = best
+		}
+	}
+	refPath := make([]int, tSteps)
+	bi, bv := 0, ref[(tSteps-1)*s]
+	for st := 1; st < s; st++ {
+		if ref[(tSteps-1)*s+st] < bv {
+			bv = ref[(tSteps-1)*s+st]
+			bi = st
+		}
+	}
+	refPath[tSteps-1] = bi
+	for t := tSteps - 2; t >= 0; t-- {
+		last := refPath[t+1]
+		ci, cv := 0, ref[t*s]+transV[last]
+		for st := 1; st < s; st++ {
+			if v := ref[t*s+st] + transV[st*s+last]; v < cv {
+				cv = v
+				ci = st
+			}
+		}
+		refPath[t] = ci
+	}
+	for t := 0; t < tSteps; t++ {
+		if got := b.GetInt(path, t); got != int64(refPath[t]) {
+			return nil, mismatch("viterbi-viterbi", "path", t, got, refPath[t])
+		}
+	}
+	return b.Finish(), nil
+}

@@ -1,0 +1,265 @@
+// Package bus models the SoC system interconnect: a split-transaction bus
+// with a configurable data width (the paper sweeps 32- and 64-bit widths to
+// modulate accelerator-visible bandwidth), round-robin arbitration between
+// masters, and per-transaction occupancy accounting.
+//
+// A transaction occupies the bus for one arbitration/address cycle plus
+// ceil(bytes/width) data cycles. Downstream memory latency (DRAM, or a
+// remote cache supplying data) does not hold the bus: the target is handed
+// the request when the address phase completes and the caller's completion
+// callback fires when the target responds. This is what lets independent
+// transfers pipeline at full bus bandwidth, which the DMA and cache-fill
+// experiments depend on.
+package bus
+
+import (
+	"fmt"
+
+	"gem5aladdin/internal/sim"
+)
+
+// Target is the memory-side endpoint of the bus (typically the DRAM
+// controller). Access is called when a transaction wins arbitration; done
+// must be invoked when the data is ready (reads) or accepted (writes).
+type Target interface {
+	Access(addr uint64, bytes uint32, write bool, done func())
+}
+
+// Config describes a bus instance.
+type Config struct {
+	WidthBits int       // 32 or 64 in the paper's sweeps
+	Clock     sim.Clock // bus clock domain
+}
+
+// WidthBytes returns the per-cycle data width in bytes.
+func (c Config) WidthBytes() uint32 { return uint32(c.WidthBits / 8) }
+
+// Stats aggregates bus activity.
+type Stats struct {
+	Transactions uint64
+	BytesMoved   uint64
+	BusyTicks    sim.Tick // total ticks the data path was occupied
+	WaitTicks    sim.Tick // total arbitration queuing delay across transactions
+}
+
+type request struct {
+	addr   uint64
+	bytes  uint32
+	write  bool
+	issued sim.Tick
+	target Target
+	done   func()
+	// dataPhase marks a read response ready to move over the bus.
+	dataPhase bool
+	// progress, when set, fires during the read data phase every
+	// progressGran bytes with the cumulative byte count delivered so far.
+	progress     func(bytesDone uint32)
+	progressGran uint32
+}
+
+// Bus is a round-robin arbitrated split-transaction interconnect.
+type Bus struct {
+	cfg    Config
+	eng    *sim.Engine
+	target Target
+
+	queues    [][]request // per-master FIFO
+	responses []request   // read responses awaiting their data phase
+	rrNext    int         // next master to consider
+	granted   bool        // a transaction currently holds the bus
+	stats     Stats
+}
+
+// New creates a bus attached to eng, delivering transactions to target.
+func New(eng *sim.Engine, cfg Config, target Target) *Bus {
+	if cfg.WidthBits%8 != 0 || cfg.WidthBits <= 0 {
+		panic(fmt.Sprintf("bus: invalid width %d bits", cfg.WidthBits))
+	}
+	if cfg.Clock.Period == 0 {
+		panic("bus: zero clock period")
+	}
+	return &Bus{cfg: cfg, eng: eng, target: target}
+}
+
+// RegisterMaster allocates an arbitration slot and returns its id.
+func (b *Bus) RegisterMaster() int {
+	b.queues = append(b.queues, nil)
+	return len(b.queues) - 1
+}
+
+// Stats returns a copy of the accumulated counters.
+func (b *Bus) Stats() Stats { return b.stats }
+
+// Config returns the bus configuration.
+func (b *Bus) Config() Config { return b.cfg }
+
+// OccupancyTicks reports how long a transaction of n bytes holds the bus.
+func (b *Bus) OccupancyTicks(n uint32) sim.Tick {
+	cycles := 1 + uint64((n+b.cfg.WidthBytes()-1)/b.cfg.WidthBytes())
+	return b.cfg.Clock.Cycles(cycles)
+}
+
+// Access enqueues a transaction from the given master to the default
+// memory-side target. done fires when the transaction fully completes (data
+// returned for reads, accepted for writes). Zero-byte accesses complete
+// immediately without bus traffic.
+func (b *Bus) Access(master int, addr uint64, bytes uint32, write bool, done func()) {
+	b.AccessVia(master, addr, bytes, write, b.target, done)
+}
+
+// AccessVia is Access with an explicit responder. Snooping caches use it to
+// route a fill to a peer cache (cache-to-cache transfer) instead of DRAM
+// while still paying bus arbitration and occupancy.
+func (b *Bus) AccessVia(master int, addr uint64, bytes uint32, write bool, target Target, done func()) {
+	if master < 0 || master >= len(b.queues) {
+		panic(fmt.Sprintf("bus: unknown master %d", master))
+	}
+	if bytes == 0 {
+		done()
+		return
+	}
+	b.queues[master] = append(b.queues[master], request{
+		addr: addr, bytes: bytes, write: write, issued: b.eng.Now(),
+		target: target, done: done,
+	})
+	if !b.granted {
+		b.arbitrate()
+	}
+}
+
+// ReadStream is a read whose data-phase delivery is observable: progress
+// fires with the cumulative bytes delivered, every gran bytes, as the beats
+// cross the bus. The DMA engine uses it to set full/empty bits at CPU
+// cache-line granularity while a bulk transfer is still in flight
+// (DMA-triggered computation, Sec IV-B2).
+func (b *Bus) ReadStream(master int, addr uint64, bytes uint32, gran uint32, progress func(uint32), done func()) {
+	b.ReadStreamVia(master, addr, bytes, gran, b.target, progress, done)
+}
+
+// ReadStreamVia is ReadStream with an explicit responder (a coherent DMA
+// engine sources dirty data from the CPU cache rather than DRAM).
+func (b *Bus) ReadStreamVia(master int, addr uint64, bytes uint32, gran uint32, target Target, progress func(uint32), done func()) {
+	if master < 0 || master >= len(b.queues) {
+		panic(fmt.Sprintf("bus: unknown master %d", master))
+	}
+	if gran == 0 {
+		panic("bus: zero stream granularity")
+	}
+	if bytes == 0 {
+		done()
+		return
+	}
+	b.queues[master] = append(b.queues[master], request{
+		addr: addr, bytes: bytes, issued: b.eng.Now(),
+		target: target, done: done,
+		progress: progress, progressGran: gran,
+	})
+	if !b.granted {
+		b.arbitrate()
+	}
+}
+
+// arbitrate grants the bus to the next waiter. Read responses have priority
+// over new requests (as on AXI-class interconnects, the response channel
+// drains first); fresh requests are served round-robin across masters.
+func (b *Bus) arbitrate() {
+	if b.granted {
+		return
+	}
+	if len(b.responses) > 0 {
+		req := b.responses[0]
+		b.responses = b.responses[1:]
+		b.grant(req)
+		return
+	}
+	n := len(b.queues)
+	for i := 0; i < n; i++ {
+		m := (b.rrNext + i) % n
+		if len(b.queues[m]) == 0 {
+			continue
+		}
+		req := b.queues[m][0]
+		b.queues[m] = b.queues[m][1:]
+		b.rrNext = (m + 1) % n
+		b.grant(req)
+		return
+	}
+}
+
+func (b *Bus) grant(req request) {
+	b.granted = true
+
+	dataTicks := b.cfg.Clock.Cycles(uint64((req.bytes + b.cfg.WidthBytes() - 1) / b.cfg.WidthBytes()))
+	release := func(after sim.Tick, then func()) {
+		b.stats.BusyTicks += after
+		b.eng.After(after, func() {
+			b.granted = false
+			if then != nil {
+				then()
+			}
+			b.arbitrate()
+		})
+	}
+
+	switch {
+	case req.dataPhase:
+		// Read response: data beats only.
+		if req.progress != nil {
+			b.scheduleProgress(req, dataTicks)
+		}
+		release(dataTicks, req.done)
+
+	case req.write:
+		// Write: address + data move together; the target accepts the
+		// data afterwards (posted write). done fires when accepted.
+		b.stats.Transactions++
+		b.stats.BytesMoved += uint64(req.bytes)
+		b.stats.WaitTicks += b.eng.Now() - req.issued
+		release(b.cfg.Clock.Cycles(1)+dataTicks, func() {
+			req.target.Access(req.addr, req.bytes, true, req.done)
+		})
+
+	default:
+		// Read: address phase holds the bus one cycle, then the bus is
+		// free while the target services the request; the response
+		// re-arbitrates for its data phase.
+		b.stats.Transactions++
+		b.stats.BytesMoved += uint64(req.bytes)
+		b.stats.WaitTicks += b.eng.Now() - req.issued
+		release(b.cfg.Clock.Cycles(1), func() {
+			req.target.Access(req.addr, req.bytes, false, func() {
+				resp := req
+				resp.dataPhase = true
+				b.responses = append(b.responses, resp)
+				b.arbitrate()
+			})
+		})
+	}
+}
+
+// scheduleProgress spreads arrival notifications across a read data phase,
+// proportional to the bytes delivered.
+func (b *Bus) scheduleProgress(req request, dataTicks sim.Tick) {
+	total := req.bytes
+	gran := req.progressGran
+	for cum := gran; ; cum += gran {
+		if cum > total {
+			cum = total
+		}
+		frac := float64(cum) / float64(total)
+		at := sim.Tick(float64(dataTicks)*frac + 0.5)
+		cumCopy := cum
+		b.eng.After(at, func() { req.progress(cumCopy) })
+		if cum == total {
+			break
+		}
+	}
+}
+
+// Utilization reports the fraction of elapsed time the bus was busy.
+func (b *Bus) Utilization(elapsed sim.Tick) float64 {
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(b.stats.BusyTicks) / float64(elapsed)
+}

@@ -1,0 +1,563 @@
+// Package cache implements the accelerator-attached hardware-managed cache
+// of Sec III-D / IV-D: a set-associative, write-back, write-allocate cache
+// with MSHRs for hit-under-miss and multiple outstanding misses, a strided
+// hardware prefetcher, LRU replacement, and MOESI coherence with the CPU's
+// cache hierarchy over the snooping system bus.
+//
+// The cache is the "pull-based, fine-grained" alternative to scratchpad +
+// DMA: it loads data on demand at line granularity and handles coherence
+// transparently, at the cost of tag/TLB energy and bus-visible miss
+// latency.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/mem/coherence"
+	"gem5aladdin/internal/sim"
+)
+
+// Config describes one cache instance. All fields mirror the sweep axes in
+// the paper's Fig 3 table.
+type Config struct {
+	SizeBytes uint64    // 2-64 KB
+	LineBytes uint32    // 16/32/64 B
+	Assoc     int       // 4 or 8 ways
+	Ports     int       // 1-8 accesses accepted per cycle
+	MSHRs     int       // 16 in the paper
+	Clock     sim.Clock // cache/accelerator clock domain
+	HitCycles uint64    // access latency on a hit
+	Prefetch  bool      // strided hardware prefetcher
+	// PrefetchDegree is how many strides ahead the prefetcher runs once a
+	// stream is confirmed; 0 means 1.
+	PrefetchDegree int
+	SnoopLat       sim.Tick // CPU-side lookup latency for cache-to-cache fills
+}
+
+// DefaultConfig returns a mid-range accelerator cache.
+func DefaultConfig(clock sim.Clock) Config {
+	return Config{
+		SizeBytes:      16 * 1024,
+		LineBytes:      32,
+		Assoc:          4,
+		Ports:          1,
+		MSHRs:          16,
+		Clock:          clock,
+		HitCycles:      1,
+		Prefetch:       true,
+		PrefetchDegree: 4,
+		SnoopLat:       40 * sim.Nanosecond,
+	}
+}
+
+// Validate checks structural parameters.
+func (c Config) Validate() error {
+	if c.SizeBytes == 0 || c.LineBytes == 0 || c.Assoc <= 0 || c.Ports <= 0 || c.MSHRs <= 0 {
+		return fmt.Errorf("cache: non-positive parameter in %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / uint64(c.LineBytes)
+	if lines%uint64(c.Assoc) != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	sets := lines / uint64(c.Assoc)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats aggregates cache activity.
+type Stats struct {
+	Accesses    uint64
+	Hits        uint64
+	Misses      uint64 // demand misses that allocated an MSHR
+	MSHRMerges  uint64 // demand misses merged into an in-flight MSHR
+	MSHRStalls  uint64 // accesses delayed because all MSHRs were busy
+	Writebacks  uint64
+	Upgrades    uint64 // write hits needing an invalidation broadcast
+	Prefetches  uint64
+	PrefetchHit uint64   // demand access served by a completed prefetch line
+	C2CFills    uint64   // fills supplied by the CPU cache (MOESI)
+	MemFills    uint64   // fills supplied by DRAM
+	FillLatency sim.Tick // summed demand miss latency
+}
+
+type way struct {
+	line     uint64 // line-aligned physical address
+	lru      uint64
+	valid    bool
+	prefetch bool // installed by the prefetcher, not yet demanded
+}
+
+type mshrEntry struct {
+	line     uint64
+	waiters  []func()
+	prefetch bool
+}
+
+type streamEntry struct {
+	page   uint64
+	last   uint64 // last miss line address
+	stride int64
+	conf   int
+	used   uint64
+}
+
+// snoopSupplier is the bus target used for cache-to-cache fills: the CPU's
+// cache responds after a fixed lookup latency instead of a DRAM access.
+type snoopSupplier struct {
+	eng *sim.Engine
+	lat sim.Tick
+}
+
+func (s *snoopSupplier) Access(addr uint64, bytesN uint32, write bool, done func()) {
+	s.eng.After(s.lat, done)
+}
+
+// Cache is one accelerator-attached cache.
+type Cache struct {
+	cfg   Config
+	eng   *sim.Engine
+	bus   *bus.Bus
+	bm    int // bus master id
+	coh   *coherence.Controller
+	self  int // coherence peer id
+	snoop *snoopSupplier
+
+	// OnIdle, when set, fires whenever the last outstanding fill
+	// completes. Drain logic (the accelerator's mfence) waits on it when
+	// prefetches are still in flight after the final demand access.
+	OnIdle func()
+
+	sets     [][]way
+	setShift uint
+	setMask  uint64
+	lruClock uint64
+
+	mshrs   map[uint64]*mshrEntry
+	inUse   int
+	retries []func()
+
+	ports []sim.Tick // earliest-free tick per port
+
+	streams []streamEntry
+
+	stats Stats
+}
+
+// New builds a cache wired to the bus and coherence controller. peer is the
+// cache's id from coh.AddPeer().
+func New(eng *sim.Engine, cfg Config, b *bus.Bus, coh *coherence.Controller, peer int) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / uint64(cfg.LineBytes)
+	nsets := int(lines) / cfg.Assoc
+	c := &Cache{
+		cfg: cfg, eng: eng, bus: b, bm: b.RegisterMaster(),
+		coh: coh, self: peer,
+		snoop:    &snoopSupplier{eng: eng, lat: cfg.SnoopLat},
+		sets:     make([][]way, nsets),
+		setShift: uint(bits.TrailingZeros32(cfg.LineBytes)),
+		setMask:  uint64(nsets - 1),
+		mshrs:    make(map[uint64]*mshrEntry),
+		ports:    make([]sim.Tick, cfg.Ports),
+		streams:  make([]streamEntry, 4),
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Assoc)
+	}
+	return c
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// InFlight reports outstanding MSHRs, for drain/mfence logic.
+func (c *Cache) InFlight() int { return c.inUse }
+
+func (c *Cache) lineOf(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
+func (c *Cache) setOf(line uint64) int     { return int((line >> c.setShift) & c.setMask) }
+
+// FastHitResult is the outcome of a pipelined hit attempt.
+type FastHitResult uint8
+
+// Fast-hit outcomes.
+const (
+	// FastHit: the access completed as a single-cycle pipelined hit.
+	FastHit FastHitResult = iota
+	// FastPortBusy: all ports are occupied this cycle; retry next cycle.
+	FastPortBusy
+	// FastMiss: the line is not resident in a usable state (or the access
+	// straddles lines); take the variable-latency path.
+	FastMiss
+)
+
+// TryFastHit attempts the pipelined hit path: accelerator lanes issue hits
+// like scratchpad accesses and keep running, stalling only on misses
+// (Sec IV-D). It succeeds only when a port is free this instant, the line
+// is resident, and no coherence transaction is required; on success the
+// access is fully accounted (LRU, stats, port occupancy). On failure it
+// has no side effects.
+func (c *Cache) TryFastHit(addr uint64, size uint32, write bool) FastHitResult {
+	line := c.lineOf(addr)
+	if line != c.lineOf(addr+uint64(size)-1) {
+		return FastMiss
+	}
+	// A free port right now?
+	now := c.eng.Now()
+	port := -1
+	for i := range c.ports {
+		if c.ports[i] <= now {
+			port = i
+			break
+		}
+	}
+	if port < 0 {
+		return FastPortBusy
+	}
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		w := &set[i]
+		if !w.valid || w.line != line {
+			continue
+		}
+		st := c.coh.StateOf(c.self, line)
+		if !st.Valid() {
+			// Externally invalidated (another agent wrote the line):
+			// the tag is stale; fall to the miss path.
+			w.valid = false
+			return FastMiss
+		}
+		if write {
+			// Writes need M or E locally to avoid a bus upgrade.
+			if st != coherence.Modified && st != coherence.Exclusive {
+				return FastMiss
+			}
+			c.coh.Write(c.self, line)
+		} else {
+			c.coh.Read(c.self, line)
+		}
+		c.ports[port] = now + c.cfg.Clock.Cycles(1)
+		c.lruClock++
+		w.lru = c.lruClock
+		if w.prefetch {
+			w.prefetch = false
+			c.stats.PrefetchHit++
+		}
+		c.stats.Accesses++
+		c.stats.Hits++
+		return FastHit
+	}
+	return FastMiss
+}
+
+// Access performs a load or store of size bytes at physical address addr.
+// done fires when the data is available (loads) or accepted (stores).
+// Accesses that straddle a line boundary are split and complete when both
+// halves do.
+func (c *Cache) Access(addr uint64, size uint32, write bool, done func()) {
+	first := c.lineOf(addr)
+	last := c.lineOf(addr + uint64(size) - 1)
+	if first != last {
+		remaining := 2
+		sub := func() {
+			remaining--
+			if remaining == 0 {
+				done()
+			}
+		}
+		firstLen := uint32(first + uint64(c.cfg.LineBytes) - addr)
+		c.Access(addr, firstLen, write, sub)
+		c.Access(first+uint64(c.cfg.LineBytes), size-firstLen, write, sub)
+		return
+	}
+	c.acquirePort(func() { c.lookup(addr, write, done) })
+}
+
+// acquirePort delays fn until a cache port is free and holds the port for
+// one cycle.
+func (c *Cache) acquirePort(fn func()) {
+	best := 0
+	for i := range c.ports {
+		if c.ports[i] < c.ports[best] {
+			best = i
+		}
+	}
+	start := c.eng.Now()
+	if c.ports[best] > start {
+		start = c.ports[best]
+	}
+	start = c.cfg.Clock.NextEdge(start)
+	c.ports[best] = start + c.cfg.Clock.Cycles(1)
+	if start == c.eng.Now() {
+		fn()
+		return
+	}
+	c.eng.Schedule(start, fn)
+}
+
+func (c *Cache) lookup(addr uint64, write bool, done func()) {
+	c.stats.Accesses++
+	line := c.lineOf(addr)
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.line == line {
+			if !c.coh.StateOf(c.self, line).Valid() {
+				// Externally invalidated: stale tag, go refetch.
+				w.valid = false
+				break
+			}
+			// Resident. Stores may still need a coherence upgrade.
+			c.lruClock++
+			w.lru = c.lruClock
+			if w.prefetch {
+				w.prefetch = false
+				c.stats.PrefetchHit++
+			}
+			c.stats.Hits++
+			if write {
+				res := c.coh.Write(c.self, line)
+				if res.Invalidations > 0 {
+					c.stats.Upgrades++
+					// Invalidation broadcast: command-only transaction.
+					c.bus.AccessVia(c.bm, line, 8, true, c.snoop, func() {})
+				}
+			} else {
+				c.coh.Read(c.self, line)
+			}
+			c.eng.After(c.cfg.Clock.Cycles(c.cfg.HitCycles), done)
+			return
+		}
+	}
+	c.miss(line, write, done, false)
+}
+
+// miss handles a demand (or prefetch) miss for the given line.
+func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
+	if m, ok := c.mshrs[line]; ok {
+		// Merge into the in-flight fill.
+		if !prefetch {
+			c.stats.MSHRMerges++
+			m.waiters = append(m.waiters, done)
+			m.prefetch = false // a demand merge claims the prefetch
+		}
+		return
+	}
+	if c.inUse >= c.cfg.MSHRs {
+		if prefetch {
+			return // drop prefetches under MSHR pressure
+		}
+		c.stats.MSHRStalls++
+		c.retries = append(c.retries, func() { c.retryAccess(line, write, done) })
+		return
+	}
+	m := &mshrEntry{line: line, prefetch: prefetch}
+	if !prefetch {
+		m.waiters = append(m.waiters, done)
+		c.stats.Misses++
+	} else {
+		c.stats.Prefetches++
+	}
+	c.mshrs[line] = m
+	c.inUse++
+
+	var res coherence.Result
+	if write && !prefetch {
+		res = c.coh.Write(c.self, line)
+	} else {
+		res = c.coh.Read(c.self, line)
+	}
+	target := bus.Target(nil)
+	if res.Src == coherence.SrcCache {
+		c.stats.C2CFills++
+		target = c.snoop
+	} else {
+		c.stats.MemFills++
+	}
+	start := c.eng.Now()
+	fill := func() {
+		c.stats.FillLatency += c.eng.Now() - start
+		c.install(line, m.prefetch)
+		waiters := m.waiters
+		delete(c.mshrs, line)
+		c.inUse--
+		for _, w := range waiters {
+			w()
+		}
+		c.drainRetries()
+		if c.inUse == 0 && c.OnIdle != nil {
+			c.OnIdle()
+		}
+	}
+	if target != nil {
+		c.bus.AccessVia(c.bm, line, c.cfg.LineBytes, false, target, fill)
+	} else {
+		c.bus.Access(c.bm, line, c.cfg.LineBytes, false, fill)
+	}
+
+	if c.cfg.Prefetch && !prefetch {
+		c.trainPrefetcher(line)
+	}
+}
+
+// retryAccess replays an MSHR-stalled access: the line may have been
+// filled (or re-requested) while it waited, so it goes through a fresh
+// residence check rather than straight to a fill.
+func (c *Cache) retryAccess(line uint64, write bool, done func()) {
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			if !c.coh.StateOf(c.self, line).Valid() {
+				set[i].valid = false
+				break
+			}
+			c.lruClock++
+			set[i].lru = c.lruClock
+			if write {
+				c.coh.Write(c.self, line)
+			} else {
+				c.coh.Read(c.self, line)
+			}
+			c.eng.After(c.cfg.Clock.Cycles(c.cfg.HitCycles), done)
+			return
+		}
+	}
+	c.miss(line, write, done, false)
+}
+
+func (c *Cache) drainRetries() {
+	if len(c.retries) == 0 {
+		return
+	}
+	pending := c.retries
+	c.retries = nil
+	for _, r := range pending {
+		r()
+	}
+}
+
+// install places a filled line, evicting the LRU way if needed. prefetch
+// marks lines brought in speculatively so a later demand hit is attributed
+// to the prefetcher.
+func (c *Cache) install(line uint64, prefetch bool) {
+	set := c.sets[c.setOf(line)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		old := set[victim].line
+		res := c.coh.Evict(c.self, old)
+		if res.Writeback {
+			c.stats.Writebacks++
+			c.bus.Access(c.bm, old, c.cfg.LineBytes, true, func() {})
+		}
+	}
+	c.lruClock++
+	set[victim] = way{line: line, lru: c.lruClock, valid: true, prefetch: prefetch}
+}
+
+// trainPrefetcher observes a demand-miss line and issues a strided prefetch
+// once a stream shows a stable stride.
+func (c *Cache) trainPrefetcher(line uint64) {
+	page := line >> 12
+	c.lruClock++
+	var ent *streamEntry
+	for i := range c.streams {
+		if c.streams[i].page == page && c.streams[i].conf >= 0 {
+			ent = &c.streams[i]
+			break
+		}
+	}
+	if ent == nil {
+		// Allocate LRU stream slot.
+		ent = &c.streams[0]
+		for i := range c.streams {
+			if c.streams[i].used < ent.used {
+				ent = &c.streams[i]
+			}
+		}
+		*ent = streamEntry{page: page, last: line, used: c.lruClock}
+		return
+	}
+	stride := int64(line) - int64(ent.last)
+	if stride == ent.stride && stride != 0 {
+		ent.conf++
+	} else {
+		ent.stride = stride
+		ent.conf = 1
+	}
+	ent.last = line
+	ent.used = c.lruClock
+	if ent.conf >= 2 {
+		degree := c.cfg.PrefetchDegree
+		if degree <= 0 {
+			degree = 1
+		}
+		for d := 1; d <= degree; d++ {
+			next := uint64(int64(line) + int64(d)*ent.stride)
+			if !c.resident(next) {
+				c.miss(next, false, nil, true)
+			}
+		}
+	}
+}
+
+func (c *Cache) resident(line uint64) bool {
+	set := c.sets[c.setOf(line)]
+	for i := range set {
+		if set[i].valid && set[i].line == line {
+			return true
+		}
+	}
+	if _, ok := c.mshrs[line]; ok {
+		return true
+	}
+	return false
+}
+
+// FlushDirty writes every dirty line back to memory and invalidates the
+// cache. done fires when the last writeback completes. Used at accelerator
+// completion when results must be visible in memory rather than supplied
+// lazily through coherence.
+func (c *Cache) FlushDirty(done func()) {
+	outstanding := 1 // sentinel so zero-writeback flushes still complete
+	finish := func() {
+		outstanding--
+		if outstanding == 0 {
+			done()
+		}
+	}
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			w := &c.sets[si][wi]
+			if !w.valid {
+				continue
+			}
+			res := c.coh.Evict(c.self, w.line)
+			w.valid = false
+			if res.Writeback {
+				c.stats.Writebacks++
+				outstanding++
+				c.bus.Access(c.bm, w.line, c.cfg.LineBytes, true, finish)
+			}
+		}
+	}
+	finish()
+}

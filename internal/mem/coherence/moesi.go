@@ -1,0 +1,221 @@
+// Package coherence implements a snooping MOESI cache-coherence protocol,
+// the "basic MOESI" gem5 classic-cache protocol that gem5-Aladdin attaches
+// accelerator caches to (Sec III-D). The protocol engine is independent of
+// timing: it answers, for each local action, what state the line moves to,
+// where the data comes from (another cache or memory), and what side
+// effects occur (invalidations, writebacks). The cache model layers timing
+// and energy on top of these answers.
+package coherence
+
+import "fmt"
+
+// State is a MOESI line state.
+type State uint8
+
+// MOESI states.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Owned
+	Modified
+)
+
+var stateNames = [...]string{"I", "S", "E", "O", "M"}
+
+// String returns the one-letter state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Valid reports whether the state holds data.
+func (s State) Valid() bool { return s != Invalid }
+
+// Dirty reports whether eviction requires a writeback.
+func (s State) Dirty() bool { return s == Modified || s == Owned }
+
+// CanSupply reports whether a peer in this state sources data on a snoop
+// (M, O, and E supply cache-to-cache; S defers to memory).
+func (s State) CanSupply() bool { return s == Modified || s == Owned || s == Exclusive }
+
+// Source says where miss data came from.
+type Source uint8
+
+// Data sources for a fill.
+const (
+	SrcNone   Source = iota // no data movement (hit or upgrade)
+	SrcMemory               // filled from main memory
+	SrcCache                // cache-to-cache transfer from a peer
+)
+
+// Result describes the outcome of one local action.
+type Result struct {
+	NewState      State
+	Src           Source
+	Writeback     bool // a dirty line was pushed to memory
+	Invalidations int  // peers whose copy was invalidated
+	WasHit        bool // the local cache already held usable data
+}
+
+// Controller mediates a set of peer caches snooping one bus. Peers are
+// identified by the index returned from AddPeer. Line addresses are opaque
+// keys (callers pass line-aligned physical addresses).
+type Controller struct {
+	peers []map[uint64]State
+}
+
+// NewController returns a controller with no peers.
+func NewController() *Controller { return &Controller{} }
+
+// AddPeer registers a cache and returns its peer id.
+func (c *Controller) AddPeer() int {
+	c.peers = append(c.peers, make(map[uint64]State))
+	return len(c.peers) - 1
+}
+
+// StateOf reports peer p's state for the line.
+func (c *Controller) StateOf(p int, line uint64) State { return c.peers[p][line] }
+
+// setState updates a peer's state, deleting Invalid entries to bound memory.
+func (c *Controller) setState(p int, line uint64, s State) {
+	if s == Invalid {
+		delete(c.peers[p], line)
+		return
+	}
+	c.peers[p][line] = s
+}
+
+// Read performs a local load by peer p.
+func (c *Controller) Read(p int, line uint64) Result {
+	if s := c.peers[p][line]; s.Valid() {
+		return Result{NewState: s, Src: SrcNone, WasHit: true}
+	}
+	// Miss: GetS on the bus.
+	res := Result{Src: SrcMemory, NewState: Exclusive}
+	sharers := 0
+	for q := range c.peers {
+		if q == p {
+			continue
+		}
+		s := c.peers[q][line]
+		if !s.Valid() {
+			continue
+		}
+		sharers++
+		switch s {
+		case Modified:
+			// Owner keeps the dirty data, supplies it, moves to O.
+			c.setState(q, line, Owned)
+			res.Src = SrcCache
+		case Owned:
+			res.Src = SrcCache
+		case Exclusive:
+			c.setState(q, line, Shared)
+			res.Src = SrcCache
+		}
+	}
+	if sharers > 0 {
+		res.NewState = Shared
+	}
+	c.setState(p, line, res.NewState)
+	return res
+}
+
+// Write performs a local store by peer p.
+func (c *Controller) Write(p int, line uint64) Result {
+	local := c.peers[p][line]
+	res := Result{NewState: Modified}
+	switch local {
+	case Modified:
+		return Result{NewState: Modified, Src: SrcNone, WasHit: true}
+	case Exclusive:
+		// Silent upgrade: sole copy.
+		c.setState(p, line, Modified)
+		return Result{NewState: Modified, Src: SrcNone, WasHit: true}
+	case Shared, Owned:
+		// Upgrade: invalidate every other sharer; data already local.
+		res.Src = SrcNone
+		res.WasHit = true
+	case Invalid:
+		res.Src = SrcMemory
+	}
+	for q := range c.peers {
+		if q == p {
+			continue
+		}
+		s := c.peers[q][line]
+		if !s.Valid() {
+			continue
+		}
+		if local == Invalid && s.CanSupply() {
+			res.Src = SrcCache
+		}
+		c.setState(q, line, Invalid)
+		res.Invalidations++
+	}
+	c.setState(p, line, Modified)
+	return res
+}
+
+// Evict removes peer p's copy (capacity replacement), reporting whether a
+// writeback is required.
+func (c *Controller) Evict(p int, line uint64) Result {
+	s := c.peers[p][line]
+	c.setState(p, line, Invalid)
+	return Result{NewState: Invalid, Writeback: s.Dirty()}
+}
+
+// FlushLine forces peer p's copy back to memory and invalidates it, as a
+// CPU cache-flush instruction does before a DMA transfer.
+func (c *Controller) FlushLine(p int, line uint64) Result {
+	return c.Evict(p, line)
+}
+
+// CheckInvariants validates the single-writer / single-owner properties
+// over every line any peer holds. It returns an error describing the first
+// violation.
+func (c *Controller) CheckInvariants() error {
+	lines := make(map[uint64]struct{})
+	for _, pm := range c.peers {
+		for l := range pm {
+			lines[l] = struct{}{}
+		}
+	}
+	for l := range lines {
+		var mCount, eCount, oCount, valid int
+		for _, pm := range c.peers {
+			switch pm[l] {
+			case Modified:
+				mCount++
+				valid++
+			case Exclusive:
+				eCount++
+				valid++
+			case Owned:
+				oCount++
+				valid++
+			case Shared:
+				valid++
+			}
+		}
+		if mCount > 1 {
+			return fmt.Errorf("coherence: line %#x has %d Modified copies", l, mCount)
+		}
+		if oCount > 1 {
+			return fmt.Errorf("coherence: line %#x has %d Owned copies", l, oCount)
+		}
+		if mCount+oCount > 1 {
+			return fmt.Errorf("coherence: line %#x has both M and O copies", l)
+		}
+		if (mCount == 1 || eCount == 1) && valid > 1 {
+			return fmt.Errorf("coherence: line %#x in M/E with %d total copies", l, valid)
+		}
+		if eCount > 1 {
+			return fmt.Errorf("coherence: line %#x has %d Exclusive copies", l, eCount)
+		}
+	}
+	return nil
+}

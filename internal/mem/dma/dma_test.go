@@ -1,0 +1,393 @@
+package dma
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/mem/dram"
+	"gem5aladdin/internal/sim"
+)
+
+func newEngine(t *testing.T, pipelined bool) (*sim.Engine, *Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	cfg := DefaultConfig(sim.NewClockHz(100e6))
+	cfg.Pipelined = pipelined
+	return eng, New(eng, cfg, b)
+}
+
+func TestFlushAndInvalTicks(t *testing.T) {
+	_, e := newEngine(t, false)
+	// 4096 bytes = 128 lines of 32 B.
+	if got := e.FlushTicks(4096); got != 128*84*sim.Nanosecond {
+		t.Fatalf("flush(4096) = %v", got)
+	}
+	if got := e.InvalTicks(4096); got != 128*71*sim.Nanosecond {
+		t.Fatalf("inval(4096) = %v", got)
+	}
+	// Partial lines round up.
+	if got := e.FlushTicks(33); got != 2*84*sim.Nanosecond {
+		t.Fatalf("flush(33) = %v", got)
+	}
+}
+
+func TestBaselineLoadSequencing(t *testing.T) {
+	eng, e := newEngine(t, false)
+	var doneAt sim.Tick
+	e.LoadPhase([]Transfer{
+		{Arr: 0, Base: 0x10000, Bytes: 4096, Load: true},
+		{Arr: 1, Base: 0x20000, Bytes: 4096, Load: false}, // output: invalidate only
+	}, func() { doneAt = eng.Now() })
+	eng.Run()
+
+	flush := MergeIntervals(e.FlushIntervals())
+	dmas := MergeIntervals(e.DMAIntervals())
+	if len(flush) != 1 || len(dmas) != 1 {
+		t.Fatalf("intervals: flush=%v dma=%v", flush, dmas)
+	}
+	// Baseline: DMA starts only after the whole flush (+inval) window.
+	if dmas[0].Start < flush[0].End {
+		t.Fatalf("baseline DMA started at %v before flush ended at %v",
+			dmas[0].Start, flush[0].End)
+	}
+	wantFlush := e.InvalTicks(4096) + e.FlushTicks(4096)
+	if flush[0].Duration() != wantFlush {
+		t.Fatalf("flush window = %v, want %v", flush[0].Duration(), wantFlush)
+	}
+	if doneAt != dmas[0].End {
+		t.Fatalf("done at %v, dma end %v", doneAt, dmas[0].End)
+	}
+	if e.Stats().Descriptors != 1 {
+		t.Fatalf("descriptors = %d", e.Stats().Descriptors)
+	}
+}
+
+func TestPipelinedOverlapsFlushWithDMA(t *testing.T) {
+	transfers := []Transfer{{Arr: 0, Base: 0x10000, Bytes: 16 * 1024, Load: true}}
+
+	run := func(pipelined bool) (total sim.Tick, e *Engine) {
+		eng, e := newEngine(t, pipelined)
+		var doneAt sim.Tick
+		e.LoadPhase(transfers, func() { doneAt = eng.Now() })
+		eng.Run()
+		return doneAt, e
+	}
+	base, _ := run(false)
+	pipe, pe := run(true)
+	if pipe >= base {
+		t.Fatalf("pipelined (%v) not faster than baseline (%v)", pipe, base)
+	}
+	// 16 KB / 4 KB chunks = 4 descriptors.
+	if pe.Stats().Descriptors != 4 {
+		t.Fatalf("pipelined descriptors = %d, want 4", pe.Stats().Descriptors)
+	}
+	// In the best case all but one chunk's flush is hidden: the paper's
+	// bound. Flush of 16 KB = 512 lines * 84ns = 43us; DMA of 16 KB at
+	// ~4 B per 10ns ~ 41us; so pipelined total should be near
+	// flush_chunk0 + max(flush_rest, dma_total) rather than flush+dma.
+	if pipe > base-3*pe.FlushTicks(4096)/2 {
+		t.Fatalf("pipelining hid too little flush: %v vs %v", pipe, base)
+	}
+}
+
+func TestPipelinedChunkWaitsForOwnFlush(t *testing.T) {
+	eng, e := newEngine(t, true)
+	e.LoadPhase([]Transfer{{Arr: 0, Base: 0, Bytes: 8192, Load: true}}, func() {})
+	eng.Run()
+	// First DMA interval must start no earlier than the first chunk's
+	// flush completes (4 KB = 128 lines * 84 ns) plus setup.
+	dmas := e.DMAIntervals()
+	if len(dmas) != 2 {
+		t.Fatalf("dma intervals = %d", len(dmas))
+	}
+	firstFlush := e.FlushTicks(4096)
+	if dmas[0].Start < firstFlush {
+		t.Fatalf("chunk 0 transfer at %v before its flush done %v",
+			dmas[0].Start, firstFlush)
+	}
+}
+
+func TestArrivalCallbacksSequential(t *testing.T) {
+	eng, e := newEngine(t, true)
+	type arrival struct{ off, n uint32 }
+	var got []arrival
+	e.OnArrive = func(arr int16, off, n uint32) {
+		if arr != 3 {
+			t.Errorf("arr = %d", arr)
+		}
+		got = append(got, arrival{off, n})
+	}
+	e.LoadPhase([]Transfer{{Arr: 3, Base: 0, Bytes: 4096, Load: true}}, func() {})
+	eng.Run()
+	if len(got) == 0 {
+		t.Fatal("no arrivals reported")
+	}
+	var cum uint32
+	for _, a := range got {
+		if a.off != cum {
+			t.Fatalf("arrival at %d, expected sequential %d", a.off, cum)
+		}
+		cum += a.n
+	}
+	if cum != 4096 {
+		t.Fatalf("total arrived = %d", cum)
+	}
+}
+
+func TestArrivalsSpreadOverTransfer(t *testing.T) {
+	eng, e := newEngine(t, true)
+	var times []sim.Tick
+	e.OnArrive = func(arr int16, off, n uint32) { times = append(times, eng.Now()) }
+	e.LoadPhase([]Transfer{{Arr: 0, Base: 0, Bytes: 4096, Load: true}}, func() {})
+	eng.Run()
+	if len(times) < 4 {
+		t.Fatalf("arrivals = %d", len(times))
+	}
+	// Arrivals must be strictly spread, not bunched at completion.
+	if times[0] == times[len(times)-1] {
+		t.Fatal("all arrivals at the same instant")
+	}
+}
+
+func TestStorePhase(t *testing.T) {
+	eng, e := newEngine(t, false)
+	var doneAt sim.Tick
+	e.StorePhase([]Transfer{
+		{Arr: 0, Base: 0x10000, Bytes: 2048, Load: false},
+		{Arr: 1, Base: 0x20000, Bytes: 1024, Load: true}, // ignored here
+	}, func() { doneAt = eng.Now() })
+	eng.Run()
+	if doneAt == 0 {
+		t.Fatal("store phase never finished")
+	}
+	if e.Stats().BytesMoved != 2048 {
+		t.Fatalf("bytes moved = %d", e.Stats().BytesMoved)
+	}
+	if len(e.FlushIntervals()) != 0 {
+		t.Fatal("store phase should not flush")
+	}
+}
+
+func TestEmptyPhases(t *testing.T) {
+	eng, e := newEngine(t, false)
+	calls := 0
+	e.LoadPhase(nil, func() { calls++ })
+	e.StorePhase(nil, func() { calls++ })
+	eng.Run()
+	if calls != 2 {
+		t.Fatalf("callbacks = %d", calls)
+	}
+}
+
+func TestSetupOverheadCharged(t *testing.T) {
+	eng, e := newEngine(t, false)
+	var doneAt sim.Tick
+	// A tiny 32 B store: time should be dominated by the 40-cycle setup.
+	e.StorePhase([]Transfer{{Base: 0, Bytes: 32}}, func() { doneAt = eng.Now() })
+	eng.Run()
+	setup := e.cfg.AccelClock.Cycles(e.cfg.SetupCycles)
+	if doneAt < setup {
+		t.Fatalf("done at %v, before setup %v elapsed", doneAt, setup)
+	}
+}
+
+func TestMergeIntervals(t *testing.T) {
+	ivs := []Interval{{10, 20}, {15, 30}, {40, 50}, {50, 60}, {5, 8}}
+	m := MergeIntervals(ivs)
+	want := []Interval{{5, 8}, {10, 30}, {40, 60}}
+	if len(m) != len(want) {
+		t.Fatalf("merged = %v", m)
+	}
+	for i := range want {
+		if m[i] != want[i] {
+			t.Fatalf("merged = %v, want %v", m, want)
+		}
+	}
+	if TotalDuration(ivs) != 3+20+20 {
+		t.Fatalf("total = %v", TotalDuration(ivs))
+	}
+	if MergeIntervals(nil) != nil {
+		t.Fatal("nil merge should be nil")
+	}
+}
+
+// Property: merged intervals are disjoint, sorted, and cover exactly the
+// union of the inputs.
+func TestMergeIntervalsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var ivs []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			a, b := sim.Tick(raw[i]), sim.Tick(raw[i+1])
+			if a > b {
+				a, b = b, a
+			}
+			ivs = append(ivs, Interval{a, b})
+		}
+		m := MergeIntervals(ivs)
+		for i := 1; i < len(m); i++ {
+			if m[i].Start <= m[i-1].End {
+				return false
+			}
+		}
+		// Every input point inside some merged interval.
+		for _, iv := range ivs {
+			found := false
+			for _, mm := range m {
+				if iv.Start >= mm.Start && iv.End <= mm.End {
+					found = true
+					break
+				}
+			}
+			if !found && iv.Start != iv.End {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntervalSetAlgebra(t *testing.T) {
+	a := []Interval{{0, 10}, {20, 30}}
+	b := []Interval{{5, 25}}
+	inter := Intersect(a, b)
+	want := []Interval{{5, 10}, {20, 25}}
+	if len(inter) != 2 || inter[0] != want[0] || inter[1] != want[1] {
+		t.Fatalf("intersect = %v", inter)
+	}
+	sub := Subtract(a, b)
+	wantSub := []Interval{{0, 5}, {25, 30}}
+	if len(sub) != 2 || sub[0] != wantSub[0] || sub[1] != wantSub[1] {
+		t.Fatalf("subtract = %v", sub)
+	}
+	uni := Union(a, b)
+	if len(uni) != 1 || uni[0] != (Interval{0, 30}) {
+		t.Fatalf("union = %v", uni)
+	}
+}
+
+func TestIntervalAlgebraEmpty(t *testing.T) {
+	a := []Interval{{0, 10}}
+	if got := Intersect(a, nil); got != nil {
+		t.Fatalf("intersect with empty = %v", got)
+	}
+	if got := Subtract(nil, a); got != nil {
+		t.Fatalf("empty minus a = %v", got)
+	}
+	sub := Subtract(a, nil)
+	if len(sub) != 1 || sub[0] != a[0] {
+		t.Fatalf("a minus empty = %v", sub)
+	}
+}
+
+// Property: durations obey |A| = |A∩B| + |A\B|, and |A∪B| = |A|+|B|-|A∩B|.
+func TestIntervalAlgebraProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		var a, b []Interval
+		for i := 0; i+1 < len(raw); i += 2 {
+			lo, hi := sim.Tick(raw[i]), sim.Tick(raw[i+1])
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if i%4 == 0 {
+				a = append(a, Interval{lo, hi})
+			} else {
+				b = append(b, Interval{lo, hi})
+			}
+		}
+		ta, tb := TotalDuration(a), TotalDuration(b)
+		ti := TotalDuration(Intersect(a, b))
+		ts := TotalDuration(Subtract(a, b))
+		tu := TotalDuration(Union(a, b))
+		return ta == ti+ts && tu == ta+tb-ti
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func newCoherentEngine(t *testing.T) (*sim.Engine, *Engine) {
+	t.Helper()
+	eng := sim.NewEngine()
+	d := dram.New(eng, dram.DefaultConfig())
+	b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+	cfg := DefaultConfig(sim.NewClockHz(100e6))
+	cfg.Pipelined = true
+	cfg.HardwareCoherent = true
+	return eng, New(eng, cfg, b)
+}
+
+func TestCoherentDMANoFlush(t *testing.T) {
+	eng, e := newCoherentEngine(t)
+	var doneAt sim.Tick
+	e.LoadPhase([]Transfer{
+		{Arr: 0, Base: 0, Bytes: 8192, Load: true},
+		{Arr: 1, Base: 0x10000, Bytes: 8192, Load: false},
+	}, func() { doneAt = eng.Now() })
+	eng.Run()
+	if got := e.Stats().LinesFlushed; got != 0 {
+		t.Fatalf("coherent DMA flushed %d lines", got)
+	}
+	if got := e.Stats().LinesInvalidated; got != 0 {
+		t.Fatalf("coherent DMA invalidated %d lines", got)
+	}
+	if len(e.FlushIntervals()) != 0 {
+		t.Fatal("coherent DMA recorded flush activity")
+	}
+	// The first transfer can begin right away (setup only).
+	dmas := e.DMAIntervals()
+	if len(dmas) == 0 {
+		t.Fatal("no transfers")
+	}
+	setup := e.cfg.AccelClock.Cycles(e.cfg.SetupCycles)
+	if dmas[0].Start > setup+sim.Nanosecond {
+		t.Fatalf("first coherent chunk started at %v, want ~%v", dmas[0].Start, setup)
+	}
+	if doneAt == 0 {
+		t.Fatal("load phase never finished")
+	}
+}
+
+func TestCoherentDMAFasterThanSoftwareCoherence(t *testing.T) {
+	transfers := []Transfer{
+		{Arr: 0, Base: 0, Bytes: 16 * 1024, Load: true},
+		{Arr: 1, Base: 0x10000, Bytes: 16 * 1024, Load: false},
+	}
+	run := func(coherent bool) sim.Tick {
+		eng := sim.NewEngine()
+		d := dram.New(eng, dram.DefaultConfig())
+		b := bus.New(eng, bus.Config{WidthBits: 32, Clock: sim.NewClockHz(100e6)}, d)
+		cfg := DefaultConfig(sim.NewClockHz(100e6))
+		cfg.Pipelined = true
+		cfg.HardwareCoherent = coherent
+		e := New(eng, cfg, b)
+		var doneAt sim.Tick
+		e.LoadPhase(transfers, func() { doneAt = eng.Now() })
+		eng.Run()
+		return doneAt
+	}
+	sw, hw := run(false), run(true)
+	if hw >= sw {
+		t.Fatalf("coherent DMA (%v) not faster than software coherence (%v)", hw, sw)
+	}
+	// The win should be roughly the flush time that disappeared.
+	if sw-hw < 10*sim.Microsecond {
+		t.Fatalf("coherent DMA saved only %v", sw-hw)
+	}
+}
+
+func TestCoherentDMAArrivalsStillStream(t *testing.T) {
+	eng, e := newCoherentEngine(t)
+	var cum uint32
+	e.OnArrive = func(arr int16, off, n uint32) { cum += n }
+	e.LoadPhase([]Transfer{{Arr: 0, Base: 0, Bytes: 4096, Load: true}}, func() {})
+	eng.Run()
+	if cum != 4096 {
+		t.Fatalf("arrivals covered %d bytes", cum)
+	}
+}

@@ -1,0 +1,198 @@
+package dram
+
+import (
+	"testing"
+
+	"gem5aladdin/internal/sim"
+)
+
+func newDRAM(t *testing.T) (*sim.Engine, *DRAM) {
+	t.Helper()
+	eng := sim.NewEngine()
+	return eng, New(eng, DefaultConfig())
+}
+
+func TestRowHitVsMiss(t *testing.T) {
+	eng, d := newDRAM(t)
+	var t1, t2, t3 sim.Tick
+	d.Access(0, 64, false, func() { t1 = eng.Now() })
+	eng.Run()
+	d.Access(64, 64, false, func() { t2 = eng.Now() - t1 })
+	eng.Run()
+	// Different row, same bank stride: row 0 and row 8 map to bank 0.
+	d.Access(8*2048, 64, false, func() { t3 = eng.Now() })
+	eng.Run()
+	st := d.Stats()
+	if st.RowHits != 1 || st.RowMisses != 2 {
+		t.Fatalf("hits/misses = %d/%d, want 1/2", st.RowHits, st.RowMisses)
+	}
+	// First access: miss = 45ns + burst(64B @4.2B/ns ~ 15ns).
+	cfg := d.Config()
+	wantMiss := cfg.TCas + cfg.TRpRcd + sim.Tick(float64(64)/cfg.BytesPerNs*1000+0.5)
+	if t1 != wantMiss {
+		t.Fatalf("cold access latency %v, want %v", t1, wantMiss)
+	}
+	wantHit := cfg.TCas + sim.Tick(float64(64)/cfg.BytesPerNs*1000+0.5)
+	if t2 != wantHit {
+		t.Fatalf("row hit latency %v, want %v", t2, wantHit)
+	}
+	_ = t3
+}
+
+func TestLargeAccessSplitsAcrossRows(t *testing.T) {
+	eng, d := newDRAM(t)
+	done := false
+	d.Access(0, 8192, false, func() { done = true }) // 4 rows
+	eng.Run()
+	if !done {
+		t.Fatal("large access never completed")
+	}
+	st := d.Stats()
+	if st.RowMisses != 4 {
+		t.Fatalf("row misses = %d, want 4 (one per row)", st.RowMisses)
+	}
+	if st.BytesMoved != 8192 {
+		t.Fatalf("bytes = %d", st.BytesMoved)
+	}
+}
+
+func TestStreamingApproachesPeakBandwidth(t *testing.T) {
+	eng, d := newDRAM(t)
+	const total = 64 * 1024
+	var finish sim.Tick
+	d.Access(0, total, false, func() { finish = eng.Now() })
+	eng.Run()
+	gotBW := float64(total) / finish.Nanos()
+	peak := d.Config().BytesPerNs
+	if gotBW < 0.85*peak {
+		t.Fatalf("streaming bandwidth %.2f B/ns, want >= 85%% of peak %.2f", gotBW, peak)
+	}
+	if gotBW > peak {
+		t.Fatalf("streaming bandwidth %.2f exceeds peak %.2f", gotBW, peak)
+	}
+}
+
+func TestBankInterleavingOverlapsActivations(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, DefaultConfig())
+	// Two concurrent accesses to different banks overlap their activations;
+	// two to the same bank serialize.
+	var doneA, doneB sim.Tick
+	d.Access(0, 64, false, func() { doneA = eng.Now() })    // bank 0
+	d.Access(2048, 64, false, func() { doneB = eng.Now() }) // bank 1
+	eng.Run()
+	if doneB-doneA > 20*sim.Nanosecond {
+		t.Fatalf("different-bank accesses barely overlapped: %v vs %v", doneA, doneB)
+	}
+
+	eng2 := sim.NewEngine()
+	d2 := New(eng2, DefaultConfig())
+	var sameA, sameB sim.Tick
+	d2.Access(0, 64, false, func() { sameA = eng2.Now() })
+	d2.Access(64, 64, false, func() { sameB = eng2.Now() })
+	eng2.Run()
+	if sameB <= sameA {
+		t.Fatal("same-bank accesses did not serialize")
+	}
+}
+
+func TestWriteCounts(t *testing.T) {
+	eng, d := newDRAM(t)
+	d.Access(0, 32, true, func() {})
+	d.Access(0, 32, false, func() {})
+	eng.Run()
+	st := d.Stats()
+	if st.Writes != 1 || st.Reads != 1 {
+		t.Fatalf("reads/writes = %d/%d", st.Reads, st.Writes)
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	eng, d := newDRAM(t)
+	called := false
+	d.Access(0, 0, false, func() { called = true })
+	eng.Run()
+	if !called {
+		t.Fatal("zero-byte access never completed")
+	}
+	if d.Stats().Reads != 0 {
+		t.Fatal("zero-byte access counted")
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{})
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	// Alternate two rows of the same bank: FCFS pays a row miss on every
+	// access; FR-FCFS groups hits and halves the activations.
+	run := func(p Policy) (sim.Tick, Stats) {
+		eng := sim.NewEngine()
+		cfg := DefaultConfig()
+		cfg.Policy = p
+		d := New(eng, cfg)
+		rowA := uint64(0)        // bank 0, row 0
+		rowB := uint64(8 * 2048) // bank 0, row 8
+		var last sim.Tick
+		for i := 0; i < 4; i++ {
+			d.Access(rowA+uint64(i*64), 64, false, func() { last = eng.Now() })
+			d.Access(rowB+uint64(i*64), 64, false, func() { last = eng.Now() })
+		}
+		eng.Run()
+		return last, d.Stats()
+	}
+	tFCFS, sFCFS := run(FCFS)
+	tFR, sFR := run(FRFCFS)
+	if sFR.RowMisses >= sFCFS.RowMisses {
+		t.Fatalf("FR-FCFS misses %d not below FCFS %d", sFR.RowMisses, sFCFS.RowMisses)
+	}
+	if tFR >= tFCFS {
+		t.Fatalf("FR-FCFS (%v) not faster than FCFS (%v)", tFR, tFCFS)
+	}
+}
+
+func TestFRFCFSNoStarvation(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Policy = FRFCFS
+	d := New(eng, cfg)
+	// One request to row B, then a long stream to row A (same bank). The
+	// skip cap must eventually force row B through.
+	var bAt sim.Tick
+	d.Access(0, 64, false, func() {})                       // open row 0
+	d.Access(8*2048, 64, false, func() { bAt = eng.Now() }) // row 8, same bank
+	for i := 1; i < 30; i++ {
+		d.Access(uint64(i*64), 64, false, func() {})
+	}
+	eng.Run()
+	if bAt == 0 {
+		t.Fatal("row-B request never served")
+	}
+	// It must complete before the entire row-A stream would (30 hits at
+	// ~30ns each).
+	if bAt > 600*sim.Nanosecond {
+		t.Fatalf("row-B request starved until %v", bAt)
+	}
+}
+
+func TestFRFCFSCompletesAllBeats(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Policy = FRFCFS
+	d := New(eng, cfg)
+	done := false
+	d.Access(0, 8192, false, func() { done = true }) // 4 rows, multi-beat
+	eng.Run()
+	if !done {
+		t.Fatal("multi-beat FR-FCFS access never completed")
+	}
+	if d.Stats().BytesMoved != 8192 {
+		t.Fatalf("bytes = %d", d.Stats().BytesMoved)
+	}
+}

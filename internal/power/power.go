@@ -1,0 +1,222 @@
+// Package power provides the analytic energy and leakage models used to
+// score accelerator design points, in the role of Aladdin's TSMC 40nm
+// characterization. Absolute values are calibrated to published 40nm-class
+// trends (CACTI-style SRAM scaling, superlinear multi-porting cost, cache
+// tag/TLB overheads); the co-design studies only depend on the orderings
+// these trends induce, as recorded in DESIGN.md.
+package power
+
+import (
+	"math"
+
+	"gem5aladdin/internal/trace"
+)
+
+// Model holds every tunable energy constant. Use Default for the calibrated
+// 40nm-class configuration.
+type Model struct {
+	// OpEnergyPJ is dynamic energy per operation, indexed by trace.OpKind.
+	// Memory kinds are zero here; array accesses are charged through the
+	// SRAM/cache models instead.
+	OpEnergyPJ [trace.NumKinds]float64
+
+	// LaneLeakUW is leakage per datapath lane (one FP MAC-class chain of
+	// functional units plus its FSM control).
+	LaneLeakUW float64
+
+	// SRAM access energy per up-to-8-byte word: Base + Slope*sqrt(KB),
+	// scaled by ports^PortEnergyExp.
+	SRAMBasePJ    float64
+	SRAMSlopePJ   float64
+	PortEnergyExp float64
+	// XbarPerBank is the per-access crossbar/wiring overhead factor added
+	// per bank beyond the first when an array is partitioned: routing a
+	// lane to one of P banks is not free.
+	XbarPerBank float64
+
+	// SRAM leakage: (LeakUWPerKB*KB + LeakUWPerBank) * ports^PortLeakExp.
+	// The per-bank term models decoder/sense-amp periphery, which is what
+	// makes heavy partitioning cost leakage even at constant capacity.
+	SRAMLeakUWPerKB   float64
+	SRAMLeakUWPerBank float64
+	PortLeakExp       float64
+
+	// Caches pay tag lookups, associativity compare, and replacement
+	// bookkeeping on top of a same-sized SRAM.
+	CacheAccessFactor float64
+	CacheLeakFactor   float64
+	// AssocFactorPer4Way scales cache access energy per 4 ways of
+	// associativity beyond the first 4.
+	AssocFactorPer4Way float64
+
+	// TLBAccessPJ is charged per cache access (address translation).
+	TLBAccessPJ float64
+
+	// Interconnect and memory transfer energies.
+	BusPJPerByte  float64
+	DRAMPJPerByte float64
+
+	// Area model (Aladdin reports area alongside power; over-provisioned
+	// designs waste silicon even when gated). mm^2 at the same 40nm-class
+	// node.
+	LaneAreaMM2      float64 // one datapath lane (FU chain + FSM)
+	SRAMAreaMM2PerKB float64
+	SRAMAreaPerBank  float64 // decoder/sense-amp periphery per macro
+	PortAreaExp      float64 // multi-porting area cost exponent
+	CacheAreaFactor  float64 // tags/MSHRs/TLB overhead over a same-size SRAM
+}
+
+// Default returns the calibrated 40nm-class model.
+func Default() *Model {
+	m := &Model{
+		// A lane is a chain of FP-capable functional units plus FSM
+		// control; its leakage is what punishes over-provisioned
+		// parallelism once data movement caps the achievable speedup.
+		LaneLeakUW:         150,
+		SRAMBasePJ:         1.8,
+		SRAMSlopePJ:        1.1,
+		PortEnergyExp:      1.35,
+		XbarPerBank:        0.05,
+		SRAMLeakUWPerKB:    9,
+		SRAMLeakUWPerBank:  3.2,
+		PortLeakExp:        1.6,
+		CacheAccessFactor:  1.55,
+		CacheLeakFactor:    1.45,
+		AssocFactorPer4Way: 0.12,
+		TLBAccessPJ:        0.9,
+		BusPJPerByte:       2.1,
+		DRAMPJPerByte:      24,
+		LaneAreaMM2:        0.011,
+		SRAMAreaMM2PerKB:   0.007,
+		SRAMAreaPerBank:    0.0012,
+		PortAreaExp:        1.7,
+		CacheAreaFactor:    1.35,
+	}
+	m.OpEnergyPJ[trace.OpIAdd] = 0.10
+	m.OpEnergyPJ[trace.OpISub] = 0.10
+	m.OpEnergyPJ[trace.OpIMul] = 3.0
+	m.OpEnergyPJ[trace.OpIDiv] = 12.0
+	m.OpEnergyPJ[trace.OpIAnd] = 0.03
+	m.OpEnergyPJ[trace.OpIOr] = 0.03
+	m.OpEnergyPJ[trace.OpIXor] = 0.03
+	m.OpEnergyPJ[trace.OpIShl] = 0.04
+	m.OpEnergyPJ[trace.OpIShr] = 0.04
+	m.OpEnergyPJ[trace.OpICmp] = 0.06
+	m.OpEnergyPJ[trace.OpFAdd] = 1.6
+	m.OpEnergyPJ[trace.OpFSub] = 1.6
+	m.OpEnergyPJ[trace.OpFMul] = 4.2
+	m.OpEnergyPJ[trace.OpFDiv] = 16.0
+	m.OpEnergyPJ[trace.OpFSqrt] = 21.0
+	m.OpEnergyPJ[trace.OpFExp] = 26.0
+	m.OpEnergyPJ[trace.OpFCmp] = 0.4
+	m.OpEnergyPJ[trace.OpSelect] = 0.08
+	return m
+}
+
+const (
+	pJ = 1e-12
+	uW = 1e-6
+)
+
+// OpEnergyJ returns the dynamic energy of one operation in joules.
+func (m *Model) OpEnergyJ(k trace.OpKind) float64 { return m.OpEnergyPJ[k] * pJ }
+
+func portE(ports int, exp float64) float64 {
+	if ports < 1 {
+		ports = 1
+	}
+	return math.Pow(float64(ports), exp)
+}
+
+// SRAMAccessJ is the energy of one scratchpad word access for a bank of the
+// given size and port count.
+func (m *Model) SRAMAccessJ(sizeBytes uint64, ports int) float64 {
+	return m.BankedSRAMAccessJ(sizeBytes, ports, 1)
+}
+
+// BankedSRAMAccessJ is SRAMAccessJ plus the crossbar overhead of selecting
+// among banks banks.
+func (m *Model) BankedSRAMAccessJ(sizeBytes uint64, ports, banks int) float64 {
+	kb := float64(sizeBytes) / 1024
+	xbar := 1 + m.XbarPerBank*float64(banks-1)
+	return (m.SRAMBasePJ + m.SRAMSlopePJ*math.Sqrt(kb)) * portE(ports, m.PortEnergyExp) * xbar * pJ
+}
+
+// SRAMLeakW is the leakage power in watts of one SRAM bank.
+func (m *Model) SRAMLeakW(sizeBytes uint64, ports int) float64 {
+	kb := float64(sizeBytes) / 1024
+	return (m.SRAMLeakUWPerKB*kb + m.SRAMLeakUWPerBank) * portE(ports, m.PortLeakExp) * uW
+}
+
+// CacheAccessJ is the energy of one cache access (data + tags + TLB lookup).
+func (m *Model) CacheAccessJ(sizeBytes uint64, ports, assoc int) float64 {
+	assocFactor := 1.0
+	if assoc > 4 {
+		assocFactor += m.AssocFactorPer4Way * float64(assoc-4) / 4
+	}
+	return m.SRAMAccessJ(sizeBytes, ports)*m.CacheAccessFactor*assocFactor + m.TLBAccessPJ*pJ
+}
+
+// CacheLeakW is the leakage power of a cache (data + tags + MSHRs).
+func (m *Model) CacheLeakW(sizeBytes uint64, ports int) float64 {
+	return m.SRAMLeakW(sizeBytes, ports) * m.CacheLeakFactor
+}
+
+// LaneLeakW is the leakage power of n datapath lanes.
+func (m *Model) LaneLeakW(n int) float64 { return m.LaneLeakUW * float64(n) * uW }
+
+// BusJ is the interconnect energy of moving n bytes.
+func (m *Model) BusJ(n uint64) float64 { return m.BusPJPerByte * float64(n) * pJ }
+
+// DRAMJ is the DRAM array + IO energy of moving n bytes.
+func (m *Model) DRAMJ(n uint64) float64 { return m.DRAMPJPerByte * float64(n) * pJ }
+
+// LaneAreaTotalMM2 returns the silicon area of n datapath lanes.
+func (m *Model) LaneAreaTotalMM2(n int) float64 { return m.LaneAreaMM2 * float64(n) }
+
+// SRAMAreaMM2 returns the area of one scratchpad bank.
+func (m *Model) SRAMAreaMM2(sizeBytes uint64, ports int) float64 {
+	kb := float64(sizeBytes) / 1024
+	return (m.SRAMAreaMM2PerKB*kb + m.SRAMAreaPerBank) * portE(ports, m.PortAreaExp)
+}
+
+// CacheAreaMM2 returns the area of a cache (data + tags + MSHRs + TLB).
+func (m *Model) CacheAreaMM2(sizeBytes uint64, ports int) float64 {
+	return m.SRAMAreaMM2(sizeBytes, ports) * m.CacheAreaFactor
+}
+
+// Breakdown accumulates accelerator energy by component, in joules. It
+// covers the accelerator only — datapath plus local memories — matching
+// the paper's "all power results represent only the accelerator power";
+// interconnect/DRAM movement energy is reported separately by the SoC
+// layer.
+type Breakdown struct {
+	FUDynamic  float64
+	FULeak     float64
+	MemDynamic float64 // scratchpad or cache array accesses
+	MemLeak    float64
+}
+
+// Total is the summed accelerator energy in joules.
+func (b Breakdown) Total() float64 {
+	return b.FUDynamic + b.FULeak + b.MemDynamic + b.MemLeak
+}
+
+// Add accumulates o into b.
+func (b *Breakdown) Add(o Breakdown) {
+	b.FUDynamic += o.FUDynamic
+	b.FULeak += o.FULeak
+	b.MemDynamic += o.MemDynamic
+	b.MemLeak += o.MemLeak
+}
+
+// AvgPowerW is the average power over an execution of the given seconds.
+func (b Breakdown) AvgPowerW(seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return b.Total() / seconds
+}
+
+// EDP returns the energy-delay product in joule-seconds.
+func EDP(energyJ, seconds float64) float64 { return energyJ * seconds }

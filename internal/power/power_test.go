@@ -1,0 +1,156 @@
+package power
+
+import (
+	"testing"
+	"testing/quick"
+
+	"gem5aladdin/internal/trace"
+)
+
+func TestDefaultOpEnergies(t *testing.T) {
+	m := Default()
+	// FP multiply must dominate FP add; divides and sqrt dominate both.
+	if m.OpEnergyJ(trace.OpFMul) <= m.OpEnergyJ(trace.OpFAdd) {
+		t.Fatal("fmul should cost more than fadd")
+	}
+	if m.OpEnergyJ(trace.OpFDiv) <= m.OpEnergyJ(trace.OpFMul) {
+		t.Fatal("fdiv should cost more than fmul")
+	}
+	if m.OpEnergyJ(trace.OpFSqrt) <= m.OpEnergyJ(trace.OpFMul) {
+		t.Fatal("fsqrt should cost more than fmul")
+	}
+	if m.OpEnergyJ(trace.OpIAdd) <= 0 {
+		t.Fatal("iadd energy must be positive")
+	}
+	// Memory kinds are charged via SRAM/cache models, not here.
+	if m.OpEnergyJ(trace.OpLoad) != 0 || m.OpEnergyJ(trace.OpStore) != 0 {
+		t.Fatal("load/store should have zero FU energy")
+	}
+}
+
+func TestSRAMScalesWithSize(t *testing.T) {
+	m := Default()
+	small := m.SRAMAccessJ(2*1024, 1)
+	big := m.SRAMAccessJ(64*1024, 1)
+	if big <= small {
+		t.Fatalf("64KB access (%g) should cost more than 2KB (%g)", big, small)
+	}
+	// Sublinear: 32x the capacity should be far less than 32x the energy.
+	if big >= 8*small {
+		t.Fatalf("SRAM energy scaling too steep: %g vs %g", big, small)
+	}
+}
+
+func TestPortScalingSuperlinear(t *testing.T) {
+	m := Default()
+	e1 := m.SRAMAccessJ(8*1024, 1)
+	e4 := m.SRAMAccessJ(8*1024, 4)
+	if e4 <= 4*e1/2 {
+		t.Fatalf("4-port energy %g not superlinear vs 1-port %g", e4, e1)
+	}
+	l1 := m.SRAMLeakW(8*1024, 1)
+	l8 := m.SRAMLeakW(8*1024, 8)
+	if l8 <= 8*l1 {
+		t.Fatalf("8-port leakage %g should exceed 8x single-port %g", l8, l1)
+	}
+}
+
+func TestCacheCostsMoreThanScratchpad(t *testing.T) {
+	m := Default()
+	for _, size := range []uint64{2048, 16384, 65536} {
+		if m.CacheAccessJ(size, 1, 4) <= m.SRAMAccessJ(size, 1) {
+			t.Fatalf("cache access at %dB should cost more than scratchpad", size)
+		}
+		if m.CacheLeakW(size, 1) <= m.SRAMLeakW(size, 1) {
+			t.Fatalf("cache leakage at %dB should exceed scratchpad", size)
+		}
+	}
+}
+
+func TestAssociativityCost(t *testing.T) {
+	m := Default()
+	if m.CacheAccessJ(16384, 1, 8) <= m.CacheAccessJ(16384, 1, 4) {
+		t.Fatal("8-way cache access should cost more than 4-way")
+	}
+}
+
+func TestLaneLeak(t *testing.T) {
+	m := Default()
+	if m.LaneLeakW(16) != 16*m.LaneLeakW(1) {
+		t.Fatal("lane leakage should be linear in lanes")
+	}
+}
+
+func TestTransferEnergies(t *testing.T) {
+	m := Default()
+	if m.DRAMJ(64) <= m.BusJ(64) {
+		t.Fatal("DRAM transfer should dominate bus transfer energy")
+	}
+	if m.BusJ(0) != 0 || m.DRAMJ(0) != 0 {
+		t.Fatal("zero bytes should cost zero energy")
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := Breakdown{FUDynamic: 1, FULeak: 2, MemDynamic: 3, MemLeak: 4}
+	if b.Total() != 10 {
+		t.Fatalf("total = %g", b.Total())
+	}
+	var acc Breakdown
+	acc.Add(b)
+	acc.Add(b)
+	if acc.Total() != 20 {
+		t.Fatalf("accumulated total = %g", acc.Total())
+	}
+	if got := b.AvgPowerW(5); got != 2 {
+		t.Fatalf("avg power = %g", got)
+	}
+	if b.AvgPowerW(0) != 0 {
+		t.Fatal("zero-time power should be 0")
+	}
+}
+
+func TestEDP(t *testing.T) {
+	if EDP(2, 3) != 6 {
+		t.Fatal("EDP should be energy*delay")
+	}
+}
+
+// Property: energy and leakage are monotone in size and ports.
+func TestMonotonicityProperty(t *testing.T) {
+	m := Default()
+	f := func(kb1, kb2 uint8, p1, p2 uint8) bool {
+		s1 := uint64(kb1%64+1) * 1024
+		s2 := uint64(kb2%64+1) * 1024
+		if s1 > s2 {
+			s1, s2 = s2, s1
+		}
+		ports1 := int(p1%8) + 1
+		ports2 := int(p2%8) + 1
+		if ports1 > ports2 {
+			ports1, ports2 = ports2, ports1
+		}
+		return m.SRAMAccessJ(s1, ports1) <= m.SRAMAccessJ(s2, ports2) &&
+			m.SRAMLeakW(s1, ports1) <= m.SRAMLeakW(s2, ports2) &&
+			m.CacheAccessJ(s1, ports1, 4) <= m.CacheAccessJ(s2, ports2, 4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	m := Default()
+	if m.LaneAreaTotalMM2(16) != 16*m.LaneAreaTotalMM2(1) {
+		t.Fatal("lane area should be linear")
+	}
+	if m.SRAMAreaMM2(64*1024, 1) <= m.SRAMAreaMM2(2*1024, 1) {
+		t.Fatal("bigger SRAM should be bigger")
+	}
+	if m.SRAMAreaMM2(8*1024, 4) <= 2*m.SRAMAreaMM2(8*1024, 1) {
+		t.Fatal("multi-porting should cost superlinear area")
+	}
+	if m.CacheAreaMM2(8*1024, 1) <= m.SRAMAreaMM2(8*1024, 1) {
+		t.Fatal("cache should cost more area than a same-size SRAM")
+	}
+}

@@ -1,0 +1,138 @@
+// Package report flattens simulation results into records that serialize
+// to JSON or CSV, so sweeps can feed external plotting without parsing the
+// ASCII tables the figure harness prints.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"reflect"
+	"strconv"
+
+	"gem5aladdin/internal/soc"
+)
+
+// Record is one design point's flattened outcome. Field names are stable
+// (they become the CSV header and JSON keys).
+type Record struct {
+	Benchmark string `json:"benchmark"`
+	Mem       string `json:"mem"`
+
+	Lanes      int `json:"lanes"`
+	Partitions int `json:"partitions"`
+	SpadPorts  int `json:"spad_ports"`
+	CacheKB    int `json:"cache_kb"`
+	CacheLineB int `json:"cache_line_b"`
+	CachePorts int `json:"cache_ports"`
+	CacheAssoc int `json:"cache_assoc"`
+	BusBits    int `json:"bus_bits"`
+
+	RuntimeUS     float64 `json:"runtime_us"`
+	FlushOnlyUS   float64 `json:"flush_only_us"`
+	DMAOnlyUS     float64 `json:"dma_only_us"`
+	ComputeDMAUS  float64 `json:"compute_dma_us"`
+	ComputeOnlyUS float64 `json:"compute_only_us"`
+	IdleUS        float64 `json:"idle_us"`
+
+	PowerMW    float64 `json:"power_mw"`
+	AreaMM2    float64 `json:"area_mm2"`
+	EnergyUJ   float64 `json:"energy_uj"`
+	TransferUJ float64 `json:"transfer_uj"`
+	EDPNJS     float64 `json:"edp_njs"`
+
+	CacheHits    uint64 `json:"cache_hits"`
+	CacheMisses  uint64 `json:"cache_misses"`
+	TLBMisses    uint64 `json:"tlb_misses"`
+	SpadConflict uint64 `json:"spad_conflicts"`
+	BusBytes     uint64 `json:"bus_bytes"`
+	DRAMBytes    uint64 `json:"dram_bytes"`
+}
+
+// FromResult flattens a run.
+func FromResult(benchmark string, r *soc.RunResult) Record {
+	us := func(t interface{ Nanos() float64 }) float64 { return t.Nanos() / 1e3 }
+	b := r.Breakdown
+	return Record{
+		Benchmark:  benchmark,
+		Mem:        r.Config.Mem.String(),
+		Lanes:      r.Config.Lanes,
+		Partitions: r.Config.Partitions,
+		SpadPorts:  r.Config.SpadPorts,
+		CacheKB:    r.Config.CacheKB,
+		CacheLineB: r.Config.CacheLineBytes,
+		CachePorts: r.Config.CachePorts,
+		CacheAssoc: r.Config.CacheAssoc,
+		BusBits:    r.Config.BusWidthBits,
+
+		RuntimeUS:     r.Seconds() * 1e6,
+		FlushOnlyUS:   us(b.FlushOnly),
+		DMAOnlyUS:     us(b.DMAFlush),
+		ComputeDMAUS:  us(b.ComputeDMA),
+		ComputeOnlyUS: us(b.ComputeOnly),
+		IdleUS:        us(b.Idle),
+
+		PowerMW:    r.AvgPowerW * 1e3,
+		AreaMM2:    r.AreaMM2,
+		EnergyUJ:   r.Energy.Total() * 1e6,
+		TransferUJ: r.TransferJ * 1e6,
+		EDPNJS:     r.EDPJs * 1e9,
+
+		CacheHits:    r.Cache.Hits,
+		CacheMisses:  r.Cache.Misses,
+		TLBMisses:    r.TLB.Misses,
+		SpadConflict: r.Spad.BankConflicts,
+		BusBytes:     r.Bus.BytesMoved,
+		DRAMBytes:    r.DRAM.BytesMoved,
+	}
+}
+
+// WriteJSON emits records as an indented JSON array.
+func WriteJSON(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// Header returns the CSV column names, derived from the Record fields so
+// the two can never drift.
+func Header() []string {
+	t := reflect.TypeOf(Record{})
+	out := make([]string, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		out[i] = t.Field(i).Tag.Get("json")
+	}
+	return out
+}
+
+// WriteCSV emits records with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(Header()); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		v := reflect.ValueOf(r)
+		row := make([]string, v.NumField())
+		for i := 0; i < v.NumField(); i++ {
+			switch f := v.Field(i); f.Kind() {
+			case reflect.String:
+				row[i] = f.String()
+			case reflect.Int:
+				row[i] = strconv.FormatInt(f.Int(), 10)
+			case reflect.Uint64:
+				row[i] = strconv.FormatUint(f.Uint(), 10)
+			case reflect.Float64:
+				row[i] = strconv.FormatFloat(f.Float(), 'g', 6, 64)
+			default:
+				return fmt.Errorf("report: unhandled field kind %v", f.Kind())
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

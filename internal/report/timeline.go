@@ -1,0 +1,111 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"gem5aladdin/internal/core"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/soc"
+)
+
+// TimelineASCII renders the Fig 2a-style execution timeline of a run as a
+// proportional bar: F = flush-only, D = DMA without compute, O =
+// compute/DMA overlap, C = compute-only, '.' = idle. width is the bar
+// length in characters.
+func TimelineASCII(r *soc.RunResult, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	b := r.Breakdown
+	total := float64(r.Runtime)
+	if total == 0 {
+		return strings.Repeat(".", width)
+	}
+	segs := []struct {
+		label byte
+		t     sim.Tick
+	}{
+		{'F', b.FlushOnly},
+		{'D', b.DMAFlush},
+		{'O', b.ComputeDMA},
+		{'C', b.ComputeOnly},
+		{'.', b.Idle},
+	}
+	var sb strings.Builder
+	used := 0
+	for i, s := range segs {
+		n := int(float64(s.t)/total*float64(width) + 0.5)
+		if i == len(segs)-1 {
+			n = width - used
+		}
+		if used+n > width {
+			n = width - used
+		}
+		if n > 0 {
+			sb.Write([]byte(strings.Repeat(string(s.label), n)))
+			used += n
+		}
+	}
+	for used < width {
+		sb.WriteByte('.')
+		used++
+	}
+	return sb.String()
+}
+
+// laneBucket aggregates a lane's activity within one Gantt column.
+type laneBucket uint8
+
+const (
+	laneIdle laneBucket = iota
+	laneActive
+)
+
+// GanttASCII renders a per-lane occupancy chart from a recorded schedule:
+// each row is a lane, each column a time slice, '#' marks slices where the
+// lane had an operation issued or in flight. The breakdown timeline above
+// it shows what the system was doing at the same instants.
+func GanttASCII(r *soc.RunResult, sched []core.ScheduleEntry, lanes, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "phase  %s\n", TimelineASCII(r, width))
+	if len(sched) == 0 || r.Runtime == 0 {
+		return sb.String()
+	}
+	cols := make([][]laneBucket, lanes)
+	for l := range cols {
+		cols[l] = make([]laneBucket, width)
+	}
+	scale := float64(width) / float64(r.Runtime)
+	for _, e := range sched {
+		if int(e.Lane) >= lanes {
+			continue
+		}
+		lo := int(float64(e.Issue) * scale)
+		hi := int(float64(e.Complete) * scale)
+		if lo >= width {
+			lo = width - 1
+		}
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			cols[e.Lane][c] = laneActive
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		fmt.Fprintf(&sb, "lane%-2d ", l)
+		for c := 0; c < width; c++ {
+			if cols[l][c] == laneActive {
+				sb.WriteByte('#')
+			} else {
+				sb.WriteByte('.')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

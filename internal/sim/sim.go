@@ -1,0 +1,158 @@
+// Package sim provides the discrete-event simulation kernel underlying the
+// gem5-Aladdin reproduction: an event queue with deterministic ordering,
+// picosecond-resolution virtual time, and clock-domain helpers.
+//
+// All components in the SoC model (bus, DRAM, caches, DMA engine, the
+// accelerator datapath) schedule work on a shared *Engine. Two events at the
+// same tick fire in the order they were scheduled, which makes every
+// simulation run bit-reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Tick is a point in virtual time. One tick is one picosecond, which lets
+// non-commensurate clock domains (e.g. a 667 MHz CPU and a 100 MHz
+// accelerator) coexist without rounding drift over the lengths of run this
+// simulator targets.
+type Tick uint64
+
+// Common durations expressed in ticks.
+const (
+	Picosecond  Tick = 1
+	Nanosecond  Tick = 1000
+	Microsecond Tick = 1000 * 1000
+	Millisecond Tick = 1000 * 1000 * 1000
+)
+
+// Nanos reports t as a floating-point nanosecond count, for reporting.
+func (t Tick) Nanos() float64 { return float64(t) / float64(Nanosecond) }
+
+// Micros reports t as a floating-point microsecond count, for reporting.
+func (t Tick) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// String formats the tick as nanoseconds.
+func (t Tick) String() string { return fmt.Sprintf("%.1fns", t.Nanos()) }
+
+// Event is a scheduled callback.
+type event struct {
+	when Tick
+	seq  uint64 // tie-break: schedule order
+	fn   func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() (popped any) {
+	old := *h
+	n := len(old)
+	popped = old[n-1]
+	*h = old[:n-1]
+	return
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Tick
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty simulation engine at tick 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Tick { return e.now }
+
+// EventsFired reports how many events have executed, for instrumentation.
+func (e *Engine) EventsFired() uint64 { return e.fired }
+
+// Pending reports how many events are waiting to fire.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn at absolute time when. Scheduling in the past panics:
+// it always indicates a component bug.
+func (e *Engine) Schedule(when Tick, fn func()) {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+}
+
+// After runs fn delta ticks from now.
+func (e *Engine) After(delta Tick, fn func()) { e.Schedule(e.now+delta, fn) }
+
+// Step fires the single earliest pending event and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.when
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (e *Engine) Run() Tick {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time <= deadline. Events beyond the deadline
+// stay queued; the engine's clock advances to at most deadline.
+func (e *Engine) RunUntil(deadline Tick) {
+	for len(e.events) > 0 && e.events[0].when <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Clock describes a clock domain with a fixed period.
+type Clock struct {
+	Period Tick // ticks per cycle
+}
+
+// NewClockHz builds a clock from a frequency in hertz.
+func NewClockHz(hz float64) Clock {
+	if hz <= 0 {
+		panic("sim: non-positive clock frequency")
+	}
+	return Clock{Period: Tick(1e12/hz + 0.5)}
+}
+
+// Cycles converts a cycle count to ticks.
+func (c Clock) Cycles(n uint64) Tick { return Tick(n) * c.Period }
+
+// CyclesAt reports how many full cycles have elapsed at time t.
+func (c Clock) CyclesAt(t Tick) uint64 { return uint64(t / c.Period) }
+
+// NextEdge returns the first clock edge at or after t.
+func (c Clock) NextEdge(t Tick) Tick {
+	if r := t % c.Period; r != 0 {
+		return t + c.Period - r
+	}
+	return t
+}
+
+// CyclesCeil reports the minimum whole cycles covering d ticks.
+func (c Clock) CyclesCeil(d Tick) uint64 {
+	return uint64((d + c.Period - 1) / c.Period)
+}

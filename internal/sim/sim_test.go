@@ -1,0 +1,236 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineEmptyRun(t *testing.T) {
+	e := NewEngine()
+	if got := e.Run(); got != 0 {
+		t.Fatalf("empty run ended at %v, want 0", got)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine reported an event")
+	}
+}
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time %v, want 30", e.Now())
+	}
+}
+
+func TestEngineSameTickFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-tick events fired out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hits int
+	var rec func()
+	rec = func() {
+		hits++
+		if hits < 5 {
+			e.After(7, rec)
+		}
+	}
+	e.After(7, rec)
+	e.Run()
+	if hits != 5 {
+		t.Fatalf("hits = %d, want 5", hits)
+	}
+	if e.Now() != 35 {
+		t.Fatalf("final time %v, want 35", e.Now())
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func() {})
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Tick
+	for _, tk := range []Tick{10, 20, 30, 40} {
+		tk := tk
+		e.Schedule(tk, func() { fired = append(fired, tk) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 20 {
+		t.Fatalf("fired = %v, want [10 20]", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("now = %v, want 25", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("after Run fired = %v", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1234)
+	if e.Now() != 1234 {
+		t.Fatalf("now = %v, want 1234", e.Now())
+	}
+}
+
+// Property: for any set of scheduled times, events fire in nondecreasing
+// time order and equal times fire in schedule order.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		if len(times) == 0 {
+			return true
+		}
+		e := NewEngine()
+		type hit struct {
+			when Tick
+			idx  int
+		}
+		var got []hit
+		for i, tm := range times {
+			i, when := i, Tick(tm)
+			e.Schedule(when, func() { got = append(got, hit{when, i}) })
+		}
+		e.Run()
+		if len(got) != len(times) {
+			return false
+		}
+		want := make([]hit, len(got))
+		copy(want, got)
+		sort.SliceStable(want, func(a, b int) bool {
+			if want[a].when != want[b].when {
+				return want[a].when < want[b].when
+			}
+			return want[a].idx < want[b].idx
+		})
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockHz(t *testing.T) {
+	c := NewClockHz(100e6) // 100 MHz -> 10ns
+	if c.Period != 10*Nanosecond {
+		t.Fatalf("period = %v, want 10ns", c.Period)
+	}
+	if c.Cycles(3) != 30*Nanosecond {
+		t.Fatalf("Cycles(3) = %v", c.Cycles(3))
+	}
+	cpu := NewClockHz(667e6)
+	if cpu.Period != 1499 {
+		t.Fatalf("667MHz period = %v ps, want 1499", cpu.Period)
+	}
+}
+
+func TestClockNextEdge(t *testing.T) {
+	c := Clock{Period: 10}
+	cases := []struct{ in, want Tick }{{0, 0}, {1, 10}, {9, 10}, {10, 10}, {11, 20}}
+	for _, tc := range cases {
+		if got := c.NextEdge(tc.in); got != tc.want {
+			t.Errorf("NextEdge(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClockCyclesCeil(t *testing.T) {
+	c := Clock{Period: 10}
+	cases := []struct {
+		in   Tick
+		want uint64
+	}{{0, 0}, {1, 1}, {10, 1}, {11, 2}, {100, 10}}
+	for _, tc := range cases {
+		if got := c.CyclesCeil(tc.in); got != tc.want {
+			t.Errorf("CyclesCeil(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClockZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClockHz(0) did not panic")
+		}
+	}()
+	NewClockHz(0)
+}
+
+func TestTickConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Fatalf("Micros = %v", got)
+	}
+	if got := (2500 * Picosecond).Nanos(); got != 2.5 {
+		t.Fatalf("Nanos = %v", got)
+	}
+	if s := (1500 * Picosecond).String(); s != "1.5ns" {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestEngineStress(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	var last Tick
+	n := 0
+	for i := 0; i < 5000; i++ {
+		e.Schedule(Tick(rng.Intn(100000)), func() {
+			if e.Now() < last {
+				t.Error("time went backwards")
+			}
+			last = e.Now()
+			n++
+		})
+	}
+	e.Run()
+	if n != 5000 {
+		t.Fatalf("fired %d events, want 5000", n)
+	}
+	if e.EventsFired() != 5000 {
+		t.Fatalf("EventsFired = %d", e.EventsFired())
+	}
+}

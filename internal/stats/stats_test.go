@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Fatalf("geomean(2,8) = %v", g)
+	}
+	if g := Geomean([]float64{5}); g != 5 {
+		t.Fatalf("geomean(5) = %v", g)
+	}
+}
+
+func TestGeomeanPanics(t *testing.T) {
+	for _, bad := range [][]float64{{}, {1, 0}, {-1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("geomean(%v) did not panic", bad)
+				}
+			}()
+			Geomean(bad)
+		}()
+	}
+}
+
+func TestMean(t *testing.T) {
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %v", m)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{2, 4, 6}, 2)
+	if n[0] != 1 || n[1] != 2 || n[2] != 3 {
+		t.Fatalf("normalize = %v", n)
+	}
+}
+
+func TestAbsPctError(t *testing.T) {
+	if e := AbsPctError(95, 100); e != 5 {
+		t.Fatalf("error = %v", e)
+	}
+	if e := AbsPctError(105, 100); e != 5 {
+		t.Fatalf("error = %v", e)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Row("alpha", 1.5)
+	tb.Row("b", 20)
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "alpha") || !strings.Contains(lines[2], "1.5") {
+		t.Fatalf("row wrong: %q", lines[2])
+	}
+}
+
+// Property: geomean lies between min and max, and is scale-equivariant.
+func TestGeomeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		var xs []float64
+		for _, r := range raw {
+			xs = append(xs, float64(r)+1)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		mn, mx := xs[0], xs[0]
+		for _, x := range xs {
+			mn = math.Min(mn, x)
+			mx = math.Max(mx, x)
+		}
+		if g < mn-1e-9 || g > mx+1e-9 {
+			return false
+		}
+		scaled := Geomean(Normalize(xs, 2))
+		return math.Abs(scaled-g/2) < 1e-9*g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

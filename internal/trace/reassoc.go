@@ -1,0 +1,266 @@
+// Tree-height reduction: Aladdin applies standard accelerator design
+// optimizations to the DDDG before scheduling, and the one with the
+// largest scheduling impact is reassociating serial reduction chains
+// (acc = acc op x_i) into balanced trees so unrolled lanes are not
+// latency-bound on a single dependence chain.
+//
+// The transform rewrites the trace in place: within each iteration, the
+// chain's operations are moved after the values they will consume and
+// rewired into a balanced tree. Memory operations never move relative to
+// each other, so the DDDG's memory-dependence semantics are unchanged.
+// Reassociation assumes the target functional units tolerate floating-
+// point reassociation (as HLS tools do under unsafe-math reductions);
+// array contents recorded at trace time are kept as-is.
+
+package trace
+
+// reassocKinds are the associative, commutative operation kinds eligible
+// for tree reduction.
+var reassocKinds = [NumKinds]bool{
+	OpIAdd: true, OpIMul: true, OpIAnd: true, OpIOr: true, OpIXor: true,
+	OpFAdd: true, OpFMul: true,
+}
+
+// chainInfo is one detected reduction chain.
+type chainInfo struct {
+	ops    []int32 // chain nodes, ascending
+	leaves []int32 // non-chain operands with real dependences, ascending
+}
+
+// ReassociateReductions rewrites serial reduction chains of length >= 3
+// into balanced trees and returns the number of chains rewritten. The
+// node count, iteration labels, and memory behavior are unchanged; only
+// compute-node order within iterations and register dependences move.
+func ReassociateReductions(tr *Trace) int {
+	n := len(tr.Nodes)
+	if n == 0 {
+		return 0
+	}
+	// Use counts over register dependences.
+	uses := make([]int32, n)
+	for i := range tr.Nodes {
+		for _, d := range tr.Nodes[i].Deps {
+			if d >= 0 {
+				uses[d]++
+			}
+		}
+	}
+
+	// consumerOf[i] = sole same-kind consumer of node i, if any.
+	inChain := make([]bool, n)
+	var chains []chainInfo
+	for start := 0; start < n; start++ {
+		nd := &tr.Nodes[start]
+		if !reassocKinds[nd.Kind] || inChain[start] {
+			continue
+		}
+		// A chain head's operands must not themselves be an extendable
+		// same-kind single-use node (otherwise we'd start mid-chain).
+		if hasSameKindSingleUseDep(tr, uses, start) {
+			continue
+		}
+		// Walk forward: the next link is the unique consumer of the
+		// current tail, same kind, same iteration, tail used exactly once.
+		ch := chainInfo{ops: []int32{int32(start)}}
+		tail := int32(start)
+		for {
+			if uses[tail] != 1 {
+				break
+			}
+			next := soleConsumer(tr, tail)
+			if next < 0 {
+				break
+			}
+			nn := &tr.Nodes[next]
+			if nn.Kind != nd.Kind || nn.Iter != nd.Iter {
+				break
+			}
+			ch.ops = append(ch.ops, next)
+			tail = next
+		}
+		if len(ch.ops) < 3 {
+			continue
+		}
+		// Collect leaves: every dependence of a chain op that is not a
+		// chain op itself.
+		opSet := map[int32]bool{}
+		for _, o := range ch.ops {
+			opSet[o] = true
+		}
+		for _, o := range ch.ops {
+			for _, d := range tr.Nodes[o].Deps {
+				if d >= 0 && !opSet[d] {
+					ch.leaves = append(ch.leaves, d)
+				}
+			}
+		}
+		// A balanced tree over k ops consumes k+1 operands; chains whose
+		// constant seed shrank the operand count pair what is available.
+		for _, o := range ch.ops {
+			inChain[o] = true
+		}
+		chains = append(chains, ch)
+	}
+	if len(chains) == 0 {
+		return 0
+	}
+
+	// Move each chain's ops as late as possible within its iteration —
+	// but never past a consumer of the chain's tail — via a stable
+	// permutation.
+	perm := buildPermutation(tr, chains)
+	applyPermutation(tr, perm)
+
+	// Rewire each chain (positions changed; remap through perm).
+	for _, ch := range chains {
+		for i := range ch.ops {
+			ch.ops[i] = perm[ch.ops[i]]
+		}
+		for i := range ch.leaves {
+			ch.leaves[i] = perm[ch.leaves[i]]
+		}
+		rewireBalanced(tr, ch)
+	}
+	return len(chains)
+}
+
+func hasSameKindSingleUseDep(tr *Trace, uses []int32, i int) bool {
+	nd := &tr.Nodes[i]
+	for _, d := range nd.Deps {
+		if d >= 0 && tr.Nodes[d].Kind == nd.Kind && uses[d] == 1 &&
+			tr.Nodes[d].Iter == nd.Iter {
+			return true
+		}
+	}
+	return false
+}
+
+// soleConsumer returns the unique node depending on i, or -1 when the
+// consumer is ambiguous (it scans forward; uses[i]==1 guarantees there is
+// exactly one).
+func soleConsumer(tr *Trace, i int32) int32 {
+	for j := i + 1; j < int32(len(tr.Nodes)); j++ {
+		for _, d := range tr.Nodes[j].Deps {
+			if d == i {
+				return j
+			}
+		}
+	}
+	return -1
+}
+
+// buildPermutation computes new positions: chain operations are deferred
+// within their iteration until either a node that depends on the chain's
+// tail appears (the whole chain is flushed just before it, so the tail's
+// leaves have all been emitted by then) or the iteration ends. Everything
+// else keeps its original relative order, so memory-operation order — and
+// with it the DDDG's memory dependences — is untouched.
+func buildPermutation(tr *Trace, chains []chainInfo) []int32 {
+	n := len(tr.Nodes)
+	chainOf := make([]int32, n) // -1: not a chain op
+	for i := range chainOf {
+		chainOf[i] = -1
+	}
+	tailChain := map[int32]int32{} // tail node -> chain index
+	for ci, ch := range chains {
+		for _, o := range ch.ops {
+			chainOf[o] = int32(ci)
+		}
+		tailChain[ch.ops[len(ch.ops)-1]] = int32(ci)
+	}
+
+	perm := make([]int32, n)
+	pos := 0
+	flushed := make([]bool, len(chains))
+	var flush func(ci int32)
+	flush = func(ci int32) {
+		if flushed[ci] {
+			return
+		}
+		flushed[ci] = true
+		for _, o := range chains[ci].ops {
+			// A chain op's leaf may be another chain's tail: flush that
+			// chain first so the dependence stays backwards.
+			for _, d := range tr.Nodes[o].Deps {
+				if d >= 0 {
+					if dep, ok := tailChain[d]; ok && dep != ci {
+						flush(dep)
+					}
+				}
+			}
+			perm[o] = int32(pos)
+			pos++
+		}
+	}
+
+	emitRange := func(lo, hi int) {
+		// Reset flushed state scoping is global (chains never span
+		// iterations, so each flushes exactly once).
+		for i := lo; i < hi; i++ {
+			if ci := chainOf[i]; ci >= 0 {
+				continue // deferred
+			}
+			// Flush any chain whose tail this node consumes.
+			for _, d := range tr.Nodes[i].Deps {
+				if d >= 0 {
+					if ci, ok := tailChain[d]; ok {
+						flush(ci)
+					}
+				}
+			}
+			perm[i] = int32(pos)
+			pos++
+		}
+		// Flush remaining chains of this iteration, in chain order.
+		for i := lo; i < hi; i++ {
+			if ci := chainOf[i]; ci >= 0 && !flushed[ci] {
+				flush(ci)
+			}
+		}
+	}
+	lo := 0
+	for i := 1; i <= n; i++ {
+		if i == n || tr.Nodes[i].Iter != tr.Nodes[lo].Iter {
+			emitRange(lo, i)
+			lo = i
+		}
+	}
+	return perm
+}
+
+func applyPermutation(tr *Trace, perm []int32) {
+	n := len(tr.Nodes)
+	out := make([]Node, n)
+	for i := 0; i < n; i++ {
+		nd := tr.Nodes[i]
+		for k, d := range nd.Deps {
+			if d >= 0 {
+				nd.Deps[k] = perm[d]
+			}
+		}
+		out[perm[i]] = nd
+	}
+	tr.Nodes = out
+}
+
+// rewireBalanced assigns a balanced combining tree over the chain's leaves
+// to its (now trailing) op nodes. Ops are taken in ascending position;
+// operands pair FIFO: leaves first, then intermediate results, which
+// yields minimum tree height.
+func rewireBalanced(tr *Trace, ch chainInfo) {
+	// Operand queue: leaves in ascending order; a chain seeded by a
+	// constant has one fewer real operand than 2*ops.
+	queue := append([]int32{}, ch.leaves...)
+	for _, op := range ch.ops {
+		nd := &tr.Nodes[op]
+		a, b := NoDep, NoDep
+		if len(queue) > 0 {
+			a, queue = queue[0], queue[1:]
+		}
+		if len(queue) > 0 {
+			b, queue = queue[0], queue[1:]
+		}
+		nd.Deps = [3]int32{a, b, NoDep}
+		queue = append(queue, op)
+	}
+}

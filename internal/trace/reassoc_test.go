@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildReduction constructs a serial sum of k loaded values.
+func buildReduction(k int) (*Trace, *Builder) {
+	b := NewBuilder("red")
+	a := b.Alloc("a", F64, k, In)
+	out := b.Alloc("out", F64, 1, Out)
+	for i := 0; i < k; i++ {
+		b.SetF64(a, i, float64(i))
+	}
+	b.BeginIter()
+	acc := b.ConstF(0)
+	for i := 0; i < k; i++ {
+		acc = b.FAdd(acc, b.Load(a, i))
+	}
+	b.Store(out, 0, acc)
+	return b.Finish(), b
+}
+
+// chainDepth computes the longest dependence chain restricted to nodes of
+// the given kind.
+func chainDepth(tr *Trace, kind OpKind) int {
+	depth := make([]int, len(tr.Nodes))
+	best := 0
+	for i := range tr.Nodes {
+		d := 0
+		for _, p := range tr.Nodes[i].Deps {
+			if p >= 0 && tr.Nodes[p].Kind == kind && depth[p] > d {
+				d = depth[p]
+			}
+		}
+		if tr.Nodes[i].Kind == kind {
+			d++
+		}
+		depth[i] = d
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+func validateTrace(t *testing.T, tr *Trace) {
+	t.Helper()
+	if err := tr.validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassociateReducesChainDepth(t *testing.T) {
+	tr, _ := buildReduction(16)
+	before := chainDepth(tr, OpFAdd)
+	if before != 16 {
+		t.Fatalf("serial chain depth = %d, want 16", before)
+	}
+	nodes := tr.NumNodes()
+	if got := ReassociateReductions(tr); got != 1 {
+		t.Fatalf("chains rewritten = %d", got)
+	}
+	validateTrace(t, tr)
+	if tr.NumNodes() != nodes {
+		t.Fatalf("node count changed: %d -> %d", nodes, tr.NumNodes())
+	}
+	after := chainDepth(tr, OpFAdd)
+	// Balanced tree over 16 leaves: depth ~ ceil(log2(16)) + 1.
+	if after > 6 {
+		t.Fatalf("tree depth = %d, want ~log2(16)", after)
+	}
+}
+
+func TestReassociateKeepsStoreConsumer(t *testing.T) {
+	tr, _ := buildReduction(8)
+	ReassociateReductions(tr)
+	validateTrace(t, tr)
+	// The store must still depend on the final add.
+	last := tr.Nodes[len(tr.Nodes)-1]
+	if last.Kind != OpStore {
+		t.Fatalf("last node = %v", last.Kind)
+	}
+	dep := last.Deps[0]
+	if dep < 0 || tr.Nodes[dep].Kind != OpFAdd {
+		t.Fatalf("store depends on %v", tr.Nodes[dep].Kind)
+	}
+}
+
+func TestReassociateShortChainsUntouched(t *testing.T) {
+	tr, _ := buildReduction(2) // only 2 adds: below threshold
+	nodes := append([]Node{}, tr.Nodes...)
+	if got := ReassociateReductions(tr); got != 0 {
+		t.Fatalf("rewrote %d chains in a 2-op reduction", got)
+	}
+	for i := range nodes {
+		if nodes[i] != tr.Nodes[i] {
+			t.Fatal("short chain was modified")
+		}
+	}
+}
+
+func TestReassociateMixedKindsSeparately(t *testing.T) {
+	// sum of products: FMul chain feeding an FAdd chain — only the FAdd
+	// chain forms (muls are independent, not a chain).
+	b := NewBuilder("dot")
+	x := b.Alloc("x", F64, 8, In)
+	y := b.Alloc("y", F64, 8, In)
+	o := b.Alloc("o", F64, 1, Out)
+	for i := 0; i < 8; i++ {
+		b.SetF64(x, i, 1)
+		b.SetF64(y, i, 2)
+	}
+	b.BeginIter()
+	acc := b.ConstF(0)
+	for i := 0; i < 8; i++ {
+		acc = b.FAdd(acc, b.FMul(b.Load(x, i), b.Load(y, i)))
+	}
+	b.Store(o, 0, acc)
+	tr := b.Finish()
+	if got := ReassociateReductions(tr); got != 1 {
+		t.Fatalf("chains = %d, want 1 (the adds)", got)
+	}
+	validateTrace(t, tr)
+	if d := chainDepth(tr, OpFAdd); d > 5 {
+		t.Fatalf("add depth = %d", d)
+	}
+	// Loads/muls unchanged in count.
+	c := tr.OpCounts()
+	if c[OpFMul] != 8 || c[OpLoad] != 16 || c[OpFAdd] != 8 {
+		t.Fatalf("op counts changed: %v", c)
+	}
+}
+
+func TestReassociateMemoryOrderPreserved(t *testing.T) {
+	// Loads and stores must keep their relative order even as adds move.
+	b := NewBuilder("memorder")
+	a := b.Alloc("a", F64, 8, InOut)
+	for i := 0; i < 8; i++ {
+		b.SetF64(a, i, float64(i))
+	}
+	b.BeginIter()
+	acc := b.ConstF(0)
+	for i := 0; i < 4; i++ {
+		acc = b.FAdd(acc, b.Load(a, i))
+	}
+	b.Store(a, 0, acc) // read-after-write hazard with the loads above
+	acc2 := b.Load(a, 0)
+	b.Store(a, 1, acc2)
+	tr := b.Finish()
+	var beforeMem []Node
+	for _, nd := range tr.Nodes {
+		if nd.Kind.IsMem() {
+			beforeMem = append(beforeMem, nd)
+		}
+	}
+	ReassociateReductions(tr)
+	validateTrace(t, tr)
+	var afterMem []Node
+	for _, nd := range tr.Nodes {
+		if nd.Kind.IsMem() {
+			afterMem = append(afterMem, nd)
+		}
+	}
+	if len(beforeMem) != len(afterMem) {
+		t.Fatal("memory op count changed")
+	}
+	for i := range beforeMem {
+		if beforeMem[i].Kind != afterMem[i].Kind || beforeMem[i].Addr != afterMem[i].Addr {
+			t.Fatalf("memory op %d reordered: %+v vs %+v", i, beforeMem[i], afterMem[i])
+		}
+	}
+}
+
+func TestReassociatePerIterationChains(t *testing.T) {
+	// One reduction per iteration: each is its own chain.
+	b := NewBuilder("multi")
+	a := b.Alloc("a", F64, 64, In)
+	o := b.Alloc("o", F64, 8, Out)
+	for i := 0; i < 64; i++ {
+		b.SetF64(a, i, 1)
+	}
+	for it := 0; it < 8; it++ {
+		b.BeginIter()
+		acc := b.ConstF(0)
+		for i := 0; i < 8; i++ {
+			acc = b.FAdd(acc, b.Load(a, it*8+i))
+		}
+		b.Store(o, it, acc)
+	}
+	tr := b.Finish()
+	if got := ReassociateReductions(tr); got != 8 {
+		t.Fatalf("chains = %d, want 8", got)
+	}
+	validateTrace(t, tr)
+	// Iteration labels still nondecreasing with same counts per iteration.
+	counts := map[int32]int{}
+	for _, nd := range tr.Nodes {
+		counts[nd.Iter]++
+	}
+	for it := int32(0); it < 8; it++ {
+		if counts[it] != 17 { // 8 loads + 8 adds + 1 store
+			t.Fatalf("iteration %d has %d nodes", it, counts[it])
+		}
+	}
+}
+
+func TestReassociateRandomTracesStayValid(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBuilder("rand")
+		a := b.Alloc("a", F64, 32, InOut)
+		for i := 0; i < 32; i++ {
+			b.SetF64(a, i, rng.Float64())
+		}
+		for it := 0; it < 6; it++ {
+			b.BeginIter()
+			acc := b.ConstF(0)
+			k := 1 + rng.Intn(10)
+			for i := 0; i < k; i++ {
+				acc = b.FAdd(acc, b.Load(a, rng.Intn(32)))
+			}
+			if rng.Intn(2) == 0 {
+				b.Store(a, rng.Intn(32), acc)
+			}
+			if rng.Intn(3) == 0 {
+				// An unrelated integer chain.
+				iacc := b.ConstI(0)
+				for i := 0; i < rng.Intn(6); i++ {
+					iacc = b.IAdd(iacc, b.ConstI(int64(i)))
+				}
+				_ = iacc
+			}
+		}
+		tr := b.Finish()
+		ReassociateReductions(tr)
+		if err := tr.validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

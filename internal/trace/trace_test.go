@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpKindString(t *testing.T) {
+	if OpFMul.String() != "fmul" {
+		t.Fatalf("OpFMul = %q", OpFMul)
+	}
+	if OpKind(200).String() != "op(200)" {
+		t.Fatalf("unknown kind = %q", OpKind(200))
+	}
+	if !OpLoad.IsMem() || !OpStore.IsMem() || OpFAdd.IsMem() {
+		t.Fatal("IsMem wrong")
+	}
+}
+
+func TestElemKindSize(t *testing.T) {
+	if U8.Size() != 1 || I32.Size() != 4 || F64.Size() != 8 {
+		t.Fatal("element sizes wrong")
+	}
+}
+
+func TestDirection(t *testing.T) {
+	if Local.IsIn() || Local.IsOut() {
+		t.Fatal("Local moves data")
+	}
+	if !In.IsIn() || In.IsOut() {
+		t.Fatal("In direction wrong")
+	}
+	if Out.IsIn() || !Out.IsOut() {
+		t.Fatal("Out direction wrong")
+	}
+	if !InOut.IsIn() || !InOut.IsOut() {
+		t.Fatal("InOut direction wrong")
+	}
+}
+
+func TestBuilderFunctionalArithmetic(t *testing.T) {
+	b := NewBuilder("arith")
+	x := b.ConstF(3.0)
+	y := b.ConstF(4.0)
+	hyp := b.FSqrt(b.FAdd(b.FMul(x, x), b.FMul(y, y)))
+	if hyp.Float() != 5.0 {
+		t.Fatalf("hypot = %v, want 5", hyp.Float())
+	}
+	tr := b.Finish()
+	c := tr.OpCounts()
+	if c[OpFMul] != 2 || c[OpFAdd] != 1 || c[OpFSqrt] != 1 {
+		t.Fatalf("op counts = %v", c)
+	}
+}
+
+func TestBuilderIntegerOps(t *testing.T) {
+	b := NewBuilder("int")
+	x := b.ConstI(12)
+	y := b.ConstI(5)
+	if got := b.IAdd(x, y).Int(); got != 17 {
+		t.Fatalf("IAdd = %d", got)
+	}
+	if got := b.ISub(x, y).Int(); got != 7 {
+		t.Fatalf("ISub = %d", got)
+	}
+	if got := b.IMul(x, y).Int(); got != 60 {
+		t.Fatalf("IMul = %d", got)
+	}
+	if got := b.IDiv(x, y).Uint(); got != 2 {
+		t.Fatalf("IDiv = %d", got)
+	}
+	if got := b.And(x, y).Uint(); got != 4 {
+		t.Fatalf("And = %d", got)
+	}
+	if got := b.Or(x, y).Uint(); got != 13 {
+		t.Fatalf("Or = %d", got)
+	}
+	if got := b.Xor(x, y).Uint(); got != 9 {
+		t.Fatalf("Xor = %d", got)
+	}
+	if got := b.Shl(x, 2).Uint(); got != 48 {
+		t.Fatalf("Shl = %d", got)
+	}
+	if got := b.Shr(x, 2).Uint(); got != 3 {
+		t.Fatalf("Shr = %d", got)
+	}
+	if !b.ILess(y, x).Bool() || b.ILess(x, y).Bool() {
+		t.Fatal("ILess wrong")
+	}
+	if !b.IEq(x, x).Bool() || b.IEq(x, y).Bool() {
+		t.Fatal("IEq wrong")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	b := NewBuilder("sel")
+	cond := b.ILess(b.ConstI(1), b.ConstI(2))
+	got := b.Select(cond, b.ConstF(7), b.ConstF(9))
+	if got.Float() != 7 {
+		t.Fatalf("Select true = %v", got.Float())
+	}
+	cond2 := b.ILess(b.ConstI(2), b.ConstI(1))
+	got2 := b.Select(cond2, b.ConstF(7), b.ConstF(9))
+	if got2.Float() != 9 {
+		t.Fatalf("Select false = %v", got2.Float())
+	}
+}
+
+func TestFLess(t *testing.T) {
+	b := NewBuilder("fless")
+	if !b.FLess(b.ConstF(1), b.ConstF(2)).Bool() {
+		t.Fatal("1 < 2 should hold")
+	}
+	if b.FLess(b.ConstF(2), b.ConstF(1)).Bool() {
+		t.Fatal("2 < 1 should not hold")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	b := NewBuilder("mem")
+	a := b.Alloc("a", F64, 8, In)
+	b.SetF64(a, 3, 2.5)
+	v := b.Load(a, 3)
+	if v.Float() != 2.5 {
+		t.Fatalf("load = %v", v.Float())
+	}
+	b.Store(a, 4, b.FMul(v, b.ConstF(2)))
+	if got := b.GetF64(a, 4); got != 5.0 {
+		t.Fatalf("stored = %v", got)
+	}
+	tr := b.Finish()
+	if tr.NumNodes() != 3 {
+		t.Fatalf("nodes = %d, want 3", tr.NumNodes())
+	}
+	ld := tr.Nodes[0]
+	if ld.Kind != OpLoad || ld.Arr != 0 || ld.Addr != 24 || ld.Size != 8 {
+		t.Fatalf("load node = %+v", ld)
+	}
+	st := tr.Nodes[2]
+	if st.Kind != OpStore || st.Addr != 32 {
+		t.Fatalf("store node = %+v", st)
+	}
+	if st.Deps[0] != 1 {
+		t.Fatalf("store dep = %d, want node 1 (the fmul)", st.Deps[0])
+	}
+}
+
+func TestIndirectLoadDependence(t *testing.T) {
+	b := NewBuilder("indirect")
+	idx := b.Alloc("idx", I32, 4, In)
+	val := b.Alloc("val", F64, 16, In)
+	b.SetInt(idx, 0, 9)
+	iv := b.Load(idx, 0)
+	dv := b.Load(val, int(iv.Int()), iv)
+	_ = dv
+	tr := b.Finish()
+	second := tr.Nodes[1]
+	if second.Deps[0] != 0 {
+		t.Fatalf("indirect load dep = %d, want 0", second.Deps[0])
+	}
+	if second.Addr != 72 {
+		t.Fatalf("indirect addr = %d, want 72", second.Addr)
+	}
+}
+
+func TestIterationLabels(t *testing.T) {
+	b := NewBuilder("iters")
+	a := b.Alloc("a", F64, 4, InOut)
+	pre := b.ConstF(1)
+	for i := 0; i < 4; i++ {
+		b.BeginIter()
+		v := b.Load(a, i)
+		b.Store(a, i, b.FAdd(v, pre))
+	}
+	tr := b.Finish()
+	if tr.Iters != 4 {
+		t.Fatalf("iters = %d", tr.Iters)
+	}
+	for i, n := range tr.Nodes {
+		want := int32(i / 3)
+		if n.Iter != want {
+			t.Fatalf("node %d iter = %d, want %d", i, n.Iter, want)
+		}
+	}
+}
+
+func TestPreIterNodesLabeledMinusOne(t *testing.T) {
+	b := NewBuilder("pre")
+	a := b.Alloc("a", F64, 2, In)
+	b.SetF64(a, 0, 1)
+	v := b.Load(a, 0)
+	_ = v
+	tr := b.Finish()
+	if tr.Nodes[0].Iter != -1 {
+		t.Fatalf("pre-iter label = %d, want -1", tr.Nodes[0].Iter)
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	b := NewBuilder("fp")
+	b.Alloc("in", F64, 100, In)      // 800 B in
+	b.Alloc("io", I32, 10, InOut)    // 40 B both
+	b.Alloc("out", U8, 64, Out)      // 64 B out
+	b.Alloc("tmp", F64, 1000, Local) // neither
+	tr := b.Finish()
+	in, out := tr.FootprintBytes()
+	if in != 840 || out != 104 {
+		t.Fatalf("footprint = %d in, %d out", in, out)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	b := NewBuilder("oob")
+	a := b.Alloc("a", F64, 4, In)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range load did not panic")
+		}
+	}()
+	b.Load(a, 4)
+}
+
+func TestAllocZeroPanics(t *testing.T) {
+	b := NewBuilder("zero")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-length alloc did not panic")
+		}
+	}()
+	b.Alloc("a", F64, 0, In)
+}
+
+func TestArrayIDsSequential(t *testing.T) {
+	b := NewBuilder("ids")
+	for i := 0; i < 5; i++ {
+		a := b.Alloc("x", U8, 1, Local)
+		if a.ID != int16(i) {
+			t.Fatalf("array %d has ID %d", i, a.ID)
+		}
+	}
+}
+
+// Property: traced FP arithmetic matches Go arithmetic exactly.
+func TestTracedArithmeticMatchesGo(t *testing.T) {
+	f := func(x, y float64) bool {
+		if math.IsNaN(x) || math.IsNaN(y) {
+			return true
+		}
+		b := NewBuilder("q")
+		vx, vy := b.ConstF(x), b.ConstF(y)
+		sum := b.FAdd(vx, vy).Float()
+		dif := b.FSub(vx, vy).Float()
+		prd := b.FMul(vx, vy).Float()
+		return sum == x+y && dif == x-y && prd == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every node's register dependences point strictly backwards,
+// i.e. the trace order is a valid topological order.
+func TestDepsPointBackwards(t *testing.T) {
+	b := NewBuilder("topo")
+	a := b.Alloc("a", F64, 64, InOut)
+	for i := 0; i < 64; i++ {
+		b.SetF64(a, i, float64(i))
+	}
+	acc := b.ConstF(0)
+	for i := 0; i < 64; i++ {
+		b.BeginIter()
+		acc = b.FAdd(acc, b.Load(a, i))
+	}
+	b.Store(a, 0, acc)
+	tr := b.Finish()
+	for i, n := range tr.Nodes {
+		for _, d := range n.Deps {
+			if d != NoDep && d >= int32(i) {
+				t.Fatalf("node %d depends on %d (not strictly backwards)", i, d)
+			}
+		}
+	}
+	if acc.Float() != 64*63/2 {
+		t.Fatalf("reduction = %v", acc.Float())
+	}
+}
