@@ -15,6 +15,7 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
@@ -36,6 +37,9 @@ func main() {
 		cacheAssoc = flag.Int("cache-assoc", 4, "cache associativity")
 		busBits    = flag.Int("bus-bits", 32, "system bus width in bits")
 		timeline   = flag.Bool("timeline", false, "render the per-lane execution timeline")
+		statsOut   = flag.String("stats-out", "", "write a gem5-style stats dump to this file")
+		statsJSON  = flag.String("stats-json", "", "write the stats dump as JSON to this file")
+		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline to this file")
 	)
 	flag.Parse()
 
@@ -91,10 +95,22 @@ func main() {
 	cfg.BusWidthBits = *busBits
 	cfg.RecordSchedule = *timeline
 
+	var o *obs.Observer
+	if *statsOut != "" || *statsJSON != "" || *traceOut != "" {
+		o = obs.New(*traceOut != "")
+		cfg.Obs = o
+	}
+
 	res, err := soc.Run(g, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if o != nil {
+		if err := o.WriteFiles(*statsOut, *statsJSON, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	fmt.Printf("%s (%d dynamic ops, %d iterations) on %s, %d lanes\n\n",

@@ -11,13 +11,23 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
 )
 
 func main() {
 	verify := flag.Bool("verify", false, "build every trace and check functional correctness")
 	export := flag.String("export", "", "directory to write serialized .trace files into")
+	statsOut := flag.String("stats-out", "", "simulate every benchmark under the default SoC config and write one combined stats dump")
+	statsJSON := flag.String("stats-json", "", "like -stats-out, as JSON")
+	traceOut := flag.String("trace-out", "", "like -stats-out, writing a combined Perfetto timeline")
 	flag.Parse()
+
+	var o *obs.Observer
+	if *statsOut != "" || *statsJSON != "" || *traceOut != "" {
+		o = obs.New(*traceOut != "")
+	}
 
 	if *export != "" {
 		if err := os.MkdirAll(*export, 0o755); err != nil {
@@ -50,6 +60,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if o != nil {
+			// Each benchmark gets its own path/track prefix in the shared
+			// registry and tracer, so one dump covers the whole suite.
+			cfg := soc.DefaultConfig()
+			cfg.Obs = o.Sub(k.Name)
+			if _, err := soc.Run(g, cfg); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
+				os.Exit(1)
+			}
+		}
 		in, out := tr.FootprintBytes()
 		desc := k.Description
 		if len(desc) > 60 {
@@ -60,5 +80,11 @@ func main() {
 	tb.Render(os.Stdout)
 	if *verify {
 		fmt.Println("\nall benchmarks verified against pure-Go references")
+	}
+	if o != nil {
+		if err := o.WriteFiles(*statsOut, *statsJSON, *traceOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/mem/dma"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/trace"
 )
@@ -185,6 +186,7 @@ type Datapath struct {
 	lastActive uint64
 	activeOpen bool
 	sched      []ScheduleEntry
+	probe      *obs.Probe
 }
 
 // NewDatapath builds a scheduler over graph g with the given memory model.
@@ -236,6 +238,58 @@ func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datap
 		d.lanes[i].pc = -1
 	}
 	return d
+}
+
+// AttachProbe wires an observability probe; the datapath fires one span per
+// retired node (issue tick to completion tick, named by op kind, with the
+// lane attached). Firing needs per-node issue times, so the schedule buffer
+// is allocated even when Config.RecordSchedule is off — Result.Schedule
+// still honors the config flag.
+func (d *Datapath) AttachProbe(p *obs.Probe) {
+	d.probe = p
+	if d.sched == nil && p.Enabled() {
+		d.sched = make([]ScheduleEntry, d.g.NumNodes())
+	}
+}
+
+// Snapshot returns a copy of the datapath counters accumulated so far.
+func (d *Datapath) Snapshot() Stats { return d.stats }
+
+// RegisterStats registers datapath counters under prefix, reading through
+// snap at dump time. The indirection matters because the SoC rebuilds the
+// datapath for every accelerator invocation: snap reads whichever instance
+// is current.
+func RegisterStats(reg *obs.Registry, prefix string, snap func() Stats) {
+	reg.CounterFunc(prefix+".cycles", "accelerator cycles start to completion",
+		func() uint64 { return snap().Cycles })
+	reg.CounterFunc(prefix+".active_cycles", "cycles with an op issued or in flight",
+		func() uint64 { return snap().ActiveCycles })
+	reg.CounterFunc(prefix+".ops_issued", "operations issued across all lanes",
+		func() uint64 {
+			var total uint64
+			for _, n := range snap().OpsIssued {
+				total += n
+			}
+			return total
+		})
+	reg.CounterFunc(prefix+".mem_stalls", "lane-cycles stalled on memory",
+		func() uint64 { return snap().MemStalls })
+	reg.CounterFunc(prefix+".dep_stalls", "lane-cycles stalled on dependences",
+		func() uint64 { return snap().DepStalls })
+	reg.CounterFunc(prefix+".barrier_stalls", "lane-cycles stalled on the wave barrier",
+		func() uint64 { return snap().BarrierStalls })
+	reg.Formula(prefix+".utilization", "mean per-lane issue-slot occupancy",
+		func() float64 {
+			util := snap().LaneUtilization()
+			if len(util) == 0 {
+				return 0
+			}
+			var sum float64
+			for _, u := range util {
+				sum += u
+			}
+			return sum / float64(len(util))
+		})
 }
 
 // Start begins execution at the current simulation time; done fires once
@@ -439,6 +493,11 @@ func (d *Datapath) complete(id int32) {
 	if d.sched != nil {
 		d.sched[id].Complete = d.eng.Now()
 	}
+	if d.probe.Enabled() {
+		d.probe.Fire(obs.Event{Name: d.g.Trace.Nodes[id].Kind.String(),
+			Start: uint64(d.sched[id].Issue), End: uint64(d.eng.Now()),
+			Lane: d.sched[id].Lane, Count: 1})
+	}
 	for _, s := range d.g.Successors(id) {
 		d.indeg[s]--
 		if d.indeg[s] < 0 {
@@ -516,7 +575,9 @@ func (d *Datapath) finish() {
 		End:              end,
 		Stats:            d.stats,
 		ComputeIntervals: dma.MergeIntervals(d.intervals),
-		Schedule:         d.sched,
+	}
+	if d.cfg.RecordSchedule {
+		res.Schedule = d.sched
 	}
 	if d.done != nil {
 		d.done(res)

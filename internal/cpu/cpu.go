@@ -11,6 +11,7 @@ package cpu
 
 import (
 	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -37,8 +38,9 @@ func DefaultConfig() Config {
 
 // CPU is the host driver.
 type CPU struct {
-	cfg Config
-	eng *sim.Engine
+	cfg         Config
+	eng         *sim.Engine
+	invocations uint64
 }
 
 // New builds a CPU model.
@@ -49,12 +51,21 @@ func New(eng *sim.Engine, cfg Config) *CPU {
 	return &CPU{cfg: cfg, eng: eng}
 }
 
+// Invocations reports how many accelerator calls the driver has issued.
+func (c *CPU) Invocations() uint64 { return c.invocations }
+
+// RegisterStats registers the host-driver counters under prefix.
+func (c *CPU) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".invocations", "accelerator calls issued", c.Invocations)
+}
+
 // Invoke runs one accelerator call: after the ioctl latency it calls start,
 // passing a completion function the accelerator signals when finished
 // (the shared-pointer write after its mfence). observed fires when the
 // spin-waiting CPU notices the flag, which is the end-to-end latency a
 // caller measures.
 func (c *CPU) Invoke(start func(signal func()), observed func()) {
+	c.invocations++
 	c.eng.After(c.cfg.InvokeLatency, func() {
 		start(func() {
 			delay := c.pollDelay()
@@ -116,6 +127,13 @@ func (g *TrafficGen) Stop() { g.stopped = true }
 
 // Issued reports how many transactions the generator has injected.
 func (g *TrafficGen) Issued() uint64 { return g.issued }
+
+// RegisterStats registers the traffic-generator counters under prefix.
+func (g *TrafficGen) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".transactions", "background transactions injected", g.Issued)
+	reg.CounterFunc(prefix+".bytes_injected", "background bytes injected",
+		func() uint64 { return g.issued * uint64(g.Bytes) })
+}
 
 func (g *TrafficGen) step() {
 	if g.stopped {

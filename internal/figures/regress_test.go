@@ -1,0 +1,75 @@
+package figures
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRegeneratedFiguresMatchCommittedOutput regenerates every figure in
+// quick mode and compares against the committed figures_output.txt, with
+// the wall-clock "[figure N regenerated in ...]" lines (and their trailing
+// blanks) stripped. Any numeric drift in a figure is a regression — the
+// committed file is the reproduction's reference point.
+func TestRegeneratedFiguresMatchCommittedOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration in short mode")
+	}
+	raw, err := os.ReadFile("../../figures_output.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want strings.Builder
+	skipBlank := false
+	for _, line := range strings.SplitAfter(string(raw), "\n") {
+		if strings.HasPrefix(line, "[figure ") {
+			skipBlank = true
+			continue
+		}
+		if skipBlank && strings.TrimSpace(line) == "" {
+			skipBlank = false
+			continue
+		}
+		skipBlank = false
+		want.WriteString(line)
+	}
+
+	gens := []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"1", func(w io.Writer) error { return Fig1(w, true) }},
+		{"2a", Fig2a},
+		{"2b", Fig2b},
+		{"3", Fig3},
+		{"4", Fig4},
+		{"5", Fig5},
+		{"6a", Fig6a},
+		{"6b", func(w io.Writer) error { return Fig6b(w, true) }},
+		{"7", func(w io.Writer) error { return Fig7(w, true) }},
+		{"8", func(w io.Writer) error { return Fig8(w, true) }},
+		{"9", func(w io.Writer) error { return Fig9(w, true) }},
+		{"10", func(w io.Writer) error { return Fig10(w, true) }},
+		{"summary", func(w io.Writer) error { return Summary(w, true) }},
+	}
+	var got strings.Builder
+	for _, g := range gens {
+		if err := g.fn(&got); err != nil {
+			t.Fatalf("figure %s: %v", g.name, err)
+		}
+	}
+
+	if got.String() != want.String() {
+		gl := strings.Split(got.String(), "\n")
+		wl := strings.Split(want.String(), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("figure output diverges from figures_output.txt at line %d:\n got: %q\nwant: %q\n(regenerate with: go run ./cmd/figures > figures_output.txt)",
+					i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("figure output length differs: got %d lines, want %d (regenerate with: go run ./cmd/figures > figures_output.txt)",
+			len(gl), len(wl))
+	}
+}

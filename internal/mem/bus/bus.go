@@ -15,6 +15,7 @@ package bus
 import (
 	"fmt"
 
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -47,6 +48,7 @@ type request struct {
 	bytes  uint32
 	write  bool
 	issued sim.Tick
+	master int
 	target Target
 	done   func()
 	// dataPhase marks a read response ready to move over the bus.
@@ -68,6 +70,7 @@ type Bus struct {
 	rrNext    int         // next master to consider
 	granted   bool        // a transaction currently holds the bus
 	stats     Stats
+	probe     *obs.Probe
 }
 
 // New creates a bus attached to eng, delivering transactions to target.
@@ -89,6 +92,30 @@ func (b *Bus) RegisterMaster() int {
 
 // Stats returns a copy of the accumulated counters.
 func (b *Bus) Stats() Stats { return b.stats }
+
+// AttachProbe wires an observability probe; the bus fires one span per
+// busy window (address phase, write, read data phase), with the master id
+// and payload size attached.
+func (b *Bus) AttachProbe(p *obs.Probe) { b.probe = p }
+
+// RegisterStats registers the bus counters under prefix.
+func (b *Bus) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".transactions", "bus transactions granted",
+		func() uint64 { return b.stats.Transactions })
+	reg.CounterFunc(prefix+".bytes_moved", "bytes moved over the data path",
+		func() uint64 { return b.stats.BytesMoved })
+	reg.CounterFunc(prefix+".busy_ticks", "ticks the data path was occupied",
+		func() uint64 { return uint64(b.stats.BusyTicks) })
+	reg.CounterFunc(prefix+".wait_ticks", "summed arbitration queuing delay",
+		func() uint64 { return uint64(b.stats.WaitTicks) })
+	reg.Formula(prefix+".avg_wait_ns", "mean arbitration delay per transaction",
+		func() float64 {
+			if b.stats.Transactions == 0 {
+				return 0
+			}
+			return sim.Tick(b.stats.WaitTicks).Nanos() / float64(b.stats.Transactions)
+		})
+}
 
 // Config returns the bus configuration.
 func (b *Bus) Config() Config { return b.cfg }
@@ -120,7 +147,7 @@ func (b *Bus) AccessVia(master int, addr uint64, bytes uint32, write bool, targe
 	}
 	b.queues[master] = append(b.queues[master], request{
 		addr: addr, bytes: bytes, write: write, issued: b.eng.Now(),
-		target: target, done: done,
+		master: master, target: target, done: done,
 	})
 	if !b.granted {
 		b.arbitrate()
@@ -151,7 +178,7 @@ func (b *Bus) ReadStreamVia(master int, addr uint64, bytes uint32, gran uint32, 
 	}
 	b.queues[master] = append(b.queues[master], request{
 		addr: addr, bytes: bytes, issued: b.eng.Now(),
-		target: target, done: done,
+		master: master, target: target, done: done,
 		progress: progress, progressGran: gran,
 	})
 	if !b.granted {
@@ -190,8 +217,14 @@ func (b *Bus) grant(req request) {
 	b.granted = true
 
 	dataTicks := b.cfg.Clock.Cycles(uint64((req.bytes + b.cfg.WidthBytes() - 1) / b.cfg.WidthBytes()))
-	release := func(after sim.Tick, then func()) {
+	release := func(after sim.Tick, phase string, then func()) {
 		b.stats.BusyTicks += after
+		if b.probe.Enabled() {
+			start := uint64(b.eng.Now())
+			b.probe.Fire(obs.Event{Name: phase, Start: start,
+				End: start + uint64(after), Lane: int32(req.master),
+				Bytes: uint64(req.bytes)})
+		}
 		b.eng.After(after, func() {
 			b.granted = false
 			if then != nil {
@@ -207,7 +240,7 @@ func (b *Bus) grant(req request) {
 		if req.progress != nil {
 			b.scheduleProgress(req, dataTicks)
 		}
-		release(dataTicks, req.done)
+		release(dataTicks, "read-data", req.done)
 
 	case req.write:
 		// Write: address + data move together; the target accepts the
@@ -215,7 +248,7 @@ func (b *Bus) grant(req request) {
 		b.stats.Transactions++
 		b.stats.BytesMoved += uint64(req.bytes)
 		b.stats.WaitTicks += b.eng.Now() - req.issued
-		release(b.cfg.Clock.Cycles(1)+dataTicks, func() {
+		release(b.cfg.Clock.Cycles(1)+dataTicks, "write", func() {
 			req.target.Access(req.addr, req.bytes, true, req.done)
 		})
 
@@ -226,7 +259,7 @@ func (b *Bus) grant(req request) {
 		b.stats.Transactions++
 		b.stats.BytesMoved += uint64(req.bytes)
 		b.stats.WaitTicks += b.eng.Now() - req.issued
-		release(b.cfg.Clock.Cycles(1), func() {
+		release(b.cfg.Clock.Cycles(1), "read-addr", func() {
 			req.target.Access(req.addr, req.bytes, false, func() {
 				resp := req
 				resp.dataPhase = true

@@ -16,6 +16,7 @@ import (
 
 	"gem5aladdin/internal/mem/bus"
 	"gem5aladdin/internal/mem/coherence"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -148,6 +149,7 @@ type Cache struct {
 	streams []streamEntry
 
 	stats Stats
+	probe *obs.Probe
 }
 
 // New builds a cache wired to the bus and coherence controller. peer is the
@@ -178,11 +180,65 @@ func New(eng *sim.Engine, cfg Config, b *bus.Bus, coh *coherence.Controller, pee
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
+// AttachProbe wires an observability probe; the cache fires one span per
+// fill (miss allocation to data installed, named by the supplier) and an
+// instant per writeback.
+func (c *Cache) AttachProbe(p *obs.Probe) { c.probe = p }
+
+// RegisterStats registers the cache counters under prefix.
+func (c *Cache) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".accesses", "accesses (hits + misses)",
+		func() uint64 { return c.stats.Accesses })
+	reg.CounterFunc(prefix+".hits", "accesses served from a resident line",
+		func() uint64 { return c.stats.Hits })
+	reg.CounterFunc(prefix+".misses", "demand misses allocating an MSHR",
+		func() uint64 { return c.stats.Misses })
+	reg.CounterFunc(prefix+".mshr_merges", "demand misses merged into in-flight MSHRs",
+		func() uint64 { return c.stats.MSHRMerges })
+	reg.CounterFunc(prefix+".mshr_stalls", "accesses delayed by MSHR exhaustion",
+		func() uint64 { return c.stats.MSHRStalls })
+	reg.CounterFunc(prefix+".writebacks", "dirty lines written back",
+		func() uint64 { return c.stats.Writebacks })
+	reg.CounterFunc(prefix+".upgrades", "write hits needing invalidation broadcasts",
+		func() uint64 { return c.stats.Upgrades })
+	reg.CounterFunc(prefix+".prefetches", "prefetch fills issued",
+		func() uint64 { return c.stats.Prefetches })
+	reg.CounterFunc(prefix+".prefetch_hits", "demand accesses served by prefetched lines",
+		func() uint64 { return c.stats.PrefetchHit })
+	reg.CounterFunc(prefix+".c2c_fills", "fills supplied by the CPU cache (MOESI)",
+		func() uint64 { return c.stats.C2CFills })
+	reg.CounterFunc(prefix+".mem_fills", "fills supplied by DRAM",
+		func() uint64 { return c.stats.MemFills })
+	reg.Formula(prefix+".hit_rate", "hits / accesses",
+		func() float64 {
+			if c.stats.Accesses == 0 {
+				return 0
+			}
+			return float64(c.stats.Hits) / float64(c.stats.Accesses)
+		})
+	reg.Formula(prefix+".avg_miss_ns", "mean demand fill latency",
+		func() float64 {
+			if c.stats.Misses == 0 {
+				return 0
+			}
+			return c.stats.FillLatency.Nanos() / float64(c.stats.Misses)
+		})
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 
 // InFlight reports outstanding MSHRs, for drain/mfence logic.
 func (c *Cache) InFlight() int { return c.inUse }
+
+// fireWriteback reports a dirty-line eviction to the probe.
+func (c *Cache) fireWriteback() {
+	if c.probe.Enabled() {
+		now := uint64(c.eng.Now())
+		c.probe.Fire(obs.Event{Name: "writeback", Start: now, End: now,
+			Bytes: uint64(c.cfg.LineBytes)})
+	}
+}
 
 func (c *Cache) lineOf(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
 func (c *Cache) setOf(line uint64) int     { return int((line >> c.setShift) & c.setMask) }
@@ -378,7 +434,8 @@ func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
 		res = c.coh.Read(c.self, line)
 	}
 	target := bus.Target(nil)
-	if res.Src == coherence.SrcCache {
+	c2c := res.Src == coherence.SrcCache
+	if c2c {
 		c.stats.C2CFills++
 		target = c.snoop
 	} else {
@@ -387,6 +444,17 @@ func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
 	start := c.eng.Now()
 	fill := func() {
 		c.stats.FillLatency += c.eng.Now() - start
+		if c.probe.Enabled() {
+			name := "fill-mem"
+			if c2c {
+				name = "fill-c2c"
+			}
+			if m.prefetch {
+				name = "prefetch-" + name
+			}
+			c.probe.Fire(obs.Event{Name: name, Start: uint64(start),
+				End: uint64(c.eng.Now()), Bytes: uint64(c.cfg.LineBytes)})
+		}
 		c.install(line, m.prefetch)
 		waiters := m.waiters
 		delete(c.mshrs, line)
@@ -466,6 +534,7 @@ func (c *Cache) install(line uint64, prefetch bool) {
 		res := c.coh.Evict(c.self, old)
 		if res.Writeback {
 			c.stats.Writebacks++
+			c.fireWriteback()
 			c.bus.Access(c.bm, old, c.cfg.LineBytes, true, func() {})
 		}
 	}
@@ -554,6 +623,7 @@ func (c *Cache) FlushDirty(done func()) {
 			w.valid = false
 			if res.Writeback {
 				c.stats.Writebacks++
+				c.fireWriteback()
 				outstanding++
 				c.bus.Access(c.bm, w.line, c.cfg.LineBytes, true, finish)
 			}

@@ -24,6 +24,7 @@ import (
 	"sort"
 
 	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -116,6 +117,10 @@ type Engine struct {
 	dmaIvals   []Interval
 	snoop      *snoopSupplier // non-nil when HardwareCoherent
 	stats      Stats
+
+	probe      *obs.Probe // descriptor transfers
+	flushProbe *obs.Probe // CPU flush/invalidate windows
+	chunkHist  *obs.Histogram
 }
 
 // New creates a DMA engine as a bus master.
@@ -132,6 +137,29 @@ func New(eng *sim.Engine, cfg Config, b *bus.Bus) *Engine {
 
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// AttachProbe wires the transfer probe (one span per descriptor burst,
+// load-chunk or store-chunk, with the array id as lane) and the flush
+// probe (one span per CPU flush/invalidate window).
+func (e *Engine) AttachProbe(transfer, flush *obs.Probe) {
+	e.probe = transfer
+	e.flushProbe = flush
+}
+
+// RegisterStats registers the engine counters under prefix, including a
+// histogram of descriptor chunk sizes (the Sec IV-B1 design axis).
+func (e *Engine) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".descriptors", "DMA descriptors serviced",
+		func() uint64 { return e.stats.Descriptors })
+	reg.CounterFunc(prefix+".bytes_moved", "bytes transferred by the engine",
+		func() uint64 { return e.stats.BytesMoved })
+	reg.CounterFunc(prefix+".lines_flushed", "CPU cache lines flushed for loads",
+		func() uint64 { return e.stats.LinesFlushed })
+	reg.CounterFunc(prefix+".lines_invalidated", "CPU cache lines invalidated for stores",
+		func() uint64 { return e.stats.LinesInvalidated })
+	e.chunkHist = reg.Histogram(prefix+".chunk_bytes", "descriptor chunk sizes",
+		[]float64{512, 1024, 2048, 4096})
+}
 
 // FlushIntervals returns the CPU flush/invalidate activity windows.
 func (e *Engine) FlushIntervals() []Interval { return e.flushIvals }
@@ -152,6 +180,16 @@ func (e *Engine) FlushTicks(n uint32) sim.Tick {
 // InvalTicks is the analytic CPU cost of invalidating n bytes.
 func (e *Engine) InvalTicks(n uint32) sim.Tick {
 	return sim.Tick(e.lines(n)) * e.cfg.InvalPerLine
+}
+
+// fireFlush reports a CPU coherence-prep window. The window is computed
+// analytically at schedule time, so the span is emitted up front with its
+// known end.
+func (e *Engine) fireFlush(name string, start, end sim.Tick) {
+	if e.flushProbe.Enabled() {
+		e.flushProbe.Fire(obs.Event{Name: name,
+			Start: uint64(start), End: uint64(end)})
+	}
 }
 
 // chunk is one flush+transfer unit.
@@ -232,6 +270,7 @@ func (e *Engine) LoadPhase(transfers []Transfer, done func()) {
 	if len(chs) == 0 {
 		if inval > 0 {
 			e.flushIvals = append(e.flushIvals, Interval{start, start + inval})
+			e.fireFlush("invalidate", start, start+inval)
 		}
 		e.eng.After(inval, done)
 		return
@@ -267,6 +306,7 @@ func (e *Engine) LoadPhase(transfers []Transfer, done func()) {
 		}
 	}
 	e.flushIvals = append(e.flushIvals, Interval{start, tcur})
+	e.fireFlush("flush+invalidate", start, tcur)
 
 	// DMA timeline: serial on the engine; chunk i waits for its flush.
 	e.runChunks(chs, flushDone, false, done)
@@ -319,8 +359,20 @@ func (e *Engine) runChunks(chs []chunk, readyAt []sim.Tick, write bool, done fun
 				tstart := e.eng.Now()
 				e.stats.Descriptors++
 				e.stats.BytesMoved += uint64(c.bytes)
+				if e.chunkHist != nil {
+					e.chunkHist.Observe(float64(c.bytes))
+				}
 				fin := func() {
 					e.dmaIvals = append(e.dmaIvals, Interval{tstart, e.eng.Now()})
+					if e.probe.Enabled() {
+						name := "load-chunk"
+						if write {
+							name = "store-chunk"
+						}
+						e.probe.Fire(obs.Event{Name: name,
+							Start: uint64(tstart), End: uint64(e.eng.Now()),
+							Lane: int32(c.t.Arr), Bytes: uint64(c.bytes)})
+					}
 					step()
 				}
 				addr := c.t.Base + uint64(c.off)

@@ -14,6 +14,7 @@
 package dram
 
 import (
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -69,6 +70,7 @@ type DRAM struct {
 	bankBusy []sim.Tick
 	pinsBusy sim.Tick
 	stats    Stats
+	probe    *obs.Probe
 
 	// FR-FCFS state: per-bank request queues and service status.
 	queues     [][]*beatReq
@@ -105,6 +107,42 @@ func New(eng *sim.Engine, cfg Config) *DRAM {
 
 // Stats returns a copy of the accumulated counters.
 func (d *DRAM) Stats() Stats { return d.stats }
+
+// AttachProbe wires an observability probe; the controller fires one span
+// per intra-row beat, named row-hit or row-miss, with the bank as lane.
+func (d *DRAM) AttachProbe(p *obs.Probe) { d.probe = p }
+
+// RegisterStats registers the controller counters under prefix.
+func (d *DRAM) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".reads", "read transactions",
+		func() uint64 { return d.stats.Reads })
+	reg.CounterFunc(prefix+".writes", "write transactions",
+		func() uint64 { return d.stats.Writes })
+	reg.CounterFunc(prefix+".row_hits", "beats hitting the open row",
+		func() uint64 { return d.stats.RowHits })
+	reg.CounterFunc(prefix+".row_misses", "beats paying precharge+activate",
+		func() uint64 { return d.stats.RowMisses })
+	reg.CounterFunc(prefix+".bytes_moved", "bytes transferred",
+		func() uint64 { return d.stats.BytesMoved })
+	reg.Formula(prefix+".row_hit_rate", "row hits / all beats",
+		func() float64 {
+			total := d.stats.RowHits + d.stats.RowMisses
+			if total == 0 {
+				return 0
+			}
+			return float64(d.stats.RowHits) / float64(total)
+		})
+}
+
+// fireBeat reports one serviced beat to the probe.
+func (d *DRAM) fireBeat(bank int, hit bool, start, end sim.Tick, bytes uint32) {
+	name := "row-miss"
+	if hit {
+		name = "row-hit"
+	}
+	d.probe.Fire(obs.Event{Name: name, Start: uint64(start), End: uint64(end),
+		Lane: int32(bank), Bytes: uint64(bytes)})
+}
 
 // Config returns the device configuration.
 func (d *DRAM) Config() Config { return d.cfg }
@@ -212,7 +250,8 @@ func (d *DRAM) serveBank(bank int) {
 	d.bankActive[bank] = true
 
 	lat := d.cfg.TCas
-	if d.openRow[bank] != req.row {
+	hit := d.openRow[bank] == req.row
+	if !hit {
 		lat += d.cfg.TRpRcd
 		d.stats.RowMisses++
 		d.openRow[bank] = req.row
@@ -227,6 +266,9 @@ func (d *DRAM) serveBank(bank int) {
 	}
 	d.pinsBusy = pinStart + burst
 	end := pinStart + burst
+	if d.probe.Enabled() {
+		d.fireBeat(bank, hit, d.eng.Now(), end, req.bytes)
+	}
 	d.eng.Schedule(end, func() {
 		d.bankActive[bank] = false
 		req.done()
@@ -244,7 +286,8 @@ func (d *DRAM) beat(addr uint64, bytes uint32) sim.Tick {
 		start = d.bankBusy[bank]
 	}
 	lat := d.cfg.TCas
-	if d.openRow[bank] != row {
+	hit := d.openRow[bank] == row
+	if !hit {
 		lat += d.cfg.TRpRcd
 		d.stats.RowMisses++
 		d.openRow[bank] = row
@@ -261,5 +304,8 @@ func (d *DRAM) beat(addr uint64, bytes uint32) sim.Tick {
 	}
 	d.pinsBusy = pinStart + burst
 	d.bankBusy[bank] = pinStart + burst
+	if d.probe.Enabled() {
+		d.fireBeat(bank, hit, start, pinStart+burst, bytes)
+	}
 	return pinStart + burst
 }

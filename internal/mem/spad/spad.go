@@ -12,6 +12,7 @@ package spad
 import (
 	"fmt"
 
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/power"
 	"gem5aladdin/internal/trace"
 )
@@ -77,6 +78,18 @@ func (s *Spad) Stats() Stats { return s.stats }
 
 // Config returns the scratchpad configuration.
 func (s *Spad) Config() Config { return s.cfg }
+
+// RegisterStats registers the scratchpad counters under prefix.
+func (s *Spad) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".reads", "scratchpad read accesses",
+		func() uint64 { return s.stats.Reads })
+	reg.CounterFunc(prefix+".writes", "scratchpad write accesses",
+		func() uint64 { return s.stats.Writes })
+	reg.CounterFunc(prefix+".bank_conflicts", "accesses delayed by port exhaustion",
+		func() uint64 { return s.stats.BankConflicts })
+	reg.CounterFunc(prefix+".ready_bit_stalls", "loads stalled on a clear full/empty bit",
+		func() uint64 { return s.stats.ReadyBitStalls })
+}
 
 // EnableReadyBits turns on full/empty-bit tracking at the given granularity
 // in bytes (the paper uses the CPU cache line size so bits stay consistent

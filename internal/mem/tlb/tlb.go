@@ -6,6 +6,7 @@
 package tlb
 
 import (
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
 
@@ -72,6 +73,22 @@ func (t *TLB) Stats() Stats { return t.stats }
 
 // Config returns the TLB configuration.
 func (t *TLB) Config() Config { return t.cfg }
+
+// RegisterStats registers the TLB counters under prefix.
+func (t *TLB) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".hits", "translations served from the TLB",
+		func() uint64 { return t.stats.Hits })
+	reg.CounterFunc(prefix+".misses", "translations paying the page-walk penalty",
+		func() uint64 { return t.stats.Misses })
+	reg.Formula(prefix+".miss_rate", "misses / all translations",
+		func() float64 {
+			total := t.stats.Hits + t.stats.Misses
+			if total == 0 {
+				return 0
+			}
+			return float64(t.stats.Misses) / float64(total)
+		})
+}
 
 // Translate maps a virtual address to a physical address and reports the
 // translation latency: zero on a hit, the miss penalty on a miss (the walk

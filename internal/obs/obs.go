@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Observer bundles the stats registry with an optional event tracer and a
+// path prefix, and is the single handle components and harnesses pass
+// around. A nil Tracer means "stats only": wiring code must then skip
+// probe subscriptions, which keeps every probe disabled and the hot paths
+// at their single-branch cost.
+type Observer struct {
+	Registry *Registry
+	Tracer   *Tracer
+	prefix   string
+}
+
+// New returns an observer with a fresh registry, and a tracer when
+// withTrace is set.
+func New(withTrace bool) *Observer {
+	o := &Observer{Registry: NewRegistry()}
+	if withTrace {
+		o.Tracer = NewTracer()
+	}
+	return o
+}
+
+// Sub returns a view sharing the registry and tracer but nesting every
+// stat path and track name under prefix. Harnesses that observe several
+// simulations in one dump (per-benchmark, per-design-point) use it to keep
+// paths disjoint.
+func (o *Observer) Sub(prefix string) *Observer {
+	return &Observer{Registry: o.Registry, Tracer: o.Tracer,
+		prefix: o.Path(prefix)}
+}
+
+// Path resolves a stat path or track name under the observer's prefix.
+func (o *Observer) Path(p string) string {
+	if o.prefix == "" {
+		return p
+	}
+	return o.prefix + "." + p
+}
+
+// Tracing reports whether probe subscriptions should be wired.
+func (o *Observer) Tracing() bool { return o != nil && o.Tracer != nil }
+
+// WriteFiles dumps the registry as text to statsPath, as JSON to jsonPath,
+// and the trace timeline to tracePath; empty paths are skipped. This backs
+// the CLIs' -stats-out/-stats-json/-trace-out flags.
+func (o *Observer) WriteFiles(statsPath, jsonPath, tracePath string) error {
+	write := func(path string, dump func(*os.File) error) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := dump(f); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	if err := write(statsPath, func(f *os.File) error {
+		return o.Registry.DumpText(f)
+	}); err != nil {
+		return err
+	}
+	if err := write(jsonPath, func(f *os.File) error {
+		return o.Registry.DumpJSON(f)
+	}); err != nil {
+		return err
+	}
+	if tracePath != "" && o.Tracer == nil {
+		return fmt.Errorf("obs: trace output requested but no tracer attached")
+	}
+	return write(tracePath, func(f *os.File) error {
+		return o.Tracer.WriteJSON(f)
+	})
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRegistryDumpTextSortedAndStable(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(7)
+	r.CounterFunc("soc.bus.transactions", "bus transactions", func() uint64 { return n })
+	r.GaugeFunc("accel.0.util", "lane utilization", func() float64 { return 0.5 })
+	r.Formula("soc.bus.rate", "transactions per unit", func() float64 { return float64(n) / 2 })
+
+	var a, b bytes.Buffer
+	if err := r.DumpText(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DumpText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two dumps of the same registry differ")
+	}
+	out := a.String()
+	if !strings.HasPrefix(out, "---------- Begin Simulation Statistics ----------") {
+		t.Fatalf("missing begin marker:\n%s", out)
+	}
+	// accel.0.util sorts before soc.bus.*.
+	if strings.Index(out, "accel.0.util") > strings.Index(out, "soc.bus.transactions") {
+		t.Fatalf("dump not sorted by path:\n%s", out)
+	}
+	for _, want := range []string{"soc.bus.transactions", "7", "# bus transactions", "3.500000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryDuplicatePathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("a.b", "first")
+	r.Counter("a.b", "second")
+}
+
+func TestCounterHandle(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.hits", "hits")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("dma.chunk_bytes", "chunk sizes", []float64{1024, 4096})
+	for _, v := range []float64{100, 1024, 4096, 8192, 512} {
+		h.Observe(v)
+	}
+	// Buckets: [-inf,1024): {100,512}; [1024,4096): {1024}; [4096,+inf): {4096,8192}.
+	want := []uint64{2, 1, 2}
+	for i, c := range h.counts {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if h.Samples() != 5 || h.min != 100 || h.max != 8192 {
+		t.Fatalf("summary wrong: samples=%d min=%g max=%g", h.Samples(), h.min, h.max)
+	}
+	var buf bytes.Buffer
+	if err := r.DumpText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"::samples", "::mean", "::1024-4096"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("histogram dump missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDumpJSONNestsAndParses(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("soc.dram.reads", "reads", func() uint64 { return 3 })
+	r.CounterFunc("soc.dram.writes", "writes", func() uint64 { return 1 })
+	r.GaugeFunc("soc.bus.util", "utilization", func() float64 { return 0.25 })
+	var buf bytes.Buffer
+	if err := r.DumpJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var root map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &root); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	soc := root["soc"].(map[string]any)
+	dram := soc["dram"].(map[string]any)
+	if dram["reads"].(float64) != 3 {
+		t.Fatalf("soc.dram.reads = %v", dram["reads"])
+	}
+	if soc["bus"].(map[string]any)["util"].(float64) != 0.25 {
+		t.Fatal("soc.bus.util wrong")
+	}
+}
+
+func TestProbeDisabledAndEnabled(t *testing.T) {
+	var nilProbe *Probe
+	if nilProbe.Enabled() {
+		t.Fatal("nil probe reports enabled")
+	}
+	nilProbe.Fire(Event{Name: "x"}) // must not panic
+
+	p := &Probe{}
+	if p.Enabled() {
+		t.Fatal("listener-free probe reports enabled")
+	}
+	var got []Event
+	p.Listen(func(ev Event) { got = append(got, ev) })
+	if !p.Enabled() {
+		t.Fatal("probe with listener reports disabled")
+	}
+	p.Fire(Event{Name: "grant", Start: 10, End: 20, Bytes: 64})
+	if len(got) != 1 || got[0].Name != "grant" || got[0].Bytes != 64 {
+		t.Fatalf("listener saw %+v", got)
+	}
+}
+
+func TestTracerWriteJSONValidAndDeterministic(t *testing.T) {
+	build := func() *bytes.Buffer {
+		tr := NewTracer()
+		p := &Probe{}
+		tr.Subscribe(p, "bus")
+		p.Fire(Event{Name: "read", Start: 1_000_000, End: 3_000_000, Bytes: 128})
+		p.Fire(Event{Name: "activate", Start: 5_000_000, End: 5_000_000})
+		tr.Track("dram").Add(Event{Name: "burst", Start: 2_000_000, End: 4_000_000})
+		var buf bytes.Buffer
+		if err := tr.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := build(), build()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical tracer contents serialized differently")
+	}
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(a.Bytes(), &f); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	var phX, phI, meta int
+	for _, ev := range f.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			phX++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatalf("span without duration: %v", ev)
+			}
+		case "i":
+			phI++
+		case "M":
+			meta++
+		}
+	}
+	if phX != 2 || phI != 1 || meta < 3 {
+		t.Fatalf("event mix wrong: X=%d i=%d M=%d", phX, phI, meta)
+	}
+}
+
+func TestMergeLanesCoalesces(t *testing.T) {
+	tr := NewTracer()
+	p := &Probe{}
+	tr.MergeLanes(p, "datapath.lane%d", "busy", 10)
+	// Lane 0: three abutting ops then a far gap, then one more.
+	p.Fire(Event{Start: 0, End: 10, Lane: 0})
+	p.Fire(Event{Start: 10, End: 20, Lane: 0})
+	p.Fire(Event{Start: 25, End: 30, Lane: 0})
+	p.Fire(Event{Start: 1000, End: 1010, Lane: 0})
+	// Lane 1: a single op.
+	p.Fire(Event{Start: 5, End: 15, Lane: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	names := tr.Tracks()
+	if len(names) != 2 || names[0] != "datapath.lane0" || names[1] != "datapath.lane1" {
+		t.Fatalf("tracks = %v", names)
+	}
+	lane0 := tr.byName["datapath.lane0"].events
+	if len(lane0) != 2 {
+		t.Fatalf("lane0 spans = %d, want 2 (merged + separate)", len(lane0))
+	}
+	if lane0[0].Start != 0 || lane0[0].End != 30 || lane0[0].Count != 3 {
+		t.Fatalf("merged span wrong: %+v", lane0[0])
+	}
+	if lane0[1].Start != 1000 || lane0[1].Count != 1 {
+		t.Fatalf("separate span wrong: %+v", lane0[1])
+	}
+}
+
+func TestObserverSubPrefixes(t *testing.T) {
+	o := New(true)
+	sub := o.Sub("bench.gemm")
+	if got := sub.Path("soc.bus.transactions"); got != "bench.gemm.soc.bus.transactions" {
+		t.Fatalf("Path = %q", got)
+	}
+	if sub.Registry != o.Registry || sub.Tracer != o.Tracer {
+		t.Fatal("Sub must share registry and tracer")
+	}
+	if !sub.Tracing() || New(false).Tracing() {
+		t.Fatal("Tracing flag wrong")
+	}
+	var none *Observer
+	if none.Tracing() {
+		t.Fatal("nil observer reports tracing")
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+// Event is one probe occurrence. Times are engine ticks (picoseconds).
+// Start == End marks an instant event; Start < End marks a span.
+type Event struct {
+	// Name labels the occurrence ("read", "row-miss", "chunk", an op kind).
+	Name string
+	// Start and End bound the activity window in ticks.
+	Start, End uint64
+	// Lane is a small component-defined index: datapath lane, DRAM bank,
+	// bus master. -1 or 0 when meaningless.
+	Lane int32
+	// Bytes is the payload size for data-movement events, 0 otherwise.
+	Bytes uint64
+	// Count is an optional occurrence count for aggregated events.
+	Count uint64
+}
+
+// Instant returns true when the event has no duration.
+func (e Event) Instant() bool { return e.End <= e.Start }
+
+// Probe is a named hook point that components fire and observers listen
+// on. The zero value and the nil pointer are both valid disabled probes:
+// the hot-path contract is that a component guards every emission with a
+// single Enabled() branch, which compiles to a nil check plus an
+// empty-slice check and costs well under 2% of event dispatch (see
+// internal/sim's BenchmarkEngineDispatch* suite).
+type Probe struct {
+	listeners []func(Event)
+}
+
+// Enabled reports whether anyone is listening. Safe on a nil probe.
+func (p *Probe) Enabled() bool { return p != nil && len(p.listeners) > 0 }
+
+// Listen subscribes fn to every subsequent Fire.
+func (p *Probe) Listen(fn func(Event)) {
+	p.listeners = append(p.listeners, fn)
+}
+
+// Fire delivers ev to every listener, in subscription order. Callers must
+// guard with Enabled(); firing a nil or listener-free probe is a no-op.
+func (p *Probe) Fire(ev Event) {
+	if p == nil {
+		return
+	}
+	for _, fn := range p.listeners {
+		fn(ev)
+	}
+}

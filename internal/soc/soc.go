@@ -24,6 +24,7 @@ import (
 	"gem5aladdin/internal/mem/dram"
 	"gem5aladdin/internal/mem/spad"
 	"gem5aladdin/internal/mem/tlb"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/power"
 	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/trace"
@@ -126,6 +127,13 @@ type Config struct {
 
 	// Power model; nil selects power.Default().
 	Power *power.Model
+
+	// Obs, when non-nil, registers every component's counters into the
+	// observer's registry and — when the observer carries a tracer —
+	// subscribes timeline probes on the bus, DRAM, DMA engine, cache, and
+	// datapath. nil keeps every probe disabled (single-branch hot-path
+	// cost) and registers nothing.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the paper's nominal system: a 100 MHz accelerator,
@@ -261,7 +269,34 @@ func newFabric(cfg Config) *fabric {
 		f.gen = cpu.NewTrafficGen(eng, f.bus, cfg.Traffic.Period, cfg.Traffic.Bytes)
 		f.gen.Start()
 	}
+	f.observe(cfg.Obs)
 	return f
+}
+
+// observe registers fabric-wide counters and, when tracing, the shared
+// interconnect and memory-controller probes.
+func (f *fabric) observe(o *obs.Observer) {
+	if o == nil {
+		return
+	}
+	reg := o.Registry
+	f.eng.RegisterStats(reg, o.Path("sim"))
+	f.bus.RegisterStats(reg, o.Path("soc.bus"))
+	f.dram.RegisterStats(reg, o.Path("soc.dram"))
+	f.host.RegisterStats(reg, o.Path("soc.cpu"))
+	if f.gen != nil {
+		f.gen.RegisterStats(reg, o.Path("soc.cpu.traffic"))
+	}
+	if o.Tracing() {
+		busProbe := &obs.Probe{}
+		f.bus.AttachProbe(busProbe)
+		o.Tracer.Subscribe(busProbe, o.Path("bus"))
+		dramProbe := &obs.Probe{}
+		f.dram.AttachProbe(dramProbe)
+		o.Tracer.SubscribeFunc(dramProbe, func(ev obs.Event) string {
+			return o.Path(fmt.Sprintf("dram.bank%d", ev.Lane))
+		})
+	}
 }
 
 // instance is one accelerator attached to the fabric.
@@ -278,6 +313,9 @@ type instance struct {
 	mem    core.MemModel
 	dpCfg  core.Config
 	dp     *core.Datapath
+	// dpProbe persists across rounds: newRound re-attaches it to the
+	// fresh datapath.
+	dpProbe *obs.Probe
 
 	dpResult *core.Result
 	endTick  sim.Tick
@@ -326,8 +364,76 @@ func (f *fabric) attach(g *ddg.Graph, cfg Config, idx int) (*instance, error) {
 	default:
 		return nil, fmt.Errorf("soc: unknown memory kind %v", cfg.Mem)
 	}
+	inst.observe(cfg.Obs, idx)
 	inst.newRound()
 	return inst, nil
+}
+
+// observe registers this accelerator's counters and probes. Accelerator 0
+// (the common single-accelerator case) uses bare soc.accel paths and track
+// names; later instances nest under accelN.
+func (inst *instance) observe(o *obs.Observer, idx int) {
+	if o == nil {
+		return
+	}
+	base := o.Sub("soc.accel")
+	tpfx := ""
+	if idx > 0 {
+		base = o.Sub(fmt.Sprintf("soc.accel%d", idx))
+		tpfx = fmt.Sprintf("accel%d.", idx)
+	}
+	reg := base.Registry
+
+	// The datapath is rebuilt every invocation (newRound), so counters
+	// read through a closure that follows the current instance and, once
+	// finished, the (possibly round-accumulated) result.
+	core.RegisterStats(reg, base.Path("datapath"), func() core.Stats {
+		if inst.dpResult != nil {
+			return inst.dpResult.Stats
+		}
+		return inst.dp.Snapshot()
+	})
+	inst.sp.RegisterStats(reg, base.Path("spad"))
+	if inst.cch != nil {
+		inst.cch.RegisterStats(reg, base.Path("cache"))
+	}
+	if inst.tb != nil {
+		inst.tb.RegisterStats(reg, base.Path("tlb"))
+	}
+	if inst.engDMA != nil {
+		inst.engDMA.RegisterStats(reg, base.Path("dma"))
+		if idx == 0 {
+			// The flush/invalidate work is performed by the host CPU's
+			// cache on the accelerator's behalf; alias it under the CPU
+			// cache path so DMA-mode dumps still carry cache activity.
+			reg.CounterFunc(o.Path("soc.cpu.cache.lines_flushed"),
+				"CPU cache lines flushed for accelerator DMA",
+				func() uint64 { return inst.engDMA.Stats().LinesFlushed })
+			reg.CounterFunc(o.Path("soc.cpu.cache.lines_invalidated"),
+				"CPU cache lines invalidated for accelerator DMA",
+				func() uint64 { return inst.engDMA.Stats().LinesInvalidated })
+		}
+	}
+
+	if !o.Tracing() {
+		return
+	}
+	inst.dpProbe = &obs.Probe{}
+	// Coalesce the per-node retire stream into per-lane busy windows; gaps
+	// of more than eight accelerator cycles stay visible as stalls.
+	gap := uint64(inst.dpCfg.Clock.Cycles(8))
+	o.Tracer.MergeLanes(inst.dpProbe, o.Path(tpfx+"datapath.lane%d"), "busy", gap)
+	if inst.engDMA != nil {
+		transfer, flush := &obs.Probe{}, &obs.Probe{}
+		inst.engDMA.AttachProbe(transfer, flush)
+		o.Tracer.Subscribe(transfer, o.Path(tpfx+"dma"))
+		o.Tracer.Subscribe(flush, o.Path(tpfx+"cpu.flush"))
+	}
+	if inst.cch != nil {
+		cacheProbe := &obs.Probe{}
+		inst.cch.AttachProbe(cacheProbe)
+		o.Tracer.Subscribe(cacheProbe, o.Path(tpfx+"cache"))
+	}
 }
 
 // dirtyCPULines marks every shared line Modified in the host CPU's cache:
@@ -356,6 +462,9 @@ func (inst *instance) dirtyCPULines() {
 // persist across rounds.
 func (inst *instance) newRound() {
 	inst.dp = core.NewDatapath(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+	if inst.dpProbe != nil {
+		inst.dp.AttachProbe(inst.dpProbe)
+	}
 	if inst.cch != nil {
 		// The mfence before signaling waits for outstanding fills; if a
 		// prefetch is the last access in flight, the cache's idle hook

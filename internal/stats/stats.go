@@ -115,7 +115,9 @@ func (t *Table) Render(w io.Writer) {
 		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
 	}
 	writeRow(t.header)
-	sep := make([]string, len(t.header))
+	// The separator spans every column, including columns present only in
+	// rows wider than the header.
+	sep := make([]string, cols)
 	for i := range sep {
 		sep[i] = strings.Repeat("-", widths[i])
 	}

@@ -68,6 +68,25 @@ func TestTableRender(t *testing.T) {
 	}
 }
 
+// Rows may be wider than the header (cmd/dse appends a trailing marker
+// column); the separator must still span every rendered column.
+func TestTableRenderWideRowSeparator(t *testing.T) {
+	tb := NewTable("a", "b")
+	tb.Row("x", "y", "trailing-marker")
+	out := tb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	sep, row := lines[1], lines[2]
+	if len(sep) != len(row) {
+		t.Fatalf("separator width %d != row width %d:\n%s", len(sep), len(row), out)
+	}
+	if strings.Trim(sep, "- ") != "" {
+		t.Fatalf("separator has stray characters: %q", sep)
+	}
+}
+
 // Property: geomean lies between min and max, and is scale-equivariant.
 func TestGeomeanProperty(t *testing.T) {
 	f := func(raw []uint16) bool {
