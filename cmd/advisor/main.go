@@ -50,6 +50,10 @@ func main() {
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	sweep := func(cfgs []soc.Config) dse.Space {
 		space, err := dse.Sweep(g, cfgs)

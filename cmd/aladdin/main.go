@@ -15,7 +15,6 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
-	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
@@ -37,10 +36,8 @@ func main() {
 		cacheAssoc = flag.Int("cache-assoc", 4, "cache associativity")
 		busBits    = flag.Int("bus-bits", 32, "system bus width in bits")
 		timeline   = flag.Bool("timeline", false, "render the per-lane execution timeline")
-		statsOut   = flag.String("stats-out", "", "write a gem5-style stats dump to this file")
-		statsJSON  = flag.String("stats-json", "", "write the stats dump as JSON to this file")
-		traceOut   = flag.String("trace-out", "", "write a Perfetto/Chrome trace-event timeline to this file")
 	)
+	ob := report.AddObsFlags(flag.CommandLine, "")
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -95,9 +92,13 @@ func main() {
 	cfg.BusWidthBits = *busBits
 	cfg.RecordSchedule = *timeline
 
-	var o *obs.Observer
-	if *statsOut != "" || *statsJSON != "" || *traceOut != "" {
-		o = obs.New(*traceOut != "")
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	o := ob.Observer()
+	if o != nil {
 		cfg.Obs = o
 	}
 
@@ -107,7 +108,7 @@ func main() {
 		os.Exit(1)
 	}
 	if o != nil {
-		if err := o.WriteFiles(*statsOut, *statsJSON, *traceOut); err != nil {
+		if err := ob.Write(o); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -15,7 +15,6 @@ import (
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/machsuite"
-	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
@@ -23,16 +22,14 @@ import (
 
 func main() {
 	var (
-		bench     = flag.String("bench", "stencil-stencil3d", "benchmark name")
-		mem       = flag.String("mem", "dma", "memory system: isolated, dma, cache")
-		busBits   = flag.Int("bus-bits", 32, "system bus width")
-		full      = flag.Bool("full", false, "full Fig 3 sweep axes (slower)")
-		front     = flag.Bool("pareto-only", false, "print only the Pareto frontier")
-		format    = flag.String("format", "table", "output format: table, json, csv")
-		statsOut  = flag.String("stats-out", "", "re-run the EDP optimum and write its stats dump to this file")
-		statsJSON = flag.String("stats-json", "", "re-run the EDP optimum and write its stats as JSON to this file")
-		traceOut  = flag.String("trace-out", "", "re-run the EDP optimum and write its Perfetto timeline to this file")
+		bench   = flag.String("bench", "stencil-stencil3d", "benchmark name")
+		mem     = flag.String("mem", "dma", "memory system: isolated, dma, cache")
+		busBits = flag.Int("bus-bits", 32, "system bus width")
+		full    = flag.Bool("full", false, "full Fig 3 sweep axes (slower)")
+		front   = flag.Bool("pareto-only", false, "print only the Pareto frontier")
+		format  = flag.String("format", "table", "output format: table, json, csv")
 	)
+	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
 	flag.Parse()
 
 	k, err := machsuite.ByName(*bench)
@@ -53,6 +50,10 @@ func main() {
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
+	if err := base.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	var cfgs []soc.Config
 	switch *mem {
@@ -82,15 +83,14 @@ func main() {
 	// The sweep itself runs unobserved (observability off keeps every probe
 	// disabled); when dumps are requested, the winning point is re-simulated
 	// with an observer attached.
-	if *statsOut != "" || *statsJSON != "" || *traceOut != "" {
-		o := obs.New(*traceOut != "")
+	if o := ob.Observer(); o != nil {
 		cfg := best.Cfg
 		cfg.Obs = o
 		if _, err := soc.Run(g, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := o.WriteFiles(*statsOut, *statsJSON, *traceOut); err != nil {
+		if err := ob.Write(o); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -11,7 +11,7 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
-	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
 )
@@ -19,15 +19,10 @@ import (
 func main() {
 	verify := flag.Bool("verify", false, "build every trace and check functional correctness")
 	export := flag.String("export", "", "directory to write serialized .trace files into")
-	statsOut := flag.String("stats-out", "", "simulate every benchmark under the default SoC config and write one combined stats dump")
-	statsJSON := flag.String("stats-json", "", "like -stats-out, as JSON")
-	traceOut := flag.String("trace-out", "", "like -stats-out, writing a combined Perfetto timeline")
+	ob := report.AddObsFlags(flag.CommandLine, "simulate every benchmark under the default SoC config and ")
 	flag.Parse()
 
-	var o *obs.Observer
-	if *statsOut != "" || *statsJSON != "" || *traceOut != "" {
-		o = obs.New(*traceOut != "")
-	}
+	o := ob.Observer()
 
 	if *export != "" {
 		if err := os.MkdirAll(*export, 0o755); err != nil {
@@ -82,7 +77,7 @@ func main() {
 		fmt.Println("\nall benchmarks verified against pure-Go references")
 	}
 	if o != nil {
-		if err := o.WriteFiles(*statsOut, *statsJSON, *traceOut); err != nil {
+		if err := ob.Write(o); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,66 @@
+package gem5aladdin
+
+// Design-space exploration at the root of the module: the sweep engine,
+// Pareto extraction, and EDP optimization that back the paper's co-design
+// studies (Figs 1, 3, 8-10), promoted from internal/dse so programs can
+// sweep design points without shelling out to cmd/dse. See ExampleSweep
+// for the end-to-end workflow.
+
+import (
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/soc"
+)
+
+// DesignPoint is one evaluated design: the configuration and its result.
+type DesignPoint = dse.Point
+
+// DesignSpace is a set of evaluated design points. Beyond the package-level
+// ParetoFront and EDPOptimal, it carries the constrained-optimization
+// queries FastestUnderPower and LowestPowerWithin.
+type DesignSpace = dse.Space
+
+// Sweep evaluates every configuration over the prebuilt graph g, in
+// parallel across CPUs. Each run owns a private simulation engine, so the
+// results are deterministic regardless of goroutine scheduling. Impossible
+// design points are rejected up front with a *soc.ConfigError; filter
+// candidate lists with Config.Validate (as CacheConfigs does) when
+// enumerating aggressively.
+func Sweep(g *Graph, cfgs []Config) (DesignSpace, error) { return dse.Sweep(g, cfgs) }
+
+// ParetoFront returns the points of s not dominated in (runtime, power),
+// sorted by runtime: the frontier the paper's Fig 8 plots.
+func ParetoFront(s DesignSpace) DesignSpace { return s.ParetoFront() }
+
+// EDPOptimal returns the point of s with the minimum energy-delay product,
+// the co-design winner of Figs 1 and 10. It panics on an empty space.
+func EDPOptimal(s DesignSpace) DesignPoint { return s.EDPOptimal() }
+
+// SweepOptions sizes the sweep axes; see QuickSweepOptions and
+// FullSweepOptions.
+type SweepOptions = dse.SweepOptions
+
+// QuickSweepOptions returns pruned sweep axes for tests and fast
+// iteration: lanes and memory sizes are kept, line size and associativity
+// pin to their defaults.
+func QuickSweepOptions() SweepOptions { return dse.QuickOptions() }
+
+// FullSweepOptions returns the complete Fig 3 parameter table.
+func FullSweepOptions() SweepOptions { return dse.FullOptions() }
+
+// SpadConfigs enumerates lanes x partitions design points for Isolated or
+// DMA memory systems over the given base configuration.
+func SpadConfigs(base Config, mem MemKind, lanes, partitions []int) []Config {
+	return dse.SpadConfigs(base, mem, lanes, partitions)
+}
+
+// CacheConfigs enumerates cache design points (lanes x size x line x ports
+// x associativity), silently skipping geometrically impossible
+// combinations (e.g. 2KB/64B/8-way has too few sets).
+func CacheConfigs(base Config, lanes, sizesKB, lines, ports, assocs []int) []Config {
+	return dse.CacheConfigs(base, lanes, sizesKB, lines, ports, assocs)
+}
+
+// ConfigError is the typed error Config.Validate (and every Run entry
+// point) reports for an impossible design point; it names the offending
+// field. Recover it with errors.As.
+type ConfigError = soc.ConfigError

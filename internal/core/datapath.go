@@ -176,6 +176,7 @@ type Datapath struct {
 
 	cycle         uint64
 	startTick     sim.Tick
+	tickEv        *sim.Event // pre-bound tick callback, scheduled every cycle
 	tickScheduled bool
 	running       bool
 	finished      bool
@@ -210,6 +211,7 @@ func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datap
 		lanes:  make([]laneState, cfg.Lanes),
 	}
 	copy(d.indeg, g.InDeg)
+	d.tickEv = sim.NewEvent(d.tick)
 	d.stats.LaneOps = make([]uint64, cfg.Lanes)
 	if cfg.RecordSchedule {
 		d.sched = make([]ScheduleEntry, n)
@@ -326,7 +328,7 @@ func (d *Datapath) scheduleTick() {
 	if next < now {
 		next = d.startTick + d.cfg.Clock.Cycles(c+1)
 	}
-	d.eng.Schedule(next, d.tick)
+	d.eng.ScheduleEvent(next, d.tickEv)
 }
 
 // nextCompletionCycle returns the earliest cycle at which a pending result
@@ -437,12 +439,12 @@ func (d *Datapath) tick() {
 	// Decide when to tick next: next cycle if anything can progress, else
 	// at the earliest pending completion, else wait for async wakeups.
 	if anyIssued || anyStalledRetry {
-		d.eng.Schedule(d.startTick+d.cfg.Clock.Cycles(d.cycle+1), d.tick)
+		d.eng.ScheduleEvent(d.startTick+d.cfg.Clock.Cycles(d.cycle+1), d.tickEv)
 		d.tickScheduled = true
 		return
 	}
 	if next, ok := d.nextCompletionCycle(); ok {
-		d.eng.Schedule(d.startTick+d.cfg.Clock.Cycles(next), d.tick)
+		d.eng.ScheduleEvent(d.startTick+d.cfg.Clock.Cycles(next), d.tickEv)
 		d.tickScheduled = true
 	}
 	// Otherwise: every runnable lane is blocked on async memory or ready

@@ -102,6 +102,8 @@ type TrafficGen struct {
 	addr    uint64
 	stopped bool
 	issued  uint64
+	stepEv  *sim.Event // recurring injection callback, bound once
+	doneFn  func()     // no-op completion shared by every injected access
 }
 
 // NewTrafficGen registers a background master on b.
@@ -109,17 +111,20 @@ func NewTrafficGen(eng *sim.Engine, b *bus.Bus, period sim.Tick, bytes uint32) *
 	if period == 0 || bytes == 0 {
 		panic("cpu: invalid traffic generator parameters")
 	}
-	return &TrafficGen{
+	g := &TrafficGen{
 		eng: eng, bus: b, master: b.RegisterMaster(),
 		Period: period, Bytes: bytes,
-		addr: 0x4000_0000, // away from accelerator data
+		addr:   0x4000_0000, // away from accelerator data
+		doneFn: func() {},
 	}
+	g.stepEv = sim.NewEvent(g.step)
+	return g
 }
 
 // Start begins injecting traffic.
 func (g *TrafficGen) Start() {
 	g.stopped = false
-	g.eng.After(g.Period, g.step)
+	g.eng.AfterEvent(g.Period, g.stepEv)
 }
 
 // Stop halts injection after the current transaction.
@@ -141,6 +146,6 @@ func (g *TrafficGen) step() {
 	}
 	g.issued++
 	g.addr += uint64(g.Bytes)
-	g.bus.Access(g.master, g.addr, g.Bytes, g.Write, func() {})
-	g.eng.After(g.Period, g.step)
+	g.bus.Access(g.master, g.addr, g.Bytes, g.Write, g.doneFn)
+	g.eng.AfterEvent(g.Period, g.stepEv)
 }

@@ -71,6 +71,12 @@ type Bus struct {
 	granted   bool        // a transaction currently holds the bus
 	stats     Stats
 	probe     *obs.Probe
+
+	// releaseEv fires when the granted transaction's occupancy elapses.
+	// Only one transaction holds the bus at a time, so a single pre-bound
+	// event and continuation slot replace a per-grant closure.
+	releaseEv    *sim.Event
+	afterRelease func()
 }
 
 // New creates a bus attached to eng, delivering transactions to target.
@@ -81,7 +87,21 @@ func New(eng *sim.Engine, cfg Config, target Target) *Bus {
 	if cfg.Clock.Period == 0 {
 		panic("bus: zero clock period")
 	}
-	return &Bus{cfg: cfg, eng: eng, target: target}
+	b := &Bus{cfg: cfg, eng: eng, target: target}
+	b.releaseEv = sim.NewEvent(b.release)
+	return b
+}
+
+// release ends the granted transaction's bus occupancy, runs its
+// continuation, and re-arbitrates.
+func (b *Bus) release() {
+	b.granted = false
+	then := b.afterRelease
+	b.afterRelease = nil
+	if then != nil {
+		then()
+	}
+	b.arbitrate()
 }
 
 // RegisterMaster allocates an arbitration slot and returns its id.
@@ -195,6 +215,7 @@ func (b *Bus) arbitrate() {
 	}
 	if len(b.responses) > 0 {
 		req := b.responses[0]
+		b.responses[0] = request{} // release callbacks left in spare capacity
 		b.responses = b.responses[1:]
 		b.grant(req)
 		return
@@ -206,6 +227,7 @@ func (b *Bus) arbitrate() {
 			continue
 		}
 		req := b.queues[m][0]
+		b.queues[m][0] = request{} // release callbacks left in spare capacity
 		b.queues[m] = b.queues[m][1:]
 		b.rrNext = (m + 1) % n
 		b.grant(req)
@@ -225,13 +247,8 @@ func (b *Bus) grant(req request) {
 				End: start + uint64(after), Lane: int32(req.master),
 				Bytes: uint64(req.bytes)})
 		}
-		b.eng.After(after, func() {
-			b.granted = false
-			if then != nil {
-				then()
-			}
-			b.arbitrate()
-		})
+		b.afterRelease = then
+		b.eng.AfterEvent(after, b.releaseEv)
 	}
 
 	switch {

@@ -72,9 +72,15 @@ type DRAM struct {
 	stats    Stats
 	probe    *obs.Probe
 
-	// FR-FCFS state: per-bank request queues and service status.
+	// FR-FCFS state: per-bank request queues and service status. Each bank
+	// services one beat at a time, so its completion callback is a single
+	// pre-bound event and the in-service request lives in bankReq; finished
+	// beatReqs recycle through free instead of churning the allocator.
 	queues     [][]*beatReq
 	bankActive []bool
+	bankReq    []*beatReq
+	bankEv     []*sim.Event
+	free       []*beatReq
 }
 
 // beatReq is one queued intra-row beat under FR-FCFS.
@@ -98,11 +104,27 @@ func New(eng *sim.Engine, cfg Config) *DRAM {
 		openRow:    make([]int64, cfg.Banks),
 		bankBusy:   make([]sim.Tick, cfg.Banks),
 		queues:     make([][]*beatReq, cfg.Banks),
-		bankActive: make([]bool, cfg.Banks)}
+		bankActive: make([]bool, cfg.Banks),
+		bankReq:    make([]*beatReq, cfg.Banks),
+		bankEv:     make([]*sim.Event, cfg.Banks)}
 	for i := range d.openRow {
 		d.openRow[i] = -1
+		bank := i
+		d.bankEv[i] = sim.NewEvent(func() { d.finishBeat(bank) })
 	}
 	return d
+}
+
+// finishBeat retires the beat in service at bank and serves the next one.
+func (d *DRAM) finishBeat(bank int) {
+	req := d.bankReq[bank]
+	d.bankReq[bank] = nil
+	d.bankActive[bank] = false
+	done := req.done
+	*req = beatReq{}
+	d.free = append(d.free, req)
+	done()
+	d.serveBank(bank)
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -192,14 +214,17 @@ func (d *DRAM) Access(addr uint64, bytes uint32, write bool, done func()) {
 
 // accessQueued is the FR-FCFS path: beats enter per-bank queues and a
 // scheduler picks row hits first (oldest-first fallback with a skip cap).
+// The last beat to finish completes the access. Enqueuing never fires a
+// completion synchronously (service runs off a scheduled event), so the
+// outstanding count is final before any beat can retire.
 func (d *DRAM) accessQueued(addr uint64, bytes uint32, done func()) {
-	// Count beats, then enqueue each; the last beat to finish completes
-	// the access.
-	type span struct {
-		a uint64
-		n uint32
+	outstanding := 0
+	beatDone := func() {
+		outstanding--
+		if outstanding == 0 {
+			done()
+		}
 	}
-	var spans []span
 	remaining := uint64(bytes)
 	a := addr
 	for remaining > 0 {
@@ -208,23 +233,27 @@ func (d *DRAM) accessQueued(addr uint64, bytes uint32, done func()) {
 		if beat > remaining {
 			beat = remaining
 		}
-		spans = append(spans, span{a, uint32(beat)})
+		row := int64(a / d.cfg.RowBytes)
+		bank := int(uint64(row) % uint64(d.cfg.Banks))
+		req := d.newBeatReq()
+		req.row, req.bytes, req.done = row, uint32(beat), beatDone
+		outstanding++
+		d.queues[bank] = append(d.queues[bank], req)
+		d.serveBank(bank)
 		a += beat
 		remaining -= beat
 	}
-	outstanding := len(spans)
-	beatDone := func() {
-		outstanding--
-		if outstanding == 0 {
-			done()
-		}
+}
+
+// newBeatReq takes a request from the freelist, or allocates one.
+func (d *DRAM) newBeatReq() *beatReq {
+	if n := len(d.free); n > 0 {
+		req := d.free[n-1]
+		d.free[n-1] = nil
+		d.free = d.free[:n-1]
+		return req
 	}
-	for _, sp := range spans {
-		row := int64(sp.a / d.cfg.RowBytes)
-		bank := int(uint64(row) % uint64(d.cfg.Banks))
-		d.queues[bank] = append(d.queues[bank], &beatReq{row: row, bytes: sp.n, done: beatDone})
-		d.serveBank(bank)
-	}
+	return &beatReq{}
 }
 
 // serveBank dispatches the next request for a bank under FR-FCFS.
@@ -244,10 +273,12 @@ func (d *DRAM) serveBank(bank int) {
 	}
 	req := q[pick]
 	d.queues[bank] = append(q[:pick], q[pick+1:]...)
+	q[len(q)-1] = nil // release the compacted-over tail slot
 	if pick != 0 && len(d.queues[bank]) > 0 {
 		d.queues[bank][0].skipped++
 	}
 	d.bankActive[bank] = true
+	d.bankReq[bank] = req
 
 	lat := d.cfg.TCas
 	hit := d.openRow[bank] == req.row
@@ -269,11 +300,7 @@ func (d *DRAM) serveBank(bank int) {
 	if d.probe.Enabled() {
 		d.fireBeat(bank, hit, d.eng.Now(), end, req.bytes)
 	}
-	d.eng.Schedule(end, func() {
-		d.bankActive[bank] = false
-		req.done()
-		d.serveBank(bank)
-	})
+	d.eng.ScheduleEvent(end, d.bankEv[bank])
 }
 
 // beat performs one intra-row access and returns its data-ready time.

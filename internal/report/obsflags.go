@@ -1,0 +1,48 @@
+package report
+
+import (
+	"flag"
+
+	"gem5aladdin/internal/obs"
+)
+
+// ObsFlags bundles the observability output flags every CLI shares
+// (-stats-out, -stats-json, -trace-out) with the observer wiring they
+// imply, so the three binaries don't each re-declare the same triplet.
+type ObsFlags struct {
+	StatsOut  string
+	StatsJSON string
+	TraceOut  string
+}
+
+// AddObsFlags registers -stats-out/-stats-json/-trace-out on fs. note,
+// when non-empty, prefixes each description with the command's context
+// (e.g. "re-run the EDP optimum and ").
+func AddObsFlags(fs *flag.FlagSet, note string) *ObsFlags {
+	f := &ObsFlags{}
+	fs.StringVar(&f.StatsOut, "stats-out", "", note+"write a gem5-style stats dump to this file")
+	fs.StringVar(&f.StatsJSON, "stats-json", "", note+"write the stats dump as JSON to this file")
+	fs.StringVar(&f.TraceOut, "trace-out", "", note+"write a Perfetto/Chrome trace-event timeline to this file")
+	return f
+}
+
+// Enabled reports whether any observability output was requested.
+func (f *ObsFlags) Enabled() bool {
+	return f.StatsOut != "" || f.StatsJSON != "" || f.TraceOut != ""
+}
+
+// Observer returns a fresh observer carrying a tracer iff -trace-out was
+// given, or nil when no output was requested — which keeps every probe
+// disabled and the simulation hot paths at their single-branch cost.
+func (f *ObsFlags) Observer() *obs.Observer {
+	if !f.Enabled() {
+		return nil
+	}
+	return obs.New(f.TraceOut != "")
+}
+
+// Write dumps o to whichever of the requested files were given. o must be
+// the observer returned by Observer (or one sharing its registry/tracer).
+func (f *ObsFlags) Write(o *obs.Observer) error {
+	return o.WriteFiles(f.StatsOut, f.StatsJSON, f.TraceOut)
+}

@@ -1,0 +1,73 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestObsFlagsRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	f := AddObsFlags(fs, "re-run the winner and ")
+	for _, name := range []string{"stats-out", "stats-json", "trace-out"} {
+		fl := fs.Lookup(name)
+		if fl == nil {
+			t.Fatalf("flag -%s not registered", name)
+		}
+		if fl.Usage[:len("re-run the winner and ")] != "re-run the winner and " {
+			t.Errorf("-%s usage lost the command note: %q", name, fl.Usage)
+		}
+	}
+	if err := fs.Parse([]string{"-stats-out", "a", "-trace-out", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.StatsOut != "a" || f.StatsJSON != "" || f.TraceOut != "b" {
+		t.Fatalf("parsed values wrong: %+v", f)
+	}
+}
+
+func TestObsFlagsObserver(t *testing.T) {
+	var f ObsFlags
+	if f.Enabled() {
+		t.Fatal("zero ObsFlags reports enabled")
+	}
+	if o := f.Observer(); o != nil {
+		t.Fatal("Observer is non-nil with no outputs requested, probes would pay for unused observability")
+	}
+
+	f.StatsOut = "x"
+	if !f.Enabled() || f.Observer() == nil {
+		t.Fatal("stats-out alone must enable an observer")
+	}
+	if f.Observer().Tracer != nil {
+		t.Fatal("tracer allocated without -trace-out")
+	}
+	f.TraceOut = "y"
+	if f.Observer().Tracer == nil {
+		t.Fatal("-trace-out must attach a tracer")
+	}
+}
+
+func TestObsFlagsWrite(t *testing.T) {
+	dir := t.TempDir()
+	f := ObsFlags{
+		StatsOut:  filepath.Join(dir, "stats.txt"),
+		StatsJSON: filepath.Join(dir, "stats.json"),
+		TraceOut:  filepath.Join(dir, "trace.json"),
+	}
+	o := f.Observer()
+	o.Registry.Counter("test.events", "events recorded by the test").Add(3)
+	if err := f.Write(o); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{f.StatsOut, f.StatsJSON, f.TraceOut} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("output missing: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

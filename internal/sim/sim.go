@@ -6,10 +6,22 @@
 // accelerator datapath) schedule work on a shared *Engine. Two events at the
 // same tick fire in the order they were scheduled, which makes every
 // simulation run bit-reproducible.
+//
+// # Queue design
+//
+// The queue is a hand-rolled 4-ary min-heap of concrete event structs
+// ordered by (when, seq) — no container/heap, no interface boxing — plus a
+// FIFO ring for events scheduled at the current tick, the dominant pattern
+// in the SoC model (bus grant chains, cache hit callbacks, same-cycle
+// wakeups). Scheduling and dispatch are allocation-free in steady state:
+// the only allocations are amortized slice growth while the queue warms up.
+// Popped slots are cleared so retired callbacks become collectable instead
+// of lingering in the slice's spare capacity. Components with recurring
+// callbacks (tick loops) pre-bind them once via NewEvent and reschedule the
+// handle, so the hot loop allocates no closures either.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 
 	"gem5aladdin/internal/obs"
@@ -29,6 +41,9 @@ const (
 	Millisecond Tick = 1000 * 1000 * 1000
 )
 
+// MaxTick is the largest representable point in virtual time (~5.3 years).
+const MaxTick Tick = ^Tick(0)
+
 // Nanos reports t as a floating-point nanosecond count, for reporting.
 func (t Tick) Nanos() float64 { return float64(t) / float64(Nanosecond) }
 
@@ -38,39 +53,45 @@ func (t Tick) Micros() float64 { return float64(t) / float64(Microsecond) }
 // String formats the tick as nanoseconds.
 func (t Tick) String() string { return fmt.Sprintf("%.1fns", t.Nanos()) }
 
-// Event is a scheduled callback.
+// event is one scheduled callback. Events are stored by value in the heap
+// and FIFO ring; nothing about them escapes to the garbage collector beyond
+// the fn closure itself.
 type event struct {
 	when Tick
-	seq  uint64 // tie-break: schedule order
+	seq  uint64 // tie-break within the heap: schedule order
 	fn   func()
 }
 
-type eventHeap []event
+// Event is a pre-bound callback that can be scheduled repeatedly without
+// allocating. Recurring activities — the datapath tick loop, DRAM bank
+// service, bus release, the background traffic generator — construct one
+// Event up front and pass it to Engine.ScheduleEvent/AfterEvent each round,
+// instead of rebuilding an equivalent closure per occurrence.
+type Event struct {
+	fn func()
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() (popped any) {
-	old := *h
-	n := len(old)
-	popped = old[n-1]
-	*h = old[:n-1]
-	return
-}
+// NewEvent binds fn into a reusable scheduling handle.
+func NewEvent(fn func()) *Event { return &Event{fn: fn} }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    Tick
-	seq    uint64
-	events eventHeap
-	fired  uint64
-	probe  *obs.Probe
+	now Tick
+	seq uint64
+
+	// heap is a 4-ary min-heap ordered by (when, seq). It never contains
+	// an event with when == now: those are routed to the FIFO ring, so any
+	// heap entry tied with a FIFO entry on time was necessarily scheduled
+	// earlier and must fire first.
+	heap []event
+
+	// fifo is a power-of-two ring of events scheduled at the current tick,
+	// fired in schedule order before time advances.
+	fifo     []event
+	fifoHead int
+	fifoLen  int
+	fired    uint64
+	probe    *obs.Probe
 }
 
 // NewEngine returns an empty simulation engine at tick 0.
@@ -83,7 +104,7 @@ func (e *Engine) Now() Tick { return e.now }
 func (e *Engine) EventsFired() uint64 { return e.fired }
 
 // Pending reports how many events are waiting to fire.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return len(e.heap) + e.fifoLen }
 
 // SetProbe attaches an observability probe that, when enabled, receives
 // one instant event per executed simulation event. With no listeners the
@@ -104,18 +125,58 @@ func (e *Engine) Schedule(when Tick, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", when, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{when: when, seq: e.seq, fn: fn})
+	if when == e.now {
+		e.fifoPush(event{when: when, seq: e.seq, fn: fn})
+		return
+	}
+	e.heapPush(event{when: when, seq: e.seq, fn: fn})
 }
 
-// After runs fn delta ticks from now.
-func (e *Engine) After(delta Tick, fn func()) { e.Schedule(e.now+delta, fn) }
+// After runs fn delta ticks from now. A delta that would overflow virtual
+// time panics, like scheduling in the past does: both indicate a component
+// computing a nonsensical latency.
+func (e *Engine) After(delta Tick, fn func()) {
+	when := e.now + delta
+	if when < e.now {
+		panic(fmt.Sprintf("sim: delta %d ticks from %v overflows virtual time", uint64(delta), e.now))
+	}
+	e.Schedule(when, fn)
+}
+
+// ScheduleEvent runs a pre-bound Event at absolute time when. It is
+// Schedule without the per-call closure: the handle's callback was
+// allocated once at construction.
+func (e *Engine) ScheduleEvent(when Tick, ev *Event) { e.Schedule(when, ev.fn) }
+
+// AfterEvent runs a pre-bound Event delta ticks from now.
+func (e *Engine) AfterEvent(delta Tick, ev *Event) { e.After(delta, ev.fn) }
+
+// NextEventTime reports when the earliest pending event fires; ok is false
+// when the queue is empty.
+func (e *Engine) NextEventTime() (when Tick, ok bool) {
+	if e.fifoLen > 0 {
+		// FIFO entries always live at the current tick.
+		return e.now, true
+	}
+	if len(e.heap) > 0 {
+		return e.heap[0].when, true
+	}
+	return 0, false
+}
 
 // Step fires the single earliest pending event and reports whether one fired.
 func (e *Engine) Step() bool {
-	if len(e.events) == 0 {
+	var ev event
+	// A heap entry at the current tick was scheduled before any FIFO entry
+	// (the FIFO only receives events scheduled while now already equals
+	// their time), so the heap drains first on ties.
+	if e.fifoLen > 0 && (len(e.heap) == 0 || e.heap[0].when > e.now) {
+		ev = e.fifoPop()
+	} else if len(e.heap) > 0 {
+		ev = e.heapPop()
+	} else {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
 	e.now = ev.when
 	e.fired++
 	if e.probe.Enabled() {
@@ -135,12 +196,113 @@ func (e *Engine) Run() Tick {
 // RunUntil fires events with time <= deadline. Events beyond the deadline
 // stay queued; the engine's clock advances to at most deadline.
 func (e *Engine) RunUntil(deadline Tick) {
-	for len(e.events) > 0 && e.events[0].when <= deadline {
+	for {
+		next, ok := e.NextEventTime()
+		if !ok || next > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
+}
+
+// --- same-tick FIFO ring ---
+
+func (e *Engine) fifoPush(ev event) {
+	if e.fifoLen == len(e.fifo) {
+		e.fifoGrow()
+	}
+	e.fifo[(e.fifoHead+e.fifoLen)&(len(e.fifo)-1)] = ev
+	e.fifoLen++
+}
+
+func (e *Engine) fifoPop() event {
+	ev := e.fifo[e.fifoHead]
+	// Clear the vacated slot so the callback is collectable once it has
+	// run; otherwise it stays reachable through the ring until overwritten.
+	e.fifo[e.fifoHead] = event{}
+	e.fifoHead = (e.fifoHead + 1) & (len(e.fifo) - 1)
+	e.fifoLen--
+	return ev
+}
+
+func (e *Engine) fifoGrow() {
+	n := len(e.fifo) * 2
+	if n == 0 {
+		n = 16
+	}
+	grown := make([]event, n)
+	for i := 0; i < e.fifoLen; i++ {
+		grown[i] = e.fifo[(e.fifoHead+i)&(len(e.fifo)-1)]
+	}
+	e.fifo = grown
+	e.fifoHead = 0
+}
+
+// --- 4-ary min-heap ---
+//
+// A 4-ary layout halves tree depth versus binary, trading slightly more
+// sibling comparisons per level for fewer cache-missing levels — the right
+// trade for the shallow-but-hot queues this simulator runs (tens to a few
+// thousand pending events). Children of i live at 4i+1..4i+4.
+
+// less orders events by (when, seq).
+func less(a, b *event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev event) {
+	e.heap = append(e.heap, ev)
+	// Sift up.
+	h := e.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !less(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release the moved slot's callback reference
+	h = h[:n]
+	e.heap = h
+	// Sift down.
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !less(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return top
 }
 
 // Clock describes a clock domain with a fixed period.

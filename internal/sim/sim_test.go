@@ -2,9 +2,12 @@ package sim
 
 import (
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestEngineEmptyRun(t *testing.T) {
@@ -209,6 +212,184 @@ func TestTickConversions(t *testing.T) {
 	}
 	if s := (1500 * Picosecond).String(); s != "1.5ns" {
 		t.Fatalf("String = %q", s)
+	}
+}
+
+// TestPoppedEventsReleaseClosures is the regression test for the event-queue
+// memory retention bug: popped events used to keep their fn closure reachable
+// through the queue slice's spare capacity, pinning everything the closure
+// captured for the life of the engine. Popping must clear the vacated slot.
+func TestPoppedEventsReleaseClosures(t *testing.T) {
+	const n = 64
+	e := NewEngine()
+	var freed int64
+	for i := 0; i < n; i++ {
+		payload := new([1 << 16]byte)
+		runtime.SetFinalizer(payload, func(*[1 << 16]byte) { atomic.AddInt64(&freed, 1) })
+		p := payload
+		// Spread events across both queue paths: same-tick FIFO and heap.
+		if i%2 == 0 {
+			e.Schedule(Tick(i), func() { p[0] = 1 })
+		} else {
+			e.Schedule(0, func() { p[1] = 1 })
+		}
+	}
+	e.Run()
+	for attempt := 0; attempt < 50 && atomic.LoadInt64(&freed) < n; attempt++ {
+		runtime.GC()
+		time.Sleep(time.Millisecond)
+	}
+	if got := atomic.LoadInt64(&freed); got != n {
+		t.Fatalf("only %d/%d popped closures were collectable; queue retains fired events", got, n)
+	}
+	// The engine (and its spare queue capacity) stays live for the whole
+	// test, so any surviving payload is pinned by a queue slot.
+	runtime.KeepAlive(e)
+}
+
+// TestEngineScheduleAtNowInsideEvent pins the same-tick fast path: events
+// scheduled at the current tick from inside a firing event run this tick,
+// after every previously scheduled event at that tick, in schedule order —
+// including events that were already sitting in the heap for that tick.
+func TestEngineScheduleAtNowInsideEvent(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(10, func() {
+		order = append(order, 0)
+		e.Schedule(10, func() { // same-tick, scheduled mid-fire
+			order = append(order, 2)
+			e.Schedule(10, func() { order = append(order, 4) })
+		})
+		e.Schedule(10, func() { order = append(order, 3) })
+	})
+	e.Schedule(10, func() { order = append(order, 1) }) // pre-queued heap entry
+	e.Schedule(20, func() { order = append(order, 5) })
+	e.Run()
+	want := []int{0, 1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("fired %d events, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("final time %v, want 20", e.Now())
+	}
+}
+
+// TestEngineZeroDelayAfter exercises After(0, ...) self-chains, the
+// degenerate schedule-at-now pattern bus grant cascades produce.
+func TestEngineZeroDelayAfter(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(5, func() {})
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 100 {
+			e.After(0, chain)
+		}
+	}
+	e.After(0, chain)
+	e.Run()
+	if hits != 100 {
+		t.Fatalf("hits = %d, want 100", hits)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("final time %v, want 5", e.Now())
+	}
+}
+
+// TestEngineInterleavedClockDomains runs two free-running tick loops in
+// non-commensurate clock domains (667 MHz CPU vs 100 MHz accelerator) and
+// checks time monotonicity, per-domain edge alignment, and the deterministic
+// interleave count.
+func TestEngineInterleavedClockDomains(t *testing.T) {
+	e := NewEngine()
+	cpu := NewClockHz(667e6)  // 1499 ps period
+	accel := NewClockHz(1e8)  // 10000 ps period
+	stop := Tick(Microsecond) // 1 us
+	counts := map[string]int{}
+	var last Tick
+	tick := func(name string, c Clock) func() {
+		var fn func()
+		fn = func() {
+			now := e.Now()
+			if now < last {
+				t.Fatalf("%s: time went backwards: %v < %v", name, now, last)
+			}
+			last = now
+			if now%c.Period != 0 {
+				t.Fatalf("%s fired off its clock edge at %v", name, now)
+			}
+			counts[name]++
+			if next := now + c.Period; next <= stop {
+				e.Schedule(next, fn)
+			}
+		}
+		return fn
+	}
+	e.Schedule(0, tick("cpu", cpu))
+	e.Schedule(0, tick("accel", accel))
+	e.Run()
+	wantCPU := int(stop/cpu.Period) + 1
+	wantAccel := int(stop/accel.Period) + 1
+	if counts["cpu"] != wantCPU || counts["accel"] != wantAccel {
+		t.Fatalf("ticks = %v, want cpu=%d accel=%d", counts, wantCPU, wantAccel)
+	}
+}
+
+// TestEngineTickOverflow covers overflow-adjacent Tick arithmetic: absolute
+// scheduling near MaxTick works, and After deltas that would wrap virtual
+// time panic instead of silently scheduling in the past.
+func TestEngineTickOverflow(t *testing.T) {
+	e := NewEngine()
+	var fired []Tick
+	e.Schedule(MaxTick, func() { fired = append(fired, e.Now()) })
+	e.Schedule(MaxTick-1, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 2 || fired[0] != MaxTick-1 || fired[1] != MaxTick {
+		t.Fatalf("fired = %v, want [MaxTick-1 MaxTick]", fired)
+	}
+	if e.Now() != MaxTick {
+		t.Fatalf("now = %v, want MaxTick", e.Now())
+	}
+	// Rescheduling at the clamp is still legal (when == now).
+	e.Schedule(MaxTick, func() { fired = append(fired, e.Now()) })
+	e.Run()
+	if len(fired) != 3 {
+		t.Fatalf("schedule at now==MaxTick did not fire")
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("After with overflowing delta did not panic")
+		}
+	}()
+	e.After(1, func() {})
+}
+
+// TestEngineRunUntilWithSameTickEvents checks that RunUntil fires same-tick
+// FIFO events at the deadline boundary and leaves later events queued.
+func TestEngineRunUntilWithSameTickEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.Schedule(10, func() {
+		fired = append(fired, 0)
+		e.Schedule(10, func() { fired = append(fired, 1) })
+	})
+	e.Schedule(11, func() { fired = append(fired, 2) })
+	e.RunUntil(10)
+	if len(fired) != 2 {
+		t.Fatalf("fired = %v, want [0 1]", fired)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	if next, ok := e.NextEventTime(); !ok || next != 11 {
+		t.Fatalf("NextEventTime = %v,%v, want 11,true", next, ok)
 	}
 }
 

@@ -161,23 +161,6 @@ func DefaultConfig() Config {
 	}
 }
 
-// Validate sanity-checks a configuration.
-func (c Config) Validate() error {
-	if c.Lanes <= 0 || c.Partitions <= 0 || c.SpadPorts <= 0 {
-		return fmt.Errorf("soc: non-positive datapath parameter")
-	}
-	if c.AccelHz <= 0 || c.BusHz <= 0 {
-		return fmt.Errorf("soc: non-positive clock")
-	}
-	if c.Mem == Cache {
-		cc := c.cacheConfig(sim.NewClockHz(c.AccelHz))
-		if err := cc.Validate(); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 func (c Config) cacheConfig(clock sim.Clock) cache.Config {
 	return cache.Config{
 		SizeBytes:      uint64(c.CacheKB) * 1024,
@@ -579,6 +562,9 @@ func (inst *instance) collect(pm *power.Model) (*RunResult, error) {
 
 // Run executes one invocation of the kernel captured in g under cfg.
 func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	f := newFabric(cfg)
 	inst, err := f.attach(g, cfg, 0)
 	if err != nil {
@@ -614,6 +600,11 @@ func RunMulti(gs []*ddg.Graph, cfgs []Config) (*MultiResult, error) {
 	if len(gs) == 0 || len(gs) != len(cfgs) {
 		return nil, fmt.Errorf("soc: RunMulti needs matching graphs and configs, got %d/%d",
 			len(gs), len(cfgs))
+	}
+	for i := range cfgs {
+		if err := cfgs[i].Validate(); err != nil {
+			return nil, fmt.Errorf("soc: accelerator %d: %w", i, err)
+		}
 	}
 	f := newFabric(cfgs[0])
 	insts := make([]*instance, len(gs))
@@ -677,6 +668,9 @@ func (r *RepeatResult) SteadyState() sim.Tick { return r.Rounds[len(r.Rounds)-1]
 func RunRepeated(g *ddg.Graph, cfg Config, invocations int, reuseInputs bool) (*RepeatResult, error) {
 	if invocations <= 0 {
 		return nil, fmt.Errorf("soc: non-positive invocation count %d", invocations)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	f := newFabric(cfg)
 	inst, err := f.attach(g, cfg, 0)

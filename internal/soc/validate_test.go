@@ -1,0 +1,100 @@
+package soc
+
+import (
+	"errors"
+	"testing"
+
+	"gem5aladdin/internal/ddg"
+)
+
+func TestValidateDefaultConfig(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	cc := DefaultConfig()
+	cc.Mem = Cache
+	if err := cc.Validate(); err != nil {
+		t.Fatalf("default cache config invalid: %v", err)
+	}
+}
+
+func TestValidateTypedErrors(t *testing.T) {
+	mutate := func(f func(*Config)) Config {
+		c := DefaultConfig()
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name  string
+		cfg   Config
+		field string
+	}{
+		{"zero lanes", mutate(func(c *Config) { c.Lanes = 0 }), "Lanes"},
+		{"negative lanes", mutate(func(c *Config) { c.Lanes = -4 }), "Lanes"},
+		{"zero partitions", mutate(func(c *Config) { c.Partitions = 0 }), "Partitions"},
+		{"zero spad ports", mutate(func(c *Config) { c.SpadPorts = 0 }), "SpadPorts"},
+		{"zero accel clock", mutate(func(c *Config) { c.AccelHz = 0 }), "AccelHz"},
+		{"zero bus clock", mutate(func(c *Config) { c.BusHz = 0 }), "BusHz"},
+		{"zero bus width", mutate(func(c *Config) { c.BusWidthBits = 0 }), "BusWidthBits"},
+		{"ragged bus width", mutate(func(c *Config) { c.BusWidthBits = 12 }), "BusWidthBits"},
+		{"zero dram banks", mutate(func(c *Config) { c.DRAM.Banks = 0 }), "DRAM.Banks"},
+		{"zero cpu clock", mutate(func(c *Config) { c.CPU.Clock.Period = 0 }), "CPU.Clock"},
+		{"zero traffic period", mutate(func(c *Config) { c.Traffic = &TrafficConfig{Period: 0, Bytes: 64} }), "Traffic.Period"},
+		{"unknown mem kind", mutate(func(c *Config) { c.Mem = MemKind(42) }), "Mem"},
+		{"zero cache size", mutate(func(c *Config) { c.Mem = Cache; c.CacheKB = 0 }), "CacheKB"},
+		{"non-pow2 cache line", mutate(func(c *Config) { c.Mem = Cache; c.CacheLineBytes = 48 }), "CacheLineBytes"},
+		{"non-pow2 assoc", mutate(func(c *Config) { c.Mem = Cache; c.CacheAssoc = 3 }), "CacheAssoc"},
+		{"zero cache ports", mutate(func(c *Config) { c.Mem = Cache; c.CachePorts = 0 }), "CachePorts"},
+		{"zero mshrs", mutate(func(c *Config) { c.Mem = Cache; c.MSHRs = 0 }), "MSHRs"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted an impossible design point", tc.name)
+			continue
+		}
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Errorf("%s: error %v is not a *ConfigError", tc.name, err)
+			continue
+		}
+		if ce.Field != tc.field {
+			t.Errorf("%s: fault attributed to %q, want %q", tc.name, ce.Field, tc.field)
+		}
+	}
+
+	// Non-power-of-two set count: caught via the cache model's geometry
+	// check and surfaced as a ConfigError naming the cache field group.
+	c := DefaultConfig()
+	c.Mem = Cache
+	c.CacheKB = 3
+	var ce *ConfigError
+	if err := c.Validate(); !errors.As(err, &ce) {
+		t.Fatalf("3KB cache: got %v, want a *ConfigError", err)
+	}
+}
+
+// TestRunRejectsImpossibleConfig pins that Run fails fast with the typed
+// error instead of panicking inside component construction.
+func TestRunRejectsImpossibleConfig(t *testing.T) {
+	g := streamKernel(64)
+	for _, breakIt := range []func(*Config){
+		func(c *Config) { c.Lanes = 0 },
+		func(c *Config) { c.BusWidthBits = 0 },
+		func(c *Config) { c.Mem = Cache; c.CacheLineBytes = 24 },
+	} {
+		cfg := DefaultConfig()
+		breakIt(&cfg)
+		_, err := Run(g, cfg)
+		var ce *ConfigError
+		if !errors.As(err, &ce) {
+			t.Fatalf("Run(%+v) = %v, want *ConfigError", cfg, err)
+		}
+	}
+	if _, err := RunRepeated(g, Config{}, 2, false); err == nil {
+		t.Fatal("RunRepeated accepted the zero Config")
+	}
+	if _, err := RunMulti([]*ddg.Graph{g, g}, []Config{DefaultConfig(), {}}); err == nil {
+		t.Fatal("RunMulti accepted a zero Config in position 1")
+	}
+}
