@@ -18,6 +18,7 @@ import (
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
 )
@@ -30,6 +31,7 @@ func main() {
 		slowdown = flag.Float64("within", 0, "optional latency target: lowest power within this factor of the fastest design (0 = off)")
 		full     = flag.Bool("full", false, "full Fig 3 sweep axes")
 	)
+	rb := report.AddRobustFlags(flag.CommandLine)
 	flag.Parse()
 
 	k, err := machsuite.ByName(*bench)
@@ -50,6 +52,10 @@ func main() {
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
+	if err := rb.Apply(&base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -67,6 +73,10 @@ func main() {
 	cacheSpace := sweep(dse.CacheConfigs(base, opt.Lanes, opt.CacheKB,
 		opt.CacheLines, opt.CachePorts, opt.CacheAssoc))
 	all := append(append(dse.Space{}, dmaSpace...), cacheSpace...)
+	if len(dmaSpace) == 0 || len(cacheSpace) == 0 {
+		fmt.Fprintln(os.Stderr, "advisor: every design point in a sweep aborted (fault injection too aggressive?)")
+		os.Exit(1)
+	}
 
 	pick := func(space dse.Space) (dse.Point, string, bool) {
 		switch {

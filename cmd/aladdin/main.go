@@ -38,6 +38,7 @@ func main() {
 		timeline   = flag.Bool("timeline", false, "render the per-lane execution timeline")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "")
+	rb := report.AddRobustFlags(flag.CommandLine)
 	flag.Parse()
 
 	var tr *trace.Trace
@@ -92,6 +93,10 @@ func main() {
 	cfg.BusWidthBits = *busBits
 	cfg.RecordSchedule = *timeline
 
+	if err := rb.Apply(&cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := cfg.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -114,6 +119,7 @@ func main() {
 		}
 	}
 
+	rb.Report(res)
 	fmt.Printf("%s (%d dynamic ops, %d iterations) on %s, %d lanes\n\n",
 		name, g.NumNodes(), len(g.IterRange), cfg.Mem, cfg.Lanes)
 

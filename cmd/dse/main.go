@@ -30,6 +30,7 @@ func main() {
 		format  = flag.String("format", "table", "output format: table, json, csv")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
+	rb := report.AddRobustFlags(flag.CommandLine)
 	flag.Parse()
 
 	k, err := machsuite.ByName(*bench)
@@ -50,6 +51,10 @@ func main() {
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
+	if err := rb.Apply(&base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -72,6 +77,14 @@ func main() {
 	space, err := dse.Sweep(g, cfgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if skipped := len(cfgs) - len(space); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "dse: skipped %d of %d design points that aborted under fault injection\n",
+			skipped, len(cfgs))
+	}
+	if len(space) == 0 {
+		fmt.Fprintln(os.Stderr, "dse: every design point aborted; nothing to rank")
 		os.Exit(1)
 	}
 	best := space.EDPOptimal()

@@ -20,6 +20,7 @@ func main() {
 	verify := flag.Bool("verify", false, "build every trace and check functional correctness")
 	export := flag.String("export", "", "directory to write serialized .trace files into")
 	ob := report.AddObsFlags(flag.CommandLine, "simulate every benchmark under the default SoC config and ")
+	rb := report.AddRobustFlags(flag.CommandLine)
 	flag.Parse()
 
 	o := ob.Observer()
@@ -60,6 +61,14 @@ func main() {
 			// registry and tracer, so one dump covers the whole suite.
 			cfg := soc.DefaultConfig()
 			cfg.Obs = o.Sub(k.Name)
+			if err := rb.Apply(&cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := cfg.Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
 			if _, err := soc.Run(g, cfg); err != nil {
 				fmt.Fprintf(os.Stderr, "%s: %v\n", k.Name, err)
 				os.Exit(1)

@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -29,6 +30,11 @@ type Space []Point
 // Sweep evaluates every config over g, in parallel across CPUs. Each run
 // owns a private simulation engine, so results are deterministic
 // regardless of scheduling.
+//
+// A design point whose run the robustness layer aborted (watchdog stall,
+// sanitizer violation, fault-injection retry exhaustion — soc.ErrAborted)
+// is treated as poisoned and dropped from the space rather than failing the
+// whole sweep; any other error still aborts.
 func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
 	out := make(Space, len(cfgs))
 	errs := make([]error, len(cfgs))
@@ -42,7 +48,9 @@ func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
 			defer func() { <-sem }()
 			res, err := soc.Run(g, cfgs[i])
 			if err != nil {
-				errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
+				if !errors.Is(err, soc.ErrAborted) {
+					errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
+				}
 				return
 			}
 			out[i] = Point{Cfg: cfgs[i], Res: res}
@@ -54,7 +62,14 @@ func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
 			return nil, err
 		}
 	}
-	return out, nil
+	// Compact away poisoned points (nil Res).
+	kept := out[:0]
+	for _, p := range out {
+		if p.Res != nil {
+			kept = append(kept, p)
+		}
+	}
+	return kept, nil
 }
 
 // ParetoFront returns the points not dominated in (runtime, power): a

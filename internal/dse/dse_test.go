@@ -279,3 +279,47 @@ func TestLowestPowerWithin(t *testing.T) {
 		t.Fatal("sub-1 slowdown accepted")
 	}
 }
+
+// TestSweepSkipsPoisonedPoints pins the robustness contract: a design point
+// whose run is aborted (here by an unmeetable watchdog tick budget) is
+// dropped from the space instead of failing the whole sweep, while a
+// genuinely invalid config still fails it.
+func TestSweepSkipsPoisonedPoints(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
+	poisoned := 0
+	for i := range cfgs {
+		if i%2 == 1 {
+			cfgs[i].WatchdogTicks = 10 // ten picoseconds: guaranteed abort
+			poisoned++
+		}
+	}
+	space, err := Sweep(g, cfgs)
+	if err != nil {
+		t.Fatalf("sweep failed instead of skipping: %v", err)
+	}
+	if len(space) != len(cfgs)-poisoned {
+		t.Fatalf("space has %d points, want %d (= %d configs - %d poisoned)",
+			len(space), len(cfgs)-poisoned, len(cfgs), poisoned)
+	}
+	for _, p := range space {
+		if p.Res == nil {
+			t.Fatalf("poisoned point survived compaction")
+		}
+		if p.Cfg.WatchdogTicks != 0 {
+			t.Fatalf("a poisoned config produced a result")
+		}
+	}
+	// The survivors still rank.
+	best := space.EDPOptimal()
+	if best.Res == nil {
+		t.Fatalf("EDPOptimal on the compacted space")
+	}
+
+	// A config error is not a poisoned point: it must still fail the sweep.
+	bad := cfgs[:1]
+	bad[0].Lanes = 0
+	if _, err := Sweep(g, bad); err == nil {
+		t.Fatalf("sweep accepted an invalid config")
+	}
+}

@@ -1,0 +1,538 @@
+// Package fault is the deterministic fault-injection layer of the SoC
+// substrate. It models the imperfect hardware the rest of the simulator
+// idealizes away: radiation-induced bit flips in DRAM rows and local SRAM
+// (scratchpad banks, cache data arrays) behind a SECDED ECC code, NACKed or
+// dropped bus transactions with bounded retry and exponential backoff, and
+// DMA descriptor timeouts with retry-or-abort semantics.
+//
+// Everything is driven by a single seed. Each fault class draws from its
+// own splitmix64 stream derived from that seed, so the decisions made for
+// one class never depend on how often another class was consulted; combined
+// with the event engine's deterministic ordering, the same seed always
+// produces the same injected-fault log, the same recovery actions, and the
+// same final cycle count.
+//
+// The Injector is nil-safe: components hold a *Injector that is nil when
+// fault injection is off, and every decision method on a nil receiver
+// reports "no fault" without touching any state, so the fault-free hot path
+// pays a single branch.
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/sim"
+)
+
+// Config selects which faults to inject and how recovery is parameterized.
+// The zero value disables every fault class; soc.Config embeds one of these
+// as its Faults block.
+type Config struct {
+	// Seed drives every per-class random stream. Seed 0 is a valid seed
+	// (the class streams are derived by mixing, not used raw).
+	Seed uint64
+
+	// DRAMBitProb is the per-access probability of a bit flip in the DRAM
+	// row being read or written.
+	DRAMBitProb float64
+	// SpadBitProb is the per-access probability of a bit flip in the
+	// scratchpad bank word being accessed.
+	SpadBitProb float64
+	// CacheBitProb is the per-access probability of a bit flip in the cache
+	// line being accessed.
+	CacheBitProb float64
+	// DoubleBitFrac is the fraction of injected memory flips that hit two
+	// bits of one ECC word. SECDED corrects singles transparently; doubles
+	// are detected and reported but not corrected.
+	DoubleBitFrac float64
+
+	// BusNackProb is the per-transaction probability that the address phase
+	// is NACKed (target busy, parity error, credit loss) and the master
+	// must re-arbitrate.
+	BusNackProb float64
+	// BusRetryLimit bounds how many times one transaction is retried after
+	// a NACK before it is dropped entirely.
+	BusRetryLimit int
+	// BusBackoff is the base retry delay; attempt k waits BusBackoff<<(k-1)
+	// (exponential backoff, capped at 16 doublings).
+	BusBackoff sim.Tick
+
+	// DMATimeout, when nonzero, bounds how long the DMA engine waits for
+	// one descriptor's bus transaction before declaring it lost.
+	DMATimeout sim.Tick
+	// DMARetries is how many times a timed-out descriptor is reissued
+	// before the engine aborts the transfer.
+	DMARetries int
+}
+
+// Enabled reports whether any fault class is active. A disabled config
+// (the zero value) yields a nil Injector and a bit-identical simulation.
+func (c Config) Enabled() bool {
+	return c.DRAMBitProb > 0 || c.SpadBitProb > 0 || c.CacheBitProb > 0 ||
+		c.BusNackProb > 0 || c.DMATimeout > 0
+}
+
+// Site identifies where a fault was injected or handled.
+type Site uint8
+
+// Injection sites.
+const (
+	SiteDRAM Site = iota
+	SiteSpad
+	SiteCache
+	SiteBus
+	SiteDMA
+	numSites
+)
+
+var siteNames = [...]string{"dram", "spad", "cache", "bus", "dma"}
+
+// String names the site.
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Outcome classifies one injected fault and what became of it.
+type Outcome uint8
+
+// Fault outcomes.
+const (
+	// OutcomeNone: no fault injected.
+	OutcomeNone Outcome = iota
+	// OutcomeCorrected: single-bit flip corrected by SECDED.
+	OutcomeCorrected
+	// OutcomeDetected: double-bit flip detected (uncorrectable) by SECDED.
+	OutcomeDetected
+	// OutcomeNack: bus transaction NACKed, will be retried.
+	OutcomeNack
+	// OutcomeDrop: bus transaction dropped after retries were exhausted.
+	OutcomeDrop
+	// OutcomeTimeout: DMA descriptor timed out waiting for the bus.
+	OutcomeTimeout
+	// OutcomeRetry: DMA descriptor reissued after a timeout.
+	OutcomeRetry
+	// OutcomeAbort: DMA transfer aborted after retries were exhausted.
+	OutcomeAbort
+)
+
+var outcomeNames = [...]string{
+	"none", "corrected-single", "detected-double",
+	"nack", "drop", "timeout", "retry", "abort",
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if int(o) < len(outcomeNames) {
+		return outcomeNames[o]
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Record is one entry of the injected-fault log. Same seed, same config,
+// same workload => byte-identical log, which the reproducibility regression
+// test pins.
+type Record struct {
+	Seq     uint64
+	Tick    sim.Tick // engine time (accelerator cycle for spad accesses)
+	Site    Site
+	Outcome Outcome
+	Addr    uint64
+	Attempt int // retry attempt number for bus/DMA records
+}
+
+// String formats one log line.
+func (r Record) String() string {
+	return fmt.Sprintf("#%d @%d %s %s addr=%#x attempt=%d",
+		r.Seq, uint64(r.Tick), r.Site, r.Outcome, r.Addr, r.Attempt)
+}
+
+// Stats aggregates injector activity.
+type Stats struct {
+	Injected         uint64 // memory bit flips injected (singles + doubles)
+	CorrectedSingles uint64 // flips corrected by SECDED
+	DetectedDoubles  uint64 // uncorrectable flips detected by SECDED
+	BusNacks         uint64 // transactions NACKed at the address phase
+	BusRetries       uint64 // re-arbitrations after a NACK
+	BusDrops         uint64 // transactions dropped, retries exhausted
+	DMATimeouts      uint64 // descriptors that timed out
+	DMARetries       uint64 // descriptors reissued after a timeout
+	DMAAborts        uint64 // transfers aborted, retries exhausted
+}
+
+// Recovered sums faults the system absorbed without losing work.
+func (s Stats) Recovered() uint64 {
+	return s.CorrectedSingles + s.BusRetries + s.DMARetries
+}
+
+// maxLog bounds the in-memory fault log; runs hot enough to overflow it
+// still count every fault, and LogTruncated reports the overflow.
+const maxLog = 1 << 16
+
+// Injector makes every fault decision for one simulation. It is not safe
+// for concurrent use; each engine owns its own (dse sweeps build one per
+// design point).
+type Injector struct {
+	cfg   Config
+	rng   [numSites]uint64 // per-class splitmix64 state
+	stats Stats
+	log   []Record
+	lost  uint64 // records dropped once the log filled
+	seq   uint64
+	probe *obs.Probe
+}
+
+// New builds an injector, or returns nil when cfg enables nothing, so the
+// result can be stored and branch-checked directly.
+func New(cfg Config) *Injector {
+	if !cfg.Enabled() {
+		return nil
+	}
+	i := &Injector{cfg: cfg}
+	for s := range i.rng {
+		// Derive per-class streams by mixing the seed with the class id;
+		// splitmix64 output of distinct inputs gives independent streams.
+		i.rng[s] = mix64(cfg.Seed + uint64(s)*0x9e3779b97f4a7c15)
+	}
+	return i
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next advances the site's stream.
+func (i *Injector) next(s Site) uint64 {
+	i.rng[s] += 0x9e3779b97f4a7c15
+	z := i.rng[s]
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// roll draws a uniform float in [0,1) from the site's stream.
+func (i *Injector) roll(s Site) float64 {
+	return float64(i.next(s)>>11) / (1 << 53)
+}
+
+// Config returns the injector's configuration.
+func (i *Injector) Config() Config { return i.cfg }
+
+// Stats returns a copy of the counters; zero-valued on a nil injector.
+func (i *Injector) Stats() Stats {
+	if i == nil {
+		return Stats{}
+	}
+	return i.stats
+}
+
+// Log returns the injected-fault log in injection order.
+func (i *Injector) Log() []Record {
+	if i == nil {
+		return nil
+	}
+	return i.log
+}
+
+// LogTruncated reports how many records were dropped after the log filled.
+func (i *Injector) LogTruncated() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.lost
+}
+
+// AttachProbe wires an observability probe; every injected fault fires one
+// instant event named by its outcome, with the site as lane.
+func (i *Injector) AttachProbe(p *obs.Probe) {
+	if i != nil {
+		i.probe = p
+	}
+}
+
+// record appends one fault to the log, counters aside.
+func (i *Injector) record(site Site, out Outcome, tick sim.Tick, addr uint64, attempt int) {
+	i.seq++
+	if len(i.log) < maxLog {
+		i.log = append(i.log, Record{Seq: i.seq, Tick: tick, Site: site,
+			Outcome: out, Addr: addr, Attempt: attempt})
+	} else {
+		i.lost++
+	}
+	if i.probe.Enabled() {
+		i.probe.Fire(obs.Event{Name: site.String() + "-" + out.String(),
+			Start: uint64(tick), End: uint64(tick), Lane: int32(site), Bytes: addr})
+	}
+}
+
+// ECC rolls for a bit flip in the memory word behind site (SiteDRAM,
+// SiteSpad, or SiteCache) and runs it through the SECDED model: singles are
+// corrected transparently, doubles detected and reported. tick is the
+// current engine time (spad passes its accelerator cycle).
+func (i *Injector) ECC(site Site, tick sim.Tick, addr uint64) Outcome {
+	if i == nil {
+		return OutcomeNone
+	}
+	var p float64
+	switch site {
+	case SiteDRAM:
+		p = i.cfg.DRAMBitProb
+	case SiteSpad:
+		p = i.cfg.SpadBitProb
+	case SiteCache:
+		p = i.cfg.CacheBitProb
+	}
+	if p <= 0 || i.roll(site) >= p {
+		return OutcomeNone
+	}
+	i.stats.Injected++
+	out := OutcomeCorrected
+	if i.cfg.DoubleBitFrac > 0 && i.roll(site) < i.cfg.DoubleBitFrac {
+		out = OutcomeDetected
+		i.stats.DetectedDoubles++
+	} else {
+		i.stats.CorrectedSingles++
+	}
+	i.record(site, out, tick, addr, 0)
+	return out
+}
+
+// BusNack rolls for an address-phase NACK of one bus transaction.
+func (i *Injector) BusNack(tick sim.Tick, addr uint64, attempt int) bool {
+	if i == nil || i.cfg.BusNackProb <= 0 {
+		return false
+	}
+	if i.roll(SiteBus) >= i.cfg.BusNackProb {
+		return false
+	}
+	i.stats.BusNacks++
+	i.record(SiteBus, OutcomeNack, tick, addr, attempt)
+	return true
+}
+
+// BusRetryLimit returns how many retries a NACKed transaction gets.
+func (i *Injector) BusRetryLimit() int { return i.cfg.BusRetryLimit }
+
+// BusBackoff returns the exponential backoff before retry attempt k (1-based).
+func (i *Injector) BusBackoff(attempt int) sim.Tick {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 16 {
+		shift = 16
+	}
+	return i.cfg.BusBackoff << uint(shift)
+}
+
+// CountBusRetry records one post-NACK re-arbitration.
+func (i *Injector) CountBusRetry() {
+	if i != nil {
+		i.stats.BusRetries++
+	}
+}
+
+// CountBusDrop records a transaction abandoned after exhausting retries.
+func (i *Injector) CountBusDrop(tick sim.Tick, addr uint64, attempt int) {
+	if i == nil {
+		return
+	}
+	i.stats.BusDrops++
+	i.record(SiteBus, OutcomeDrop, tick, addr, attempt)
+}
+
+// DMATimeout returns the descriptor timeout, 0 when disabled.
+func (i *Injector) DMATimeout() sim.Tick {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.DMATimeout
+}
+
+// DMARetryLimit returns how many reissues a timed-out descriptor gets.
+func (i *Injector) DMARetryLimit() int {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.DMARetries
+}
+
+// CountDMATimeout records one descriptor timeout.
+func (i *Injector) CountDMATimeout(tick sim.Tick, addr uint64, attempt int) {
+	if i == nil {
+		return
+	}
+	i.stats.DMATimeouts++
+	i.record(SiteDMA, OutcomeTimeout, tick, addr, attempt)
+}
+
+// CountDMARetry records one descriptor reissue after a timeout.
+func (i *Injector) CountDMARetry(tick sim.Tick, addr uint64, attempt int) {
+	if i == nil {
+		return
+	}
+	i.stats.DMARetries++
+	i.record(SiteDMA, OutcomeRetry, tick, addr, attempt)
+}
+
+// CountDMAAbort records a transfer aborted after retries were exhausted.
+func (i *Injector) CountDMAAbort(tick sim.Tick, addr uint64, attempt int) {
+	if i == nil {
+		return
+	}
+	i.stats.DMAAborts++
+	i.record(SiteDMA, OutcomeAbort, tick, addr, attempt)
+}
+
+// RegisterStats registers the injector counters under prefix.
+func (i *Injector) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".injected", "memory bit flips injected",
+		func() uint64 { return i.stats.Injected })
+	reg.CounterFunc(prefix+".corrected_singles", "single-bit flips corrected by SECDED",
+		func() uint64 { return i.stats.CorrectedSingles })
+	reg.CounterFunc(prefix+".detected_doubles", "double-bit flips detected by SECDED",
+		func() uint64 { return i.stats.DetectedDoubles })
+	reg.CounterFunc(prefix+".bus_nacks", "bus transactions NACKed",
+		func() uint64 { return i.stats.BusNacks })
+	reg.CounterFunc(prefix+".bus_retries", "bus transactions re-arbitrated after a NACK",
+		func() uint64 { return i.stats.BusRetries })
+	reg.CounterFunc(prefix+".bus_drops", "bus transactions dropped after retry exhaustion",
+		func() uint64 { return i.stats.BusDrops })
+	reg.CounterFunc(prefix+".dma_timeouts", "DMA descriptors that timed out",
+		func() uint64 { return i.stats.DMATimeouts })
+	reg.CounterFunc(prefix+".dma_retries", "DMA descriptors reissued after a timeout",
+		func() uint64 { return i.stats.DMARetries })
+	reg.CounterFunc(prefix+".dma_aborts", "DMA transfers aborted after retry exhaustion",
+		func() uint64 { return i.stats.DMAAborts })
+	reg.CounterFunc(prefix+".log_truncated", "fault log records dropped after the log filled",
+		func() uint64 { return i.lost })
+}
+
+// ParseSpec parses the CLI fault spec: a comma-separated key=value list.
+// Keys: seed, dram, spad, cache, double (probabilities), bus (NACK
+// probability), retries (bus retry limit), backoff (ns), dma-timeout (ns),
+// dma-retries. Example:
+//
+//	seed=7,dram=1e-6,bus=0.01,retries=4,backoff=100,dma-timeout=50000,dma-retries=2
+//
+// An empty spec returns the zero (disabled) config.
+func ParseSpec(spec string) (Config, error) {
+	var c Config
+	if strings.TrimSpace(spec) == "" {
+		return c, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return c, fmt.Errorf("fault: spec entry %q is not key=value", kv)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			u, err := strconv.ParseUint(val, 0, 64)
+			if err != nil {
+				return c, fmt.Errorf("fault: bad seed %q: %v", val, err)
+			}
+			c.Seed = u
+		case "retries", "dma-retries":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return c, fmt.Errorf("fault: bad %s %q", key, val)
+			}
+			if key == "retries" {
+				c.BusRetryLimit = n
+			} else {
+				c.DMARetries = n
+			}
+		case "backoff", "dma-timeout":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+				return c, fmt.Errorf("fault: bad %s %q (nanoseconds)", key, val)
+			}
+			t := sim.Tick(f * float64(sim.Nanosecond))
+			if key == "backoff" {
+				c.BusBackoff = t
+			} else {
+				c.DMATimeout = t
+			}
+		case "dram", "spad", "cache", "double", "bus":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || math.IsNaN(p) {
+				return c, fmt.Errorf("fault: bad probability %s=%q", key, val)
+			}
+			switch key {
+			case "dram":
+				c.DRAMBitProb = p
+			case "spad":
+				c.SpadBitProb = p
+			case "cache":
+				c.CacheBitProb = p
+			case "double":
+				c.DoubleBitFrac = p
+			case "bus":
+				c.BusNackProb = p
+			}
+		default:
+			return c, fmt.Errorf("fault: unknown spec key %q (want seed, dram, spad, cache, double, bus, retries, backoff, dma-timeout, dma-retries)", key)
+		}
+	}
+	return c, nil
+}
+
+// Report renders a human-readable summary of the injected faults and their
+// recovery, for CLI output after a fault-sweep run.
+func (i *Injector) Report() string {
+	if i == nil {
+		return "faults: disabled"
+	}
+	s := i.stats
+	var b strings.Builder
+	fmt.Fprintf(&b, "faults: seed=%d injected=%d corrected=%d detected=%d",
+		i.cfg.Seed, s.Injected, s.CorrectedSingles, s.DetectedDoubles)
+	fmt.Fprintf(&b, " bus[nack=%d retry=%d drop=%d]", s.BusNacks, s.BusRetries, s.BusDrops)
+	fmt.Fprintf(&b, " dma[timeout=%d retry=%d abort=%d]", s.DMATimeouts, s.DMARetries, s.DMAAborts)
+	if counts := i.siteCounts(); len(counts) > 0 {
+		b.WriteString("\n  by site:")
+		for _, sc := range counts {
+			fmt.Fprintf(&b, " %s=%d", sc.site, sc.n)
+		}
+	}
+	return b.String()
+}
+
+type siteCount struct {
+	site Site
+	n    uint64
+}
+
+// siteCounts tallies log records per site in site order.
+func (i *Injector) siteCounts() []siteCount {
+	var counts [numSites]uint64
+	for _, r := range i.log {
+		counts[r.Site]++
+	}
+	var out []siteCount
+	for s, n := range counts {
+		if n > 0 {
+			out = append(out, siteCount{Site(s), n})
+		}
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].site < out[b].site })
+	return out
+}

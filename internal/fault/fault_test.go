@@ -1,0 +1,215 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"gem5aladdin/internal/sim"
+)
+
+func TestDisabledConfigYieldsNilInjector(t *testing.T) {
+	if inj := New(Config{}); inj != nil {
+		t.Fatalf("zero config must yield a nil injector, got %v", inj)
+	}
+	if inj := New(Config{Seed: 42, BusRetryLimit: 3, DMARetries: 2}); inj != nil {
+		t.Fatalf("limits without probabilities must not enable injection")
+	}
+	if !(Config{BusNackProb: 0.1}).Enabled() {
+		t.Fatalf("BusNackProb alone must enable injection")
+	}
+	if !(Config{DMATimeout: sim.Nanosecond}).Enabled() {
+		t.Fatalf("DMATimeout alone must enable injection")
+	}
+}
+
+func TestNilInjectorIsSafe(t *testing.T) {
+	var inj *Injector
+	if out := inj.ECC(SiteDRAM, 0, 0); out != OutcomeNone {
+		t.Fatalf("nil.ECC = %v, want none", out)
+	}
+	if inj.BusNack(0, 0, 1) {
+		t.Fatalf("nil.BusNack = true")
+	}
+	if inj.DMATimeout() != 0 || inj.DMARetryLimit() != 0 {
+		t.Fatalf("nil DMA accessors must report disabled")
+	}
+	inj.CountBusRetry()
+	inj.CountBusDrop(0, 0, 1)
+	inj.CountDMATimeout(0, 0, 1)
+	inj.CountDMARetry(0, 0, 1)
+	inj.CountDMAAbort(0, 0, 1)
+	inj.AttachProbe(nil)
+	if s := inj.Stats(); s != (Stats{}) {
+		t.Fatalf("nil.Stats = %+v, want zero", s)
+	}
+	if inj.Log() != nil || inj.LogTruncated() != 0 {
+		t.Fatalf("nil log must be empty")
+	}
+	if inj.Report() != "faults: disabled" {
+		t.Fatalf("nil.Report = %q", inj.Report())
+	}
+}
+
+func TestECCAlwaysAndNever(t *testing.T) {
+	// Probability 1 injects on every access; DoubleBitFrac 0 corrects all.
+	inj := New(Config{DRAMBitProb: 1})
+	for k := 0; k < 100; k++ {
+		if out := inj.ECC(SiteDRAM, sim.Tick(k), uint64(k)); out != OutcomeCorrected {
+			t.Fatalf("access %d: outcome %v, want corrected", k, out)
+		}
+	}
+	s := inj.Stats()
+	if s.Injected != 100 || s.CorrectedSingles != 100 || s.DetectedDoubles != 0 {
+		t.Fatalf("stats %+v", s)
+	}
+	// DoubleBitFrac 1 makes every flip uncorrectable.
+	inj = New(Config{SpadBitProb: 1, DoubleBitFrac: 1})
+	if out := inj.ECC(SiteSpad, 0, 0); out != OutcomeDetected {
+		t.Fatalf("outcome %v, want detected", out)
+	}
+	// A site with zero probability never draws, even on an enabled injector.
+	if out := inj.ECC(SiteDRAM, 0, 0); out != OutcomeNone {
+		t.Fatalf("dram outcome %v on spad-only config", out)
+	}
+}
+
+// TestDeterministicStreams pins the reproducibility contract: the same seed
+// and the same access sequence produce byte-identical logs and stats, and
+// the per-site streams are independent of how often other sites draw.
+func TestDeterministicStreams(t *testing.T) {
+	cfg := Config{Seed: 7, DRAMBitProb: 0.3, SpadBitProb: 0.2, BusNackProb: 0.4,
+		DoubleBitFrac: 0.5, BusRetryLimit: 2, BusBackoff: sim.Nanosecond}
+	run := func(interleaveSpad bool) (Stats, []Record) {
+		inj := New(cfg)
+		for k := 0; k < 200; k++ {
+			inj.ECC(SiteDRAM, sim.Tick(k), uint64(k)*64)
+			if interleaveSpad {
+				inj.ECC(SiteSpad, sim.Tick(k), uint64(k))
+			}
+			inj.BusNack(sim.Tick(k), uint64(k)*32, 1)
+		}
+		return inj.Stats(), inj.Log()
+	}
+	s1, l1 := run(true)
+	s2, l2 := run(true)
+	if s1 != s2 {
+		t.Fatalf("same seed, different stats: %+v vs %+v", s1, s2)
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("same seed, different logs")
+	}
+
+	// Dropping the spad draws must not change the DRAM or bus decisions:
+	// each class owns its own stream.
+	_, l3 := run(false)
+	filter := func(log []Record, site Site) []int {
+		var ticks []int
+		for _, r := range log {
+			if r.Site == site {
+				ticks = append(ticks, int(r.Tick))
+			}
+		}
+		return ticks
+	}
+	for _, site := range []Site{SiteDRAM, SiteBus} {
+		if !reflect.DeepEqual(filter(l1, site), filter(l3, site)) {
+			t.Fatalf("%v decisions depend on spad draw count", site)
+		}
+	}
+
+	// A different seed must (overwhelmingly) give a different log.
+	cfg.Seed = 8
+	inj := New(cfg)
+	for k := 0; k < 200; k++ {
+		inj.ECC(SiteDRAM, sim.Tick(k), uint64(k)*64)
+		inj.ECC(SiteSpad, sim.Tick(k), uint64(k))
+		inj.BusNack(sim.Tick(k), uint64(k)*32, 1)
+	}
+	if reflect.DeepEqual(l1, inj.Log()) {
+		t.Fatalf("seeds 7 and 8 produced identical logs")
+	}
+}
+
+func TestBusBackoffExponential(t *testing.T) {
+	inj := New(Config{BusNackProb: 0.5, BusBackoff: 10})
+	want := []sim.Tick{10, 10, 20, 40, 80}
+	for k, w := range want {
+		if got := inj.BusBackoff(k); got != w {
+			t.Fatalf("BusBackoff(%d) = %d, want %d", k, got, w)
+		}
+	}
+	// Cap at 16 doublings so huge attempt counts can't overflow.
+	if got, capped := inj.BusBackoff(100), sim.Tick(10<<16); got != capped {
+		t.Fatalf("BusBackoff(100) = %d, want capped %d", got, capped)
+	}
+}
+
+func TestLogTruncation(t *testing.T) {
+	inj := New(Config{DRAMBitProb: 1})
+	for k := 0; k < maxLog+50; k++ {
+		inj.ECC(SiteDRAM, sim.Tick(k), uint64(k))
+	}
+	if len(inj.Log()) != maxLog {
+		t.Fatalf("log len %d, want %d", len(inj.Log()), maxLog)
+	}
+	if inj.LogTruncated() != 50 {
+		t.Fatalf("truncated %d, want 50", inj.LogTruncated())
+	}
+	if inj.Stats().Injected != maxLog+50 {
+		t.Fatalf("counters must keep counting past the log cap")
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		spec    string
+		want    Config
+		wantErr bool
+	}{
+		{spec: "", want: Config{}},
+		{spec: "  ", want: Config{}},
+		{spec: "seed=7", want: Config{Seed: 7}},
+		{spec: "seed=0x10", want: Config{Seed: 16}},
+		{spec: "dram=1e-6,spad=0.5,cache=0.25,double=0.1,bus=0.01",
+			want: Config{DRAMBitProb: 1e-6, SpadBitProb: 0.5, CacheBitProb: 0.25,
+				DoubleBitFrac: 0.1, BusNackProb: 0.01}},
+		{spec: "retries=4,dma-retries=2", want: Config{BusRetryLimit: 4, DMARetries: 2}},
+		{spec: "backoff=100,dma-timeout=50",
+			want: Config{BusBackoff: 100 * sim.Nanosecond, DMATimeout: 50 * sim.Nanosecond}},
+		{spec: " seed=1 , bus=0.5 ", want: Config{Seed: 1, BusNackProb: 0.5}},
+		{spec: "seed", wantErr: true},
+		{spec: "seed=abc", wantErr: true},
+		{spec: "retries=-1", wantErr: true},
+		{spec: "backoff=NaN", wantErr: true},
+		{spec: "dram=oops", wantErr: true},
+		{spec: "flux-capacitor=1", wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.spec)
+		if c.wantErr {
+			if err == nil {
+				t.Errorf("ParseSpec(%q): want error, got %+v", c.spec, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseSpec(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestReportMentionsActivity(t *testing.T) {
+	inj := New(Config{Seed: 3, DRAMBitProb: 1})
+	inj.ECC(SiteDRAM, 0, 0)
+	rep := inj.Report()
+	for _, frag := range []string{"seed=3", "injected=1", "corrected=1", "dram=1"} {
+		if !strings.Contains(rep, frag) {
+			t.Fatalf("report %q missing %q", rep, frag)
+		}
+	}
+}

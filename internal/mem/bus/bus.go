@@ -14,7 +14,9 @@ package bus
 
 import (
 	"fmt"
+	"strings"
 
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
@@ -57,6 +59,9 @@ type request struct {
 	// progressGran bytes with the cumulative byte count delivered so far.
 	progress     func(bytesDone uint32)
 	progressGran uint32
+	// attempts counts address-phase NACKs this transaction has absorbed
+	// (fault injection); past the retry limit the transaction is dropped.
+	attempts int
 }
 
 // Bus is a round-robin arbitrated split-transaction interconnect.
@@ -71,6 +76,10 @@ type Bus struct {
 	granted   bool        // a transaction currently holds the bus
 	stats     Stats
 	probe     *obs.Probe
+	inj       *fault.Injector
+	// backoffs counts transactions sitting out a post-NACK backoff delay;
+	// they are in flight but in no queue, so the watchdog must see them.
+	backoffs int
 
 	// releaseEv fires when the granted transaction's occupancy elapses.
 	// Only one transaction holds the bus at a time, so a single pre-bound
@@ -117,6 +126,47 @@ func (b *Bus) Stats() Stats { return b.stats }
 // busy window (address phase, write, read data phase), with the master id
 // and payload size attached.
 func (b *Bus) AttachProbe(p *obs.Probe) { b.probe = p }
+
+// SetFaults attaches a fault injector (nil disables injection). With an
+// injector, each non-response grant may be NACKed at its address phase and
+// re-queued after exponential backoff, up to the injector's retry limit;
+// past the limit the transaction is dropped (its done callback never fires),
+// which the no-progress watchdog then reports.
+func (b *Bus) SetFaults(inj *fault.Injector) { b.inj = inj }
+
+// InFlight counts transactions the bus is still holding: queued, awaiting a
+// data phase, in a backoff delay, or currently granted. It feeds the
+// no-progress watchdog.
+func (b *Bus) InFlight() int {
+	n := len(b.responses) + b.backoffs
+	for _, q := range b.queues {
+		n += len(q)
+	}
+	if b.granted {
+		n++
+	}
+	return n
+}
+
+// DumpInFlight renders the queue state for a watchdog diagnostic.
+func (b *Bus) DumpInFlight() string {
+	var s strings.Builder
+	fmt.Fprintf(&s, "granted=%v responses=%d backoffs=%d", b.granted, len(b.responses), b.backoffs)
+	for m, q := range b.queues {
+		if len(q) == 0 {
+			continue
+		}
+		fmt.Fprintf(&s, "\nmaster%d queue:", m)
+		for _, r := range q {
+			kind := "read"
+			if r.write {
+				kind = "write"
+			}
+			fmt.Fprintf(&s, " %s@%#x(%dB,issued %v)", kind, r.addr, r.bytes, r.issued)
+		}
+	}
+	return s.String()
+}
 
 // RegisterStats registers the bus counters under prefix.
 func (b *Bus) RegisterStats(reg *obs.Registry, prefix string) {
@@ -240,17 +290,58 @@ func (b *Bus) grant(req request) {
 
 	dataTicks := b.cfg.Clock.Cycles(uint64((req.bytes + b.cfg.WidthBytes() - 1) / b.cfg.WidthBytes()))
 	release := func(after sim.Tick, phase string, then func()) {
-		b.stats.BusyTicks += after
-		if b.probe.Enabled() {
-			start := uint64(b.eng.Now())
-			b.probe.Fire(obs.Event{Name: phase, Start: start,
-				End: start + uint64(after), Lane: int32(req.master),
-				Bytes: uint64(req.bytes)})
-		}
-		b.afterRelease = then
-		b.eng.AfterEvent(after, b.releaseEv)
+		b.releasePhase(req, after, phase, then)
 	}
 
+	// Fault injection: the address phase of a fresh transaction may be
+	// NACKed. Read responses are not (the address phase already succeeded).
+	if !req.dataPhase && b.inj.BusNack(b.eng.Now(), req.addr, req.attempts+1) {
+		req.attempts++
+		if req.attempts > b.inj.BusRetryLimit() {
+			// Retries exhausted: the transaction is dropped. Its done
+			// callback never fires; the requester's watchdog entry makes
+			// the loss diagnosable instead of a silent hang.
+			b.inj.CountBusDrop(b.eng.Now(), req.addr, req.attempts)
+			release(b.cfg.Clock.Cycles(1), "bus-drop", nil)
+			return
+		}
+		// The failed address phase still occupied a cycle; the master sits
+		// out an exponential backoff and re-arbitrates from the back of
+		// its queue.
+		retry := req
+		backoff := b.inj.BusBackoff(req.attempts)
+		b.backoffs++
+		release(b.cfg.Clock.Cycles(1), "bus-nack", func() {
+			b.eng.After(backoff, func() {
+				b.backoffs--
+				b.inj.CountBusRetry()
+				b.queues[retry.master] = append(b.queues[retry.master], retry)
+				if !b.granted {
+					b.arbitrate()
+				}
+			})
+		})
+		return
+	}
+
+	b.dispatch(req, dataTicks, release)
+}
+
+// releasePhase accounts one bus occupancy window and schedules the release.
+func (b *Bus) releasePhase(req request, after sim.Tick, phase string, then func()) {
+	b.stats.BusyTicks += after
+	if b.probe.Enabled() {
+		start := uint64(b.eng.Now())
+		b.probe.Fire(obs.Event{Name: phase, Start: start,
+			End: start + uint64(after), Lane: int32(req.master),
+			Bytes: uint64(req.bytes)})
+	}
+	b.afterRelease = then
+	b.eng.AfterEvent(after, b.releaseEv)
+}
+
+// dispatch moves a granted transaction through its bus phases.
+func (b *Bus) dispatch(req request, dataTicks sim.Tick, release func(sim.Tick, string, func())) {
 	switch {
 	case req.dataPhase:
 		// Read response: data beats only.

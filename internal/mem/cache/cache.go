@@ -13,7 +13,10 @@ package cache
 import (
 	"fmt"
 	"math/bits"
+	"sort"
+	"strings"
 
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/mem/bus"
 	"gem5aladdin/internal/mem/coherence"
 	"gem5aladdin/internal/obs"
@@ -150,6 +153,7 @@ type Cache struct {
 
 	stats Stats
 	probe *obs.Probe
+	inj   *fault.Injector
 }
 
 // New builds a cache wired to the bus and coherence controller. peer is the
@@ -231,6 +235,32 @@ func (c *Cache) Config() Config { return c.cfg }
 // InFlight reports outstanding MSHRs, for drain/mfence logic.
 func (c *Cache) InFlight() int { return c.inUse }
 
+// SetFaults attaches a fault injector (nil disables injection). Each access
+// rolls for a bit flip in the data array line being touched; SECDED corrects
+// singles and detects doubles without changing hit/miss timing.
+func (c *Cache) SetFaults(inj *fault.Injector) { c.inj = inj }
+
+// DumpInFlight lists the outstanding MSHRs (sorted by line address) plus any
+// MSHR-stalled retries, for a watchdog diagnostic.
+func (c *Cache) DumpInFlight() string {
+	lines := make([]uint64, 0, len(c.mshrs))
+	for l := range c.mshrs {
+		lines = append(lines, l)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	var s strings.Builder
+	fmt.Fprintf(&s, "%d MSHRs busy, %d stalled retries", c.inUse, len(c.retries))
+	for _, l := range lines {
+		m := c.mshrs[l]
+		kind := "demand"
+		if m.prefetch {
+			kind = "prefetch"
+		}
+		fmt.Fprintf(&s, "\nmshr line %#x: %s, %d waiters", l, kind, len(m.waiters))
+	}
+	return s.String()
+}
+
 // fireWriteback reports a dirty-line eviction to the probe.
 func (c *Cache) fireWriteback() {
 	if c.probe.Enabled() {
@@ -311,6 +341,7 @@ func (c *Cache) TryFastHit(addr uint64, size uint32, write bool) FastHitResult {
 		}
 		c.stats.Accesses++
 		c.stats.Hits++
+		c.inj.ECC(fault.SiteCache, now, line)
 		return FastHit
 	}
 	return FastMiss
@@ -364,6 +395,7 @@ func (c *Cache) acquirePort(fn func()) {
 func (c *Cache) lookup(addr uint64, write bool, done func()) {
 	c.stats.Accesses++
 	line := c.lineOf(addr)
+	c.inj.ECC(fault.SiteCache, c.eng.Now(), line)
 	set := c.sets[c.setOf(line)]
 	for i := range set {
 		w := &set[i]

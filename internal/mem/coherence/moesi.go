@@ -60,11 +60,37 @@ type Result struct {
 	WasHit        bool // the local cache already held usable data
 }
 
+// Op identifies which protocol action an Observer is being notified of.
+type Op uint8
+
+// Protocol actions visible to an Observer.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpEvict
+)
+
+var opNames = [...]string{"read", "write", "evict"}
+
+// String names the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
 // Controller mediates a set of peer caches snooping one bus. Peers are
 // identified by the index returned from AddPeer. Line addresses are opaque
 // keys (callers pass line-aligned physical addresses).
 type Controller struct {
 	peers []map[uint64]State
+
+	// Observer, when non-nil, is called after every completed protocol
+	// action with the acting peer, the operation, the line, and the result.
+	// The runtime sanitizer (internal/sanitize) hangs off this hook; it is
+	// nil in normal runs so the cost is one branch per action.
+	Observer func(peer int, op Op, line uint64, res Result)
 }
 
 // NewController returns a controller with no peers.
@@ -76,8 +102,34 @@ func (c *Controller) AddPeer() int {
 	return len(c.peers) - 1
 }
 
+// NumPeers reports how many caches the controller mediates.
+func (c *Controller) NumPeers() int { return len(c.peers) }
+
 // StateOf reports peer p's state for the line.
 func (c *Controller) StateOf(p int, line uint64) State { return c.peers[p][line] }
+
+// Copies reports every peer's state for the line, indexed by peer id.
+func (c *Controller) Copies(line uint64) []State {
+	out := make([]State, len(c.peers))
+	for p := range c.peers {
+		out[p] = c.peers[p][line]
+	}
+	return out
+}
+
+// ForceState overwrites peer p's state for the line without running the
+// protocol. It exists so sanitizer tests can corrupt the directory and
+// verify the violation is caught; the model never calls it.
+func (c *Controller) ForceState(p int, line uint64, s State) {
+	c.setState(p, line, s)
+}
+
+// notify reports a completed action to the Observer, if any.
+func (c *Controller) notify(p int, op Op, line uint64, res Result) {
+	if c.Observer != nil {
+		c.Observer(p, op, line, res)
+	}
+}
 
 // setState updates a peer's state, deleting Invalid entries to bound memory.
 func (c *Controller) setState(p int, line uint64, s State) {
@@ -91,7 +143,9 @@ func (c *Controller) setState(p int, line uint64, s State) {
 // Read performs a local load by peer p.
 func (c *Controller) Read(p int, line uint64) Result {
 	if s := c.peers[p][line]; s.Valid() {
-		return Result{NewState: s, Src: SrcNone, WasHit: true}
+		res := Result{NewState: s, Src: SrcNone, WasHit: true}
+		c.notify(p, OpRead, line, res)
+		return res
 	}
 	// Miss: GetS on the bus.
 	res := Result{Src: SrcMemory, NewState: Exclusive}
@@ -121,6 +175,7 @@ func (c *Controller) Read(p int, line uint64) Result {
 		res.NewState = Shared
 	}
 	c.setState(p, line, res.NewState)
+	c.notify(p, OpRead, line, res)
 	return res
 }
 
@@ -130,11 +185,15 @@ func (c *Controller) Write(p int, line uint64) Result {
 	res := Result{NewState: Modified}
 	switch local {
 	case Modified:
-		return Result{NewState: Modified, Src: SrcNone, WasHit: true}
+		res := Result{NewState: Modified, Src: SrcNone, WasHit: true}
+		c.notify(p, OpWrite, line, res)
+		return res
 	case Exclusive:
 		// Silent upgrade: sole copy.
 		c.setState(p, line, Modified)
-		return Result{NewState: Modified, Src: SrcNone, WasHit: true}
+		res := Result{NewState: Modified, Src: SrcNone, WasHit: true}
+		c.notify(p, OpWrite, line, res)
+		return res
 	case Shared, Owned:
 		// Upgrade: invalidate every other sharer; data already local.
 		res.Src = SrcNone
@@ -157,6 +216,7 @@ func (c *Controller) Write(p int, line uint64) Result {
 		res.Invalidations++
 	}
 	c.setState(p, line, Modified)
+	c.notify(p, OpWrite, line, res)
 	return res
 }
 
@@ -165,7 +225,9 @@ func (c *Controller) Write(p int, line uint64) Result {
 func (c *Controller) Evict(p int, line uint64) Result {
 	s := c.peers[p][line]
 	c.setState(p, line, Invalid)
-	return Result{NewState: Invalid, Writeback: s.Dirty()}
+	res := Result{NewState: Invalid, Writeback: s.Dirty()}
+	c.notify(p, OpEvict, line, res)
+	return res
 }
 
 // FlushLine forces peer p's copy back to memory and invalidates it, as a

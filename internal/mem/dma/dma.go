@@ -21,8 +21,10 @@
 package dma
 
 import (
+	"fmt"
 	"sort"
 
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/mem/bus"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
@@ -112,11 +114,25 @@ type Engine struct {
 	// OnArrive, when set, is called as load data arrives, with the array
 	// id and the [off, off+n) byte span now valid.
 	OnArrive func(arr int16, off, n uint32)
+	// OnAbort, when set, is called once when a descriptor exhausts its
+	// timeout retries (fault injection). The SoC layer wires it to
+	// sim.Engine.Abort so the run fails fast with an error instead of
+	// wedging.
+	OnAbort func(error)
 
 	flushIvals []Interval
 	dmaIvals   []Interval
 	snoop      *snoopSupplier // non-nil when HardwareCoherent
 	stats      Stats
+	inj        *fault.Injector
+
+	// pending counts chunks accepted but not yet completed, for the
+	// watchdog; cur* describe the descriptor currently on the bus.
+	pending    int
+	curAddr    uint64
+	curBytes   uint32
+	curAttempt int
+	curActive  bool
 
 	probe      *obs.Probe // descriptor transfers
 	flushProbe *obs.Probe // CPU flush/invalidate windows
@@ -137,6 +153,26 @@ func New(eng *sim.Engine, cfg Config, b *bus.Bus) *Engine {
 
 // Stats returns a copy of the counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// SetFaults attaches a fault injector (nil disables injection). With a
+// nonzero DMA timeout configured, each descriptor's bus transaction is
+// guarded: a transaction that has not completed within the timeout is
+// reissued, up to the injector's retry limit, after which the transfer is
+// aborted through OnAbort.
+func (e *Engine) SetFaults(inj *fault.Injector) { e.inj = inj }
+
+// InFlight counts chunks accepted but not completed, for the watchdog.
+func (e *Engine) InFlight() int { return e.pending }
+
+// DumpInFlight renders the engine's stuck state for a watchdog diagnostic.
+func (e *Engine) DumpInFlight() string {
+	s := fmt.Sprintf("%d chunks outstanding", e.pending)
+	if e.curActive {
+		s += fmt.Sprintf("; current descriptor @%#x (%d B) attempt %d awaiting bus completion",
+			e.curAddr, e.curBytes, e.curAttempt)
+	}
+	return s
+}
 
 // AttachProbe wires the transfer probe (one span per descriptor burst,
 // load-chunk or store-chunk, with the array id as lane) and the flush
@@ -339,6 +375,7 @@ func (e *Engine) StorePhase(transfers []Transfer, done func()) {
 // the bus. The engine is serial: one descriptor in flight at a time, which
 // produces the paper's "serial data arrival effect".
 func (e *Engine) runChunks(chs []chunk, readyAt []sim.Tick, write bool, done func()) {
+	e.pending += len(chs)
 	idx := 0
 	var step func()
 	step = func() {
@@ -363,6 +400,8 @@ func (e *Engine) runChunks(chs []chunk, readyAt []sim.Tick, write bool, done fun
 					e.chunkHist.Observe(float64(c.bytes))
 				}
 				fin := func() {
+					e.pending--
+					e.curActive = false
 					e.dmaIvals = append(e.dmaIvals, Interval{tstart, e.eng.Now()})
 					if e.probe.Enabled() {
 						name := "load-chunk"
@@ -375,36 +414,82 @@ func (e *Engine) runChunks(chs []chunk, readyAt []sim.Tick, write bool, done fun
 					}
 					step()
 				}
-				addr := c.t.Base + uint64(c.off)
-				if write {
-					e.bus.Access(e.master, addr, c.bytes, true, fin)
-					return
-				}
-				if e.OnArrive != nil {
-					arr, base := c.t.Arr, c.off
-					last := uint32(0)
-					progress := func(cum uint32) {
-						e.OnArrive(arr, base+last, cum-last)
-						last = cum
-					}
-					if e.snoop != nil {
-						e.bus.ReadStreamVia(e.master, addr, c.bytes,
-							e.cfg.CPULineBytes, e.snoop, progress, fin)
-						return
-					}
-					e.bus.ReadStream(e.master, addr, c.bytes,
-						e.cfg.CPULineBytes, progress, fin)
-					return
-				}
-				if e.snoop != nil {
-					e.bus.AccessVia(e.master, addr, c.bytes, false, e.snoop, fin)
-					return
-				}
-				e.bus.Access(e.master, addr, c.bytes, false, fin)
+				e.issue(c, write, fin)
 			})
 		})
 	}
 	step()
+}
+
+// issue puts one descriptor on the bus, guarded — when fault injection
+// configures a DMA timeout — by a retry-or-abort watchdog: an attempt that
+// does not complete within the timeout is counted and reissued; once the
+// retry limit is exhausted the transfer aborts through OnAbort. The per-
+// attempt live flag makes both a late completion of a timed-out attempt and
+// a stale timeout event of a completed attempt harmless no-ops.
+func (e *Engine) issue(c chunk, write bool, fin func()) {
+	addr := c.t.Base + uint64(c.off)
+	timeout := e.inj.DMATimeout()
+	attempt := 0
+	var try func()
+	try = func() {
+		attempt++
+		e.curAddr, e.curBytes, e.curAttempt, e.curActive = addr, c.bytes, attempt, true
+		finish := fin
+		if timeout > 0 {
+			live := true
+			a := attempt
+			finish = func() {
+				if !live {
+					return // this attempt already timed out; a retry owns the chunk
+				}
+				live = false
+				fin()
+			}
+			e.eng.After(timeout, func() {
+				if !live {
+					return // attempt completed before the timeout fired
+				}
+				live = false
+				e.inj.CountDMATimeout(e.eng.Now(), addr, a)
+				if a > e.inj.DMARetryLimit() {
+					e.inj.CountDMAAbort(e.eng.Now(), addr, a)
+					if e.OnAbort != nil {
+						e.OnAbort(fmt.Errorf("dma: descriptor @%#x (%d B) timed out after %d attempts", addr, c.bytes, a))
+					}
+					return
+				}
+				e.inj.CountDMARetry(e.eng.Now(), addr, a)
+				try()
+			})
+		}
+		if write {
+			e.bus.Access(e.master, addr, c.bytes, true, finish)
+			return
+		}
+		if e.OnArrive != nil {
+			arr, base := c.t.Arr, c.off
+			last := uint32(0)
+			progress := func(cum uint32) {
+				e.OnArrive(arr, base+last, cum-last)
+				last = cum
+			}
+			if e.snoop != nil {
+				e.bus.ReadStreamVia(e.master, addr, c.bytes,
+					e.cfg.CPULineBytes, e.snoop, progress, finish)
+				return
+			}
+			e.bus.ReadStream(e.master, addr, c.bytes,
+				e.cfg.CPULineBytes, progress, finish)
+			return
+		}
+		if e.snoop != nil {
+			e.bus.AccessVia(e.master, addr, c.bytes, false, e.snoop, finish)
+			return
+		}
+		e.bus.Access(e.master, addr, c.bytes, false, finish)
+	}
+	try()
 }
 
 // MergeIntervals unions a set of activity windows into disjoint sorted

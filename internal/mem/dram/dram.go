@@ -14,6 +14,10 @@
 package dram
 
 import (
+	"fmt"
+	"strings"
+
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/sim"
 )
@@ -71,6 +75,7 @@ type DRAM struct {
 	pinsBusy sim.Tick
 	stats    Stats
 	probe    *obs.Probe
+	inj      *fault.Injector
 
 	// FR-FCFS state: per-bank request queues and service status. Each bank
 	// services one beat at a time, so its completion callback is a single
@@ -134,6 +139,41 @@ func (d *DRAM) Stats() Stats { return d.stats }
 // per intra-row beat, named row-hit or row-miss, with the bank as lane.
 func (d *DRAM) AttachProbe(p *obs.Probe) { d.probe = p }
 
+// SetFaults attaches a fault injector (nil disables injection). Each
+// transaction rolls for a bit flip in the row being accessed; the SECDED
+// model corrects singles transparently and detects (reports) doubles.
+// Neither changes timing — ECC correction is in-line in real parts.
+func (d *DRAM) SetFaults(inj *fault.Injector) { d.inj = inj }
+
+// InFlight counts queued or in-service FR-FCFS beats, for the watchdog.
+// (The FCFS path computes completion analytically at accept time and cannot
+// strand work.)
+func (d *DRAM) InFlight() int {
+	n := 0
+	for bank, q := range d.queues {
+		n += len(q)
+		if d.bankActive[bank] {
+			n++
+		}
+	}
+	return n
+}
+
+// DumpInFlight renders the per-bank queue state for a watchdog diagnostic.
+func (d *DRAM) DumpInFlight() string {
+	var s strings.Builder
+	for bank, q := range d.queues {
+		if len(q) == 0 && !d.bankActive[bank] {
+			continue
+		}
+		if s.Len() > 0 {
+			s.WriteByte('\n')
+		}
+		fmt.Fprintf(&s, "bank%d: active=%v queued=%d", bank, d.bankActive[bank], len(q))
+	}
+	return s.String()
+}
+
 // RegisterStats registers the controller counters under prefix.
 func (d *DRAM) RegisterStats(reg *obs.Registry, prefix string) {
 	reg.CounterFunc(prefix+".reads", "read transactions",
@@ -188,6 +228,7 @@ func (d *DRAM) Access(addr uint64, bytes uint32, write bool, done func()) {
 		d.stats.Reads++
 	}
 	d.stats.BytesMoved += uint64(bytes)
+	d.inj.ECC(fault.SiteDRAM, d.eng.Now(), addr)
 
 	if d.cfg.Policy == FRFCFS {
 		d.accessQueued(addr, bytes, done)

@@ -12,8 +12,10 @@ package spad
 import (
 	"fmt"
 
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/power"
+	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/trace"
 )
 
@@ -38,6 +40,7 @@ type Spad struct {
 	cfg    Config
 	arrays []arrayState
 	stats  Stats
+	inj    *fault.Injector
 
 	// ready-bit tracking (nil when DMA-triggered compute is off):
 	// per array, one bit per granularity-sized chunk.
@@ -75,6 +78,11 @@ func New(cfg Config, arrays []*trace.Array) *Spad {
 
 // Stats returns a copy of the counters.
 func (s *Spad) Stats() Stats { return s.stats }
+
+// SetFaults attaches a fault injector (nil disables injection). Each
+// granted access rolls for a bit flip in the bank word; SECDED corrects
+// singles and detects doubles without changing access timing.
+func (s *Spad) SetFaults(inj *fault.Injector) { s.inj = inj }
 
 // Config returns the scratchpad configuration.
 func (s *Spad) Config() Config { return s.cfg }
@@ -171,6 +179,9 @@ func (s *Spad) TryAccess(arr int16, off uint32, write bool, cycle uint64) bool {
 	} else {
 		s.stats.Reads++
 	}
+	// The spad has no engine reference; the accelerator cycle stands in for
+	// the tick in fault records (still strictly deterministic).
+	s.inj.ECC(fault.SiteSpad, sim.Tick(cycle), uint64(arr)<<32|uint64(off))
 	return true
 }
 

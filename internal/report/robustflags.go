@@ -1,0 +1,62 @@
+package report
+
+import (
+	"flag"
+	"fmt"
+
+	"gem5aladdin/internal/fault"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/soc"
+)
+
+// RobustFlags bundles the robustness flags every CLI shares (-faults,
+// -sanitize, -watchdog-ticks), mirroring ObsFlags so the binaries don't
+// each re-declare the same triplet or re-implement the fault-spec parser.
+type RobustFlags struct {
+	Faults        string
+	Sanitize      bool
+	WatchdogTicks uint64
+}
+
+// AddRobustFlags registers -faults/-sanitize/-watchdog-ticks on fs.
+func AddRobustFlags(fs *flag.FlagSet) *RobustFlags {
+	f := &RobustFlags{}
+	fs.StringVar(&f.Faults, "faults", "",
+		"inject faults per key=value spec, e.g. \"seed=7,dram=1e-6,bus=0.01,retries=4,backoff=20\" "+
+			"(keys: seed dram spad cache double bus retries backoff dma-timeout dma-retries; times in ns)")
+	fs.BoolVar(&f.Sanitize, "sanitize", false,
+		"run the MOESI runtime sanitizer and abort on the first coherence invariant violation")
+	fs.Uint64Var(&f.WatchdogTicks, "watchdog-ticks", 0,
+		"abort with a diagnostic if simulated time exceeds this many ticks (ps); 0 disables the budget")
+	return f
+}
+
+// Apply parses the fault spec and copies the robustness settings into cfg.
+// A zero RobustFlags leaves cfg untouched, so simulations stay bit-identical
+// to a build without the flags.
+func (f *RobustFlags) Apply(cfg *soc.Config) error {
+	if f.Faults != "" {
+		fc, err := fault.ParseSpec(f.Faults)
+		if err != nil {
+			return fmt.Errorf("-faults: %w", err)
+		}
+		cfg.Faults = fc
+	}
+	cfg.Sanitize = cfg.Sanitize || f.Sanitize
+	if f.WatchdogTicks != 0 {
+		cfg.WatchdogTicks = sim.Tick(f.WatchdogTicks)
+	}
+	return nil
+}
+
+// Report prints the post-run fault summary to stdout when injection was on.
+func (f *RobustFlags) Report(res *soc.RunResult) {
+	if f.Faults == "" || res == nil {
+		return
+	}
+	s := res.Faults
+	fmt.Printf("faults: injected=%d corrected=%d detected=%d bus[nack=%d retry=%d drop=%d] dma[timeout=%d retry=%d abort=%d]\n",
+		s.Injected, s.CorrectedSingles, s.DetectedDoubles,
+		s.BusNacks, s.BusRetries, s.BusDrops,
+		s.DMATimeouts, s.DMARetries, s.DMAAborts)
+}

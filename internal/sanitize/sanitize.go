@@ -1,0 +1,313 @@
+// Package sanitize implements a runtime MOESI invariant checker: a sanitizer
+// that rides on the coherence controller's Observer hook and validates, after
+// every protocol action, that the directory is still in a legal state and
+// that every valid copy of a line holds the latest data.
+//
+// Data consistency is checked against a shadow functional memory of version
+// numbers: each line has a global version, bumped on every write, and each
+// peer records which version its copy holds. A read hit against a stale
+// version, or a surviving sharer after an invalidating write, is a protocol
+// bug — the kind that corrupts figures silently. The checker fails fast:
+// the first violation is recorded (sticky), reported through OnViolation
+// (typically wired to sim.Engine.Abort), and accompanied by a dump of the
+// recent transaction history so the offending interleaving is reconstructible
+// from the error alone.
+//
+// The checker is pure bookkeeping over line addresses and states; it never
+// influences protocol decisions, so enabling it cannot change simulated
+// timing — only detect when the model has gone wrong.
+package sanitize
+
+import (
+	"fmt"
+	"strings"
+
+	"gem5aladdin/internal/mem/coherence"
+	"gem5aladdin/internal/obs"
+)
+
+// historyLen bounds the transaction-history ring included in violation
+// dumps. 64 transactions is enough to reconstruct any single-line
+// interleaving this protocol can produce.
+const historyLen = 64
+
+// txn is one observed protocol action, kept for the history dump.
+type txn struct {
+	seq  uint64
+	peer int
+	op   coherence.Op
+	line uint64
+	res  coherence.Result
+}
+
+func (t txn) String() string {
+	return fmt.Sprintf("#%d peer%d %s line %#x -> %s (src=%d hit=%v inv=%d wb=%v)",
+		t.seq, t.peer, t.op, t.line, t.res.NewState,
+		t.res.Src, t.res.WasHit, t.res.Invalidations, t.res.Writeback)
+}
+
+// Violation is the sanitizer's failure report: which invariant broke, on
+// which action, plus the recent transaction history.
+type Violation struct {
+	// Invariant names the broken rule (e.g. "single-writer", "stale-sharer").
+	Invariant string
+	// Detail describes the concrete violation.
+	Detail string
+	// Txn is the action that exposed the violation.
+	Txn string
+	// History lists the most recent transactions, oldest first.
+	History []string
+}
+
+// Error renders the violation with its history dump.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sanitize: MOESI invariant %q violated: %s\n  at: %s",
+		v.Invariant, v.Detail, v.Txn)
+	if len(v.History) > 0 {
+		fmt.Fprintf(&b, "\n  last %d transactions:", len(v.History))
+		for _, h := range v.History {
+			fmt.Fprintf(&b, "\n    %s", h)
+		}
+	}
+	return b.String()
+}
+
+// Checker is the runtime sanitizer. Attach it with Attach; it is not safe
+// for concurrent use (the simulator is single-threaded by design).
+type Checker struct {
+	ctl *coherence.Controller
+
+	// version is the shadow functional memory: the current version of each
+	// line's data, bumped on every write.
+	version map[uint64]uint64
+	// held[p] maps line -> the version peer p's copy contains. A peer whose
+	// copy is valid must always hold version[line].
+	held []map[uint64]uint64
+
+	seq     uint64
+	history [historyLen]txn
+	histLen int
+
+	checks uint64
+	err    *Violation
+
+	// OnViolation, when non-nil, is called once with the first violation
+	// (typically wired to sim.Engine.Abort so the run fails fast).
+	OnViolation func(*Violation)
+}
+
+// Attach builds a Checker and installs it as the controller's Observer.
+func Attach(ctl *coherence.Controller) *Checker {
+	c := &Checker{
+		ctl:     ctl,
+		version: make(map[uint64]uint64),
+	}
+	ctl.Observer = c.observe
+	return c
+}
+
+// Err returns the first violation, or nil if the protocol has been clean.
+func (c *Checker) Err() error {
+	if c.err == nil {
+		return nil
+	}
+	return c.err
+}
+
+// Checks reports how many protocol actions have been validated.
+func (c *Checker) Checks() uint64 { return c.checks }
+
+// RegisterStats registers the sanitizer's counters under prefix.
+func (c *Checker) RegisterStats(reg *obs.Registry, prefix string) {
+	reg.CounterFunc(prefix+".checks", "MOESI protocol actions validated", func() uint64 { return c.checks })
+	reg.CounterFunc(prefix+".violations", "MOESI invariant violations detected", func() uint64 {
+		if c.err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// heldMap returns (lazily creating) peer p's version map.
+func (c *Checker) heldMap(p int) map[uint64]uint64 {
+	for len(c.held) <= p {
+		c.held = append(c.held, make(map[uint64]uint64))
+	}
+	return c.held[p]
+}
+
+func (c *Checker) record(t txn) {
+	c.history[int(c.seq)%historyLen] = t
+	if c.histLen < historyLen {
+		c.histLen++
+	}
+}
+
+func (c *Checker) dumpHistory() []string {
+	out := make([]string, 0, c.histLen)
+	start := c.seq - uint64(c.histLen)
+	for i := 0; i < c.histLen; i++ {
+		out = append(out, c.history[int(start+uint64(i))%historyLen].String())
+	}
+	return out
+}
+
+// fail records the first violation and fires OnViolation.
+func (c *Checker) fail(t txn, invariant, format string, args ...any) {
+	if c.err != nil {
+		return
+	}
+	c.err = &Violation{
+		Invariant: invariant,
+		Detail:    fmt.Sprintf(format, args...),
+		Txn:       t.String(),
+		History:   c.dumpHistory(),
+	}
+	if c.OnViolation != nil {
+		c.OnViolation(c.err)
+	}
+}
+
+// observe is the coherence.Controller Observer hook.
+func (c *Checker) observe(peer int, op coherence.Op, line uint64, res coherence.Result) {
+	if c.err != nil {
+		return // fail fast: one violation poisons the run; stop checking
+	}
+	c.checks++
+	t := txn{seq: c.seq, peer: peer, op: op, line: line, res: res}
+	c.seq++
+	c.record(t)
+
+	// Data-consistency bookkeeping precedes the directory checks: a read
+	// hit must be validated against the version held BEFORE this action, a
+	// miss fill or write installs the (possibly new) current version.
+	hm := c.heldMap(peer)
+	cur := c.version[line]
+	switch op {
+	case coherence.OpRead:
+		if res.WasHit {
+			if have, ok := hm[line]; !ok || have != cur {
+				c.fail(t, "stale-data",
+					"peer%d read hit on line %#x holding version %d, current is %d",
+					peer, line, hm[line], cur)
+				return
+			}
+		} else {
+			// Miss fill: the supplier (cache or memory) provides the
+			// current data.
+			hm[line] = cur
+		}
+	case coherence.OpWrite:
+		if res.WasHit && res.NewState == coherence.Modified && res.Invalidations == 0 {
+			// Upgrade in place: the local copy must have been current.
+			if have, ok := hm[line]; ok && have != cur {
+				c.fail(t, "stale-data",
+					"peer%d write upgrade on line %#x holding version %d, current is %d",
+					peer, line, have, cur)
+				return
+			}
+		}
+		// The write produces a new version; the writer holds it, every
+		// other peer's record is dropped with its invalidated copy.
+		cur++
+		c.version[line] = cur
+		for q := range c.held {
+			if q != peer {
+				delete(c.held[q], line)
+			}
+		}
+		hm[line] = cur
+	case coherence.OpEvict:
+		delete(hm, line)
+	}
+
+	c.checkLine(t, line)
+}
+
+// checkLine validates the directory invariants for one line after an action.
+func (c *Checker) checkLine(t txn, line uint64) {
+	states := c.ctl.Copies(line)
+	var mCount, eCount, oCount, valid int
+	for _, s := range states {
+		switch s {
+		case coherence.Modified:
+			mCount++
+		case coherence.Exclusive:
+			eCount++
+		case coherence.Owned:
+			oCount++
+		}
+		if s.Valid() {
+			valid++
+		}
+	}
+	switch {
+	case mCount > 1:
+		c.fail(t, "single-writer", "line %#x has %d Modified copies (%s)",
+			line, mCount, fmtStates(states))
+	case oCount > 1:
+		c.fail(t, "single-owner", "line %#x has %d Owned copies (%s)",
+			line, oCount, fmtStates(states))
+	case mCount+oCount > 1:
+		c.fail(t, "single-owner", "line %#x has both M and O copies (%s)",
+			line, fmtStates(states))
+	case eCount > 1:
+		c.fail(t, "single-writer", "line %#x has %d Exclusive copies (%s)",
+			line, eCount, fmtStates(states))
+	case (mCount == 1 || eCount == 1) && valid > 1:
+		c.fail(t, "exclusive-sole-copy", "line %#x in M/E with %d total copies (%s)",
+			line, valid, fmtStates(states))
+	case t.op == coherence.OpWrite && t.res.Invalidations > 0 && valid > 1:
+		c.fail(t, "stale-sharer",
+			"line %#x still has %d copies after invalidating write (%s)",
+			line, valid, fmtStates(states))
+	}
+}
+
+// CheckFinal sweeps the whole directory (every line, every peer) once, for
+// end-of-run validation, and re-verifies the shadow version bookkeeping.
+func (c *Checker) CheckFinal() error {
+	if c.err != nil {
+		return c.err
+	}
+	if err := c.ctl.CheckInvariants(); err != nil {
+		c.err = &Violation{
+			Invariant: "final-sweep",
+			Detail:    err.Error(),
+			Txn:       "(end of run)",
+			History:   c.dumpHistory(),
+		}
+		return c.err
+	}
+	// Every valid copy must hold the current shadow version.
+	for p := 0; p < len(c.held); p++ {
+		for line, have := range c.held[p] {
+			if !c.ctl.StateOf(p, line).Valid() {
+				continue
+			}
+			if cur := c.version[line]; have != cur {
+				c.err = &Violation{
+					Invariant: "stale-data",
+					Detail: fmt.Sprintf("peer%d ends with line %#x at version %d, current is %d",
+						p, line, have, cur),
+					Txn:     "(end of run)",
+					History: c.dumpHistory(),
+				}
+				return c.err
+			}
+		}
+	}
+	return nil
+}
+
+func fmtStates(states []coherence.State) string {
+	var b strings.Builder
+	for p, s := range states {
+		if p > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "peer%d=%s", p, s)
+	}
+	return b.String()
+}

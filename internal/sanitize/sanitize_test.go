@@ -1,0 +1,156 @@
+package sanitize
+
+import (
+	"strings"
+	"testing"
+
+	"gem5aladdin/internal/mem/coherence"
+)
+
+// newPair returns a two-peer controller with an attached checker.
+func newPair(t *testing.T) (*coherence.Controller, *Checker) {
+	t.Helper()
+	ctl := coherence.NewController()
+	ctl.AddPeer()
+	ctl.AddPeer()
+	return ctl, Attach(ctl)
+}
+
+func TestCleanProtocolPasses(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0x40
+	// A representative MOESI exercise: fill exclusive, share, upgrade,
+	// snoop-share the dirty line, invalidate again, evict.
+	ctl.Read(0, line)  // p0: E
+	ctl.Read(1, line)  // p0: S, p1: S
+	ctl.Write(1, line) // p1: M, p0 invalidated
+	ctl.Read(0, line)  // p1: O supplies, p0: S
+	ctl.Write(0, line) // p0: M, p1 invalidated
+	ctl.Evict(0, line) // writeback
+	if err := chk.Err(); err != nil {
+		t.Fatalf("clean protocol flagged: %v", err)
+	}
+	if err := chk.CheckFinal(); err != nil {
+		t.Fatalf("final sweep flagged: %v", err)
+	}
+	if chk.Checks() != 6 {
+		t.Fatalf("checks = %d, want 6", chk.Checks())
+	}
+}
+
+func TestDoubleModifiedCaught(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0x80
+	ctl.Write(0, line) // p0: M
+	// Corrupt the directory: a second Modified copy appears out of nowhere.
+	ctl.ForceState(1, line, coherence.Modified)
+	ctl.Read(1, line) // hit on the forged copy triggers the sweep
+	v := requireViolation(t, chk)
+	if v.Invariant != "single-writer" && v.Invariant != "stale-data" {
+		t.Fatalf("invariant %q, want single-writer or stale-data", v.Invariant)
+	}
+}
+
+func TestStaleSharerCaught(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0xc0
+	ctl.Read(0, line)
+	ctl.Read(1, line) // both Shared
+	// Sabotage Write's invalidation: restore p0's copy behind the protocol's
+	// back, then have the sanitizer see a hit on it while p1 holds M.
+	ctl.Write(1, line)
+	ctl.ForceState(0, line, coherence.Shared)
+	ctl.Read(1, line) // p1 hit; sweep sees M+S coexisting
+	v := requireViolation(t, chk)
+	if v.Invariant != "exclusive-sole-copy" {
+		t.Fatalf("invariant %q, want exclusive-sole-copy", v.Invariant)
+	}
+}
+
+func TestStaleDataCaught(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0x100
+	ctl.Read(0, line)  // p0 fills at version 0
+	ctl.Write(1, line) // version 1; p0's record dropped with its copy
+	// Resurrect p0's stale copy and read it: version bookkeeping must object.
+	ctl.ForceState(1, line, coherence.Invalid)
+	ctl.ForceState(0, line, coherence.Shared)
+	ctl.Read(0, line) // hit on a copy the checker knows is stale
+	v := requireViolation(t, chk)
+	if v.Invariant != "stale-data" {
+		t.Fatalf("invariant %q, want stale-data", v.Invariant)
+	}
+}
+
+func TestFinalSweepCatchesCorruption(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0x140
+	ctl.Read(0, line)
+	// Corrupt after the last transaction: only CheckFinal can see it.
+	ctl.ForceState(1, line, coherence.Modified)
+	if err := chk.Err(); err != nil {
+		t.Fatalf("premature violation: %v", err)
+	}
+	err := chk.CheckFinal()
+	if err == nil {
+		t.Fatalf("final sweep missed directory corruption")
+	}
+	if !strings.Contains(err.Error(), "final-sweep") {
+		t.Fatalf("error %q does not name the final sweep", err)
+	}
+}
+
+func TestFailFastAndCallback(t *testing.T) {
+	ctl, chk := newPair(t)
+	var fired int
+	chk.OnViolation = func(v *Violation) { fired++ }
+	const line = 0x180
+	ctl.Write(0, line)
+	ctl.ForceState(1, line, coherence.Modified)
+	ctl.Read(0, line) // first violation
+	ctl.Read(0, line) // checker is poisoned; must not re-fire
+	if fired != 1 {
+		t.Fatalf("OnViolation fired %d times, want 1", fired)
+	}
+	first := chk.Err()
+	ctl.Read(1, line)
+	if chk.Err() != first {
+		t.Fatalf("violation not sticky")
+	}
+	if chk.CheckFinal() != first {
+		t.Fatalf("CheckFinal must return the original violation")
+	}
+}
+
+func TestViolationDumpHasHistory(t *testing.T) {
+	ctl, chk := newPair(t)
+	const line = 0x1c0
+	ctl.Read(0, line)
+	ctl.Read(1, line)
+	ctl.Write(0, line)
+	ctl.ForceState(1, line, coherence.Modified)
+	ctl.Read(0, line)
+	v := requireViolation(t, chk)
+	if len(v.History) == 0 {
+		t.Fatalf("violation carries no history")
+	}
+	msg := v.Error()
+	for _, frag := range []string{"MOESI invariant", "last", "transactions:", "peer0"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("violation message %q missing %q", msg, frag)
+		}
+	}
+}
+
+func requireViolation(t *testing.T, chk *Checker) *Violation {
+	t.Helper()
+	err := chk.Err()
+	if err == nil {
+		t.Fatalf("expected a violation, protocol passed")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("Err() = %T, want *Violation", err)
+	}
+	return v
+}

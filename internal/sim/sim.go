@@ -92,6 +92,12 @@ type Engine struct {
 	fifoLen  int
 	fired    uint64
 	probe    *obs.Probe
+
+	// watches and abortErr belong to the no-progress watchdog (watchdog.go).
+	// abortErr is sticky: once set, Run and RunGuarded stop before the next
+	// event dispatch.
+	watches  []Watch
+	abortErr error
 }
 
 // NewEngine returns an empty simulation engine at tick 0.
@@ -186,7 +192,10 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run fires events until the queue drains and returns the final time.
+// Run fires events until the queue drains and returns the final time. Run
+// ignores Abort so the dispatch loop stays a single call per event; callers
+// whose components can abort (or that want stall detection) must use
+// RunGuarded, which checks the abort flag between events.
 func (e *Engine) Run() Tick {
 	for e.Step() {
 	}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunGuardedCleanMatchesRun(t *testing.T) {
+	trace := func(run func(e *Engine) (Tick, error)) ([]int, Tick, error) {
+		e := NewEngine()
+		var order []int
+		for k := 1; k <= 5; k++ {
+			k := k
+			e.After(Tick(k*10), func() { order = append(order, k) })
+		}
+		end, err := run(e)
+		return order, end, err
+	}
+	o1, t1, _ := trace(func(e *Engine) (Tick, error) { return e.Run(), nil })
+	o2, t2, err := trace(func(e *Engine) (Tick, error) { return e.RunGuarded(0) })
+	if err != nil {
+		t.Fatalf("clean RunGuarded errored: %v", err)
+	}
+	if t1 != t2 || fmt.Sprint(o1) != fmt.Sprint(o2) {
+		t.Fatalf("RunGuarded diverged from Run: (%v,%v) vs (%v,%v)", o1, t1, o2, t2)
+	}
+}
+
+func TestRunGuardedQuiesceWithWork(t *testing.T) {
+	e := NewEngine()
+	inflight := 1
+	e.AddWatch(Watch{
+		Name:     "dma",
+		InFlight: func() int { return inflight },
+		Dump:     func() string { return "chunk @0x1000 (64 B)\nchunk @0x1040 (64 B)" },
+	})
+	e.AddWatch(Watch{Name: "bus", InFlight: func() int { return 0 }})
+	e.After(10, func() {}) // fires, but the "dma" never completes
+	_, err := e.RunGuarded(0)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if se.Reason != "event queue quiesced with work in flight" {
+		t.Fatalf("reason %q", se.Reason)
+	}
+	if se.PendingEvents != 0 || se.EventsFired != 1 || se.Now != 10 {
+		t.Fatalf("diagnostic %+v", se)
+	}
+	if len(se.Items) != 1 || se.Items[0].Name != "dma" || se.Items[0].InFlight != 1 {
+		t.Fatalf("items %+v, want only the stuck dma", se.Items)
+	}
+	msg := err.Error()
+	for _, frag := range []string{"no progress", "dma: 1 in flight", "chunk @0x1040"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("diagnostic %q missing %q", msg, frag)
+		}
+	}
+}
+
+func TestRunGuardedTickBudget(t *testing.T) {
+	e := NewEngine()
+	// A self-rescheduling event models a livelocked component: the queue
+	// never drains, so only the budget stops the run.
+	var tick func()
+	tick = func() { e.After(100, tick) }
+	e.After(100, tick)
+	_, err := e.RunGuarded(1000)
+	var se *StallError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *StallError", err)
+	}
+	if !strings.Contains(se.Reason, "tick budget 1000 exceeded") {
+		t.Fatalf("reason %q", se.Reason)
+	}
+	if se.PendingEvents == 0 {
+		t.Fatalf("budget abort must report pending events")
+	}
+	if se.Now <= 1000 {
+		t.Fatalf("aborted at %v, inside the budget", se.Now)
+	}
+}
+
+func TestAbortStopsRunGuarded(t *testing.T) {
+	e := NewEngine()
+	boom := errors.New("dma: descriptor timed out")
+	fired := 0
+	e.After(10, func() { fired++; e.Abort(boom) })
+	e.After(20, func() { fired++ })
+	_, err := e.RunGuarded(0)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if fired != 1 {
+		t.Fatalf("events after the abort still fired (%d)", fired)
+	}
+	if e.Err() != boom {
+		t.Fatalf("Err() = %v", e.Err())
+	}
+	// First abort wins.
+	e.Abort(errors.New("later"))
+	if e.Err() != boom {
+		t.Fatalf("abort not sticky: %v", e.Err())
+	}
+}
+
+func TestAddWatchRequiresInFlight(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("nil InFlight must panic")
+		}
+	}()
+	NewEngine().AddWatch(Watch{Name: "bad"})
+}

@@ -12,11 +12,13 @@
 package soc
 
 import (
+	"errors"
 	"fmt"
 
 	"gem5aladdin/internal/core"
 	"gem5aladdin/internal/cpu"
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/mem/bus"
 	"gem5aladdin/internal/mem/cache"
 	"gem5aladdin/internal/mem/coherence"
@@ -26,6 +28,7 @@ import (
 	"gem5aladdin/internal/mem/tlb"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/power"
+	"gem5aladdin/internal/sanitize"
 	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/trace"
 )
@@ -124,6 +127,21 @@ type Config struct {
 	DRAM         dram.Config
 	CPU          cpu.Config
 	Traffic      *TrafficConfig
+
+	// Faults configures deterministic fault injection (internal/fault).
+	// The zero value disables every fault class and leaves the simulation
+	// bit-identical to a build without the injector.
+	Faults fault.Config
+	// Sanitize attaches the runtime MOESI invariant checker to the
+	// coherence controller. A violation aborts the run with a transaction
+	// history dump, surfaced as an ErrAborted-wrapped error.
+	Sanitize bool
+	// WatchdogTicks, when nonzero, bounds virtual time: a run still busy
+	// past the budget aborts with a diagnostic of all in-flight state
+	// instead of spinning. Independently of the budget, a run whose event
+	// queue drains while MSHRs, bus queues, or DMA transfers are
+	// outstanding always aborts with the same diagnostic.
+	WatchdogTicks sim.Tick
 
 	// Power model; nil selects power.Default().
 	Power *power.Model
@@ -224,10 +242,23 @@ type RunResult struct {
 	Bus      bus.Stats
 	DRAM     dram.Stats
 	DMA      dma.Stats
+
+	// Faults aggregates injector activity; zero-valued when fault
+	// injection was disabled.
+	Faults fault.Stats
+	// FaultLog is the deterministic injected-fault log (same seed, same
+	// config, same workload => identical log).
+	FaultLog []fault.Record
 }
 
 // Seconds returns the runtime in seconds.
 func (r *RunResult) Seconds() float64 { return float64(r.Runtime) / 1e12 }
+
+// ErrAborted marks a run terminated by the robustness layer — the watchdog,
+// the MOESI sanitizer, or fault-injection retry exhaustion — rather than by
+// normal completion. Sweeps test errors.Is(err, ErrAborted) to skip a
+// poisoned design point and continue.
+var ErrAborted = errors.New("aborted")
 
 // fabric is the shared part of the SoC: bus, DRAM, coherence, host CPU.
 type fabric struct {
@@ -238,22 +269,48 @@ type fabric struct {
 	coh     *coherence.Controller
 	cpuPeer int
 	gen     *cpu.TrafficGen
+	inj     *fault.Injector
+	san     *sanitize.Checker
 }
 
 func newFabric(cfg Config) *fabric {
 	eng := sim.NewEngine()
 	f := &fabric{eng: eng}
+	f.inj = fault.New(cfg.Faults)
 	f.dram = dram.New(eng, cfg.DRAM)
+	f.dram.SetFaults(f.inj)
 	f.bus = bus.New(eng, bus.Config{WidthBits: cfg.BusWidthBits, Clock: sim.NewClockHz(cfg.BusHz)}, f.dram)
+	f.bus.SetFaults(f.inj)
 	f.host = cpu.New(eng, cfg.CPU)
 	f.coh = coherence.NewController()
 	f.cpuPeer = f.coh.AddPeer()
+	if cfg.Sanitize {
+		f.san = sanitize.Attach(f.coh)
+		f.san.OnViolation = func(v *sanitize.Violation) { eng.Abort(v) }
+	}
+	eng.AddWatch(sim.Watch{Name: "bus", InFlight: f.bus.InFlight, Dump: f.bus.DumpInFlight})
+	eng.AddWatch(sim.Watch{Name: "dram", InFlight: f.dram.InFlight, Dump: f.dram.DumpInFlight})
 	if cfg.Traffic != nil {
 		f.gen = cpu.NewTrafficGen(eng, f.bus, cfg.Traffic.Period, cfg.Traffic.Bytes)
 		f.gen.Start()
 	}
 	f.observe(cfg.Obs)
 	return f
+}
+
+// run drives the engine to completion under the watchdog and surfaces any
+// abort — watchdog stall, tick-budget overrun, sanitizer violation, DMA
+// retry exhaustion — as an ErrAborted-wrapped error rather than a panic or
+// a hang, so sweeps can skip the poisoned point.
+func (f *fabric) run(cfg Config) error {
+	_, err := f.eng.RunGuarded(cfg.WatchdogTicks)
+	if err == nil && f.san != nil {
+		err = f.san.CheckFinal()
+	}
+	if err != nil {
+		return fmt.Errorf("soc: run %w: %w", ErrAborted, err)
+	}
+	return nil
 }
 
 // observe registers fabric-wide counters and, when tracing, the shared
@@ -270,6 +327,12 @@ func (f *fabric) observe(o *obs.Observer) {
 	if f.gen != nil {
 		f.gen.RegisterStats(reg, o.Path("soc.cpu.traffic"))
 	}
+	if f.inj != nil {
+		f.inj.RegisterStats(reg, o.Path("soc.faults"))
+	}
+	if f.san != nil {
+		f.san.RegisterStats(reg, o.Path("soc.sanitize"))
+	}
 	if o.Tracing() {
 		busProbe := &obs.Probe{}
 		f.bus.AttachProbe(busProbe)
@@ -279,6 +342,11 @@ func (f *fabric) observe(o *obs.Observer) {
 		o.Tracer.SubscribeFunc(dramProbe, func(ev obs.Event) string {
 			return o.Path(fmt.Sprintf("dram.bank%d", ev.Lane))
 		})
+		if f.inj != nil {
+			faultProbe := &obs.Probe{}
+			f.inj.AttachProbe(faultProbe)
+			o.Tracer.Subscribe(faultProbe, o.Path("faults"))
+		}
 	}
 }
 
@@ -318,6 +386,7 @@ func (f *fabric) attach(g *ddg.Graph, cfg Config, idx int) (*instance, error) {
 	accelClock := sim.NewClockHz(cfg.AccelHz)
 	arrays := g.Trace.Arrays
 	inst.sp = spad.New(spad.Config{Partitions: cfg.Partitions, Ports: cfg.SpadPorts}, arrays)
+	inst.sp.SetFaults(f.inj)
 	dpCfg := core.Config{Lanes: cfg.Lanes, Clock: accelClock,
 		Latencies: core.DefaultOpLatencies(), NoBarrier: cfg.NoWaveBarrier,
 		RecordSchedule: cfg.RecordSchedule}
@@ -337,10 +406,17 @@ func (f *fabric) attach(g *ddg.Graph, cfg Config, idx int) (*instance, error) {
 		}
 		dmaCfg.HardwareCoherent = cfg.CoherentDMA
 		inst.engDMA = dma.New(f.eng, dmaCfg, f.bus)
+		inst.engDMA.SetFaults(f.inj)
+		inst.engDMA.OnAbort = func(err error) { f.eng.Abort(err) }
+		f.eng.AddWatch(sim.Watch{Name: fmt.Sprintf("accel%d.dma", idx),
+			InFlight: inst.engDMA.InFlight, Dump: inst.engDMA.DumpInFlight})
 		inst.mem = core.NewSpadMem(inst.sp)
 	case Cache:
 		accelPeer := f.coh.AddPeer()
 		inst.cch = cache.New(f.eng, cfg.cacheConfig(accelClock), f.bus, f.coh, accelPeer)
+		inst.cch.SetFaults(f.inj)
+		f.eng.AddWatch(sim.Watch{Name: fmt.Sprintf("accel%d.cache", idx),
+			InFlight: inst.cch.InFlight, Dump: inst.cch.DumpInFlight})
 		inst.tb = tlb.NewWithOffset(tlb.DefaultConfig(), 1<<30+inst.addrOff)
 		inst.mem = core.NewCacheMem(f.eng, inst.cch, inst.tb, inst.sp, g)
 		inst.dirtyCPULines()
@@ -545,6 +621,8 @@ func (inst *instance) collect(pm *power.Model) (*RunResult, error) {
 	}
 	res.Bus = inst.f.bus.Stats()
 	res.DRAM = inst.f.dram.Stats()
+	res.Faults = inst.f.inj.Stats()
+	res.FaultLog = inst.f.inj.Log()
 
 	var flushIvals, dmaIvals []dma.Interval
 	if inst.engDMA != nil {
@@ -575,7 +653,9 @@ func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 			f.gen.Stop()
 		}
 	})
-	f.eng.Run()
+	if err := f.run(cfg); err != nil {
+		return nil, err
+	}
 	pm := cfg.Power
 	if pm == nil {
 		pm = power.Default()
@@ -624,7 +704,9 @@ func RunMulti(gs []*ddg.Graph, cfgs []Config) (*MultiResult, error) {
 			}
 		})
 	}
-	f.eng.Run()
+	if err := f.run(cfgs[0]); err != nil {
+		return nil, err
+	}
 
 	out := &MultiResult{}
 	for i, inst := range insts {
@@ -690,7 +772,9 @@ func RunRepeated(g *ddg.Graph, cfg Config, invocations int, reuseInputs bool) (*
 			}
 		}
 		inst.launch(func() {})
-		f.eng.Run()
+		if err := f.run(cfg); err != nil {
+			return nil, fmt.Errorf("soc: round %d: %w", round, err)
+		}
 		if !inst.finished || inst.dpResult == nil {
 			return nil, fmt.Errorf("soc: round %d did not complete", round)
 		}

@@ -76,6 +76,9 @@ func (c Config) Validate() error {
 			return &ConfigError{Field: "Traffic.Bytes", Value: c.Traffic.Bytes, Reason: "background traffic payload must be non-empty"}
 		}
 	}
+	if err := c.validateFaults(); err != nil {
+		return err
+	}
 	if c.Mem == Cache {
 		if c.CacheKB <= 0 {
 			return &ConfigError{Field: "CacheKB", Value: c.CacheKB, Reason: "cache size must be positive"}
@@ -99,6 +102,39 @@ func (c Config) Validate() error {
 				Value:  fmt.Sprintf("%dKB/%dB/%d-way", c.CacheKB, c.CacheLineBytes, c.CacheAssoc),
 				Reason: err.Error()}
 		}
+	}
+	return nil
+}
+
+// validateFaults checks the fault-injection block: every probability must
+// lie in [0,1], retry limits must be non-negative, and enabling bus NACKs
+// requires a positive backoff (a zero backoff would retry at the same tick
+// and livelock the arbiter).
+func (c Config) validateFaults() error {
+	f := c.Faults
+	probs := []struct {
+		field string
+		v     float64
+	}{
+		{"Faults.DRAMBitProb", f.DRAMBitProb},
+		{"Faults.SpadBitProb", f.SpadBitProb},
+		{"Faults.CacheBitProb", f.CacheBitProb},
+		{"Faults.DoubleBitFrac", f.DoubleBitFrac},
+		{"Faults.BusNackProb", f.BusNackProb},
+	}
+	for _, p := range probs {
+		if p.v < 0 || p.v > 1 || p.v != p.v {
+			return &ConfigError{Field: p.field, Value: p.v, Reason: "probability must be in [0,1]"}
+		}
+	}
+	if f.BusRetryLimit < 0 {
+		return &ConfigError{Field: "Faults.BusRetryLimit", Value: f.BusRetryLimit, Reason: "retry limit cannot be negative"}
+	}
+	if f.DMARetries < 0 {
+		return &ConfigError{Field: "Faults.DMARetries", Value: f.DMARetries, Reason: "retry limit cannot be negative"}
+	}
+	if f.BusNackProb > 0 && f.BusBackoff == 0 {
+		return &ConfigError{Field: "Faults.BusBackoff", Value: f.BusBackoff, Reason: "bus NACK injection needs a positive backoff"}
 	}
 	return nil
 }

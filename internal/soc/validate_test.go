@@ -2,9 +2,12 @@ package soc
 
 import (
 	"errors"
+	"math"
 	"testing"
 
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/fault"
+	"gem5aladdin/internal/sim"
 )
 
 func TestValidateDefaultConfig(t *testing.T) {
@@ -15,6 +18,17 @@ func TestValidateDefaultConfig(t *testing.T) {
 	cc.Mem = Cache
 	if err := cc.Validate(); err != nil {
 		t.Fatalf("default cache config invalid: %v", err)
+	}
+	// A fully-populated, legal Faults block must also pass.
+	fc := DefaultConfig()
+	fc.Faults = fault.Config{Seed: 1, DRAMBitProb: 1e-6, SpadBitProb: 1e-6,
+		CacheBitProb: 1e-6, DoubleBitFrac: 0.1, BusNackProb: 0.01,
+		BusRetryLimit: 4, BusBackoff: 10 * sim.Nanosecond,
+		DMATimeout: 100 * sim.Nanosecond, DMARetries: 2}
+	fc.Sanitize = true
+	fc.WatchdogTicks = sim.Tick(1e12)
+	if err := fc.Validate(); err != nil {
+		t.Fatalf("legal faults block rejected: %v", err)
 	}
 }
 
@@ -46,6 +60,14 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"non-pow2 assoc", mutate(func(c *Config) { c.Mem = Cache; c.CacheAssoc = 3 }), "CacheAssoc"},
 		{"zero cache ports", mutate(func(c *Config) { c.Mem = Cache; c.CachePorts = 0 }), "CachePorts"},
 		{"zero mshrs", mutate(func(c *Config) { c.Mem = Cache; c.MSHRs = 0 }), "MSHRs"},
+		{"negative dram prob", mutate(func(c *Config) { c.Faults.DRAMBitProb = -0.1 }), "Faults.DRAMBitProb"},
+		{"spad prob over one", mutate(func(c *Config) { c.Faults.SpadBitProb = 1.5 }), "Faults.SpadBitProb"},
+		{"NaN cache prob", mutate(func(c *Config) { c.Faults.CacheBitProb = math.NaN() }), "Faults.CacheBitProb"},
+		{"double frac over one", mutate(func(c *Config) { c.Faults.DoubleBitFrac = 2 }), "Faults.DoubleBitFrac"},
+		{"bus prob over one", mutate(func(c *Config) { c.Faults.BusNackProb = 1.01 }), "Faults.BusNackProb"},
+		{"negative bus retries", mutate(func(c *Config) { c.Faults.BusNackProb = 0.1; c.Faults.BusBackoff = 1; c.Faults.BusRetryLimit = -1 }), "Faults.BusRetryLimit"},
+		{"negative dma retries", mutate(func(c *Config) { c.Faults.DMARetries = -2 }), "Faults.DMARetries"},
+		{"nack without backoff", mutate(func(c *Config) { c.Faults.BusNackProb = 0.1 }), "Faults.BusBackoff"},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()

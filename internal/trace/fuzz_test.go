@@ -1,0 +1,96 @@
+package trace_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/trace"
+)
+
+// buildRandom drives the trace builder with a pseudo-random but in-contract
+// op/dep sequence derived from the fuzz input: every index is reduced into
+// its array's range, values are drawn from the live set, and loads, stores,
+// float and integer ops are interleaved across iterations.
+func buildRandom(data []byte) *trace.Trace {
+	rng := rand.New(rand.NewSource(int64(len(data))))
+	next := func(n int) int {
+		if len(data) == 0 {
+			return rng.Intn(n)
+		}
+		b := data[0]
+		data = data[1:]
+		return int(b) % n
+	}
+
+	b := trace.NewBuilder("fuzz")
+	dirs := []trace.Direction{trace.In, trace.Out, trace.InOut}
+	elems := []trace.ElemKind{trace.F64, trace.I32, trace.U8}
+	arrays := make([]*trace.Array, 0, 3)
+	for i := 0; i < 1+next(3); i++ {
+		n := 1 + next(16)
+		arrays = append(arrays, b.Alloc(
+			string(rune('a'+i)), elems[next(len(elems))], n, dirs[next(len(dirs))]))
+	}
+	for _, a := range arrays {
+		for i := 0; i < a.Len; i++ {
+			b.SetF64(a, i, float64(next(251)))
+		}
+	}
+
+	iters := 1 + next(8)
+	for it := 0; it < iters; it++ {
+		b.BeginIter()
+		// The live-value pool seeds each iteration with constants so the
+		// first random op always has operands.
+		vals := []trace.Value{b.ConstF(1), b.ConstF(2)}
+		pick := func() trace.Value { return vals[next(len(vals))] }
+		steps := 1 + next(12)
+		for s := 0; s < steps; s++ {
+			a := arrays[next(len(arrays))]
+			idx := next(a.Len)
+			switch next(6) {
+			case 0:
+				vals = append(vals, b.Load(a, idx))
+			case 1:
+				b.Store(a, idx, pick())
+			case 2:
+				vals = append(vals, b.FAdd(pick(), pick()))
+			case 3:
+				vals = append(vals, b.FMul(pick(), pick()))
+			case 4:
+				vals = append(vals, b.FSub(pick(), pick()))
+			case 5:
+				// A dependent chain: load feeding an op feeding a store.
+				v := b.FAdd(b.Load(a, idx), pick())
+				b.Store(a, idx, v)
+				vals = append(vals, v)
+			}
+		}
+	}
+	return b.Finish()
+}
+
+// FuzzBuilderNeverPanics pins the builder robustness contract: any
+// in-contract op/dep sequence builds a trace whose DDDG is schedulable —
+// acyclic, topologically ordered, with every dependency edge pointing
+// backward — without panics in either layer.
+func FuzzBuilderNeverPanics(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7})
+	f.Add([]byte{255, 128, 7, 9, 200, 13, 42, 42, 42, 1, 0, 255})
+	f.Add([]byte("interleaved loads and stores with reuse"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 4096 {
+			t.Skip("cap input size; op count is linear in it")
+		}
+		tr := buildRandom(data)
+		if tr.NumNodes() < 0 || tr.Iters < 0 {
+			t.Fatalf("nonsense trace: %d nodes, %d iters", tr.NumNodes(), tr.Iters)
+		}
+		g := ddg.Build(tr)
+		if err := g.CheckInvariants(); err != nil {
+			t.Fatalf("unschedulable DDDG: %v", err)
+		}
+	})
+}
