@@ -28,6 +28,8 @@ func main() {
 		full    = flag.Bool("full", false, "full Fig 3 sweep axes (slower)")
 		front   = flag.Bool("pareto-only", false, "print only the Pareto frontier")
 		format  = flag.String("format", "table", "output format: table, json, csv")
+		jobs    = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
+		every   = flag.Int("progress", 0, "print a progress line every N completed points (0 = off)")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
@@ -74,7 +76,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	space, err := dse.Sweep(g, cfgs)
+	var onProgress func(done, total int)
+	if *every > 0 {
+		onProgress = func(done, total int) {
+			if done%*every == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "dse: %d/%d design points evaluated\n", done, total)
+			}
+		}
+	}
+	space, err := dse.SweepN(g, cfgs, *jobs, onProgress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

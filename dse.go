@@ -27,6 +27,14 @@ type DesignSpace = dse.Space
 // enumerating aggressively.
 func Sweep(g *Graph, cfgs []Config) (DesignSpace, error) { return dse.Sweep(g, cfgs) }
 
+// SweepN is Sweep with explicit worker-pool sizing and progress reporting:
+// workers <= 0 selects GOMAXPROCS, and progress (when non-nil) receives
+// (done, total) after each completed point. Each worker owns a reusable
+// soc.Runner, recycling simulation state between design points.
+func SweepN(g *Graph, cfgs []Config, workers int, progress func(done, total int)) (DesignSpace, error) {
+	return dse.SweepN(g, cfgs, workers, progress)
+}
+
 // ParetoFront returns the points of s not dominated in (runtime, power),
 // sorted by runtime: the frontier the paper's Fig 8 plots.
 func ParetoFront(s DesignSpace) DesignSpace { return s.ParetoFront() }

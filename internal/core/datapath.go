@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/mem/dma"
@@ -148,6 +149,7 @@ type laneState struct {
 	waves   []int       // wave index of each entry in iters
 	cur     int         // current index into iters
 	pc      int32       // next node within the current range
+	pending int32       // node awaiting an async memory completion
 	blocked bool        // waiting on an async memory completion
 }
 
@@ -158,9 +160,13 @@ type Datapath struct {
 	g   *ddg.Graph
 	mem MemModel
 
-	indeg  []int32
-	lanes  []laneState
-	issued []bool
+	indeg []int32
+	lanes []laneState
+	// completeFns[i] is lane i's pre-bound async-completion callback: it
+	// resolves the lane's pending node. One closure per lane for the
+	// datapath's lifetime, instead of one per issue attempt — the single
+	// largest allocation source in sweep profiles.
+	completeFns []func()
 
 	// wave barrier
 	waveRemaining []int
@@ -168,11 +174,15 @@ type Datapath struct {
 
 	// completion ring: bucket c%completionWindow holds nodes whose
 	// results become visible at cycle c. Functional-unit latencies are
-	// far below the window, so collisions cannot occur.
+	// far below the window, so collisions cannot occur. occupied is a
+	// bitmask of non-empty buckets so the per-tick visibility scan walks
+	// only armed buckets (in ascending bucket order, matching the full
+	// scan exactly).
 	completions  [completionWindow][]int32
 	completionAt [completionWindow]uint64 // the cycle each bucket is armed for
-	pendingSync  int                      // nodes waiting in the ring
-	inFlight     int                      // issued but not yet completed nodes
+	occupied     uint64
+	pendingSync  int // nodes waiting in the ring
+	inFlight     int // issued but not yet completed nodes
 
 	cycle         uint64
 	startTick     sim.Tick
@@ -183,6 +193,7 @@ type Datapath struct {
 	done          func(*Result)
 
 	stats      Stats
+	laneOpsBuf []uint64 // backing for stats.LaneOps, reused across runs
 	intervals  []dma.Interval
 	lastActive uint64
 	activeOpen bool
@@ -190,8 +201,52 @@ type Datapath struct {
 	probe      *obs.Probe
 }
 
+// Scratch recycles one Datapath's buffers across runs: Build hands back the
+// same scheduler object with its slices resliced for the new graph and
+// config, so a sweep worker stops paying the per-design-point allocation of
+// dependence counters, lane state, and the completion ring. The zero value
+// is ready to use. A Scratch serves one run at a time: the previously built
+// Datapath must be finished (or abandoned with its engine) before Build is
+// called again.
+type Scratch struct {
+	dp *Datapath
+}
+
+// Build returns a Datapath over graph g, reusing the scratch's buffers.
+func (sc *Scratch) Build(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datapath {
+	if sc.dp == nil {
+		sc.dp = &Datapath{}
+	}
+	sc.dp.reinit(eng, g, cfg, mem)
+	return sc.dp
+}
+
 // NewDatapath builds a scheduler over graph g with the given memory model.
 func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datapath {
+	d := &Datapath{}
+	d.reinit(eng, g, cfg, mem)
+	return d
+}
+
+// Reset rewinds the datapath to its pre-Start state over the same engine,
+// graph, config, and memory model, reusing every buffer. The SoC layer uses
+// it between invocations of one accelerator (RunRepeated rounds) in place of
+// building a fresh scheduler. The caller must ensure the previous run has
+// drained (no datapath event still queued on the engine).
+func (d *Datapath) Reset() { d.reinit(d.eng, d.g, d.cfg, d.mem) }
+
+// grow returns s resliced to n elements, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite or zero.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// reinit (re)initializes the datapath in place; see NewDatapath, Reset, and
+// Scratch.Build for the three entry points.
+func (d *Datapath) reinit(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) {
 	if cfg.Lanes <= 0 {
 		panic("core: non-positive lane count")
 	}
@@ -204,23 +259,47 @@ func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datap
 			panic("core: functional-unit latency exceeds the completion window")
 		}
 	}
-	d := &Datapath{
-		cfg: cfg, eng: eng, g: g, mem: mem,
-		indeg:  make([]int32, n),
-		issued: make([]bool, n),
-		lanes:  make([]laneState, cfg.Lanes),
-	}
+	d.cfg, d.eng, d.g, d.mem = cfg, eng, g, mem
+	d.indeg = grow(d.indeg, n)
 	copy(d.indeg, g.InDeg)
-	d.tickEv = sim.NewEvent(d.tick)
-	d.stats.LaneOps = make([]uint64, cfg.Lanes)
+	if d.tickEv == nil {
+		d.tickEv = sim.NewEvent(d.tick)
+	}
+	d.lanes = grow(d.lanes, cfg.Lanes)
+	for i := range d.lanes {
+		ln := &d.lanes[i]
+		ln.iters = ln.iters[:0]
+		ln.waves = ln.waves[:0]
+		ln.cur, ln.pc, ln.pending, ln.blocked = 0, -1, 0, false
+	}
+	for len(d.completeFns) < cfg.Lanes {
+		lane := len(d.completeFns)
+		d.completeFns = append(d.completeFns, func() { d.asyncComplete(lane) })
+	}
+	d.laneOpsBuf = grow(d.laneOpsBuf, cfg.Lanes)
+	clear(d.laneOpsBuf)
+	d.stats = Stats{LaneOps: d.laneOpsBuf}
+	d.sched = nil
 	if cfg.RecordSchedule {
+		// Escapes into the Result, so never reused.
 		d.sched = make([]ScheduleEntry, n)
 	}
+	for b := range d.completions {
+		d.completions[b] = d.completions[b][:0]
+	}
+	d.occupied, d.pendingSync, d.inFlight = 0, 0, 0
+	d.cycle, d.startTick = 0, 0
+	d.tickScheduled, d.running, d.finished = false, false, false
+	d.done = nil
+	d.intervals = d.intervals[:0]
+	d.lastActive, d.activeOpen = 0, false
+	d.probe = nil
 
 	// Assign iterations to lanes; prelude nodes run on lane 0 as wave 0,
 	// iteration k of the kernel loop is wave k/L + 1.
 	nWaves := 1 + (len(g.IterRange)+cfg.Lanes-1)/cfg.Lanes
-	d.waveRemaining = make([]int, nWaves+1)
+	d.waveRemaining = grow(d.waveRemaining, nWaves+1)
+	clear(d.waveRemaining)
 	d.completeWave = -1
 	if g.Prelude.Len() > 0 {
 		d.lanes[0].iters = append(d.lanes[0].iters, g.Prelude)
@@ -234,12 +313,6 @@ func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datap
 		d.lanes[lane].waves = append(d.lanes[lane].waves, wave)
 		d.waveRemaining[wave] += r.Len()
 	}
-	// Waves with zero nodes are trivially complete; normalize the pointer
-	// lazily in advanceWaves.
-	for i := range d.lanes {
-		d.lanes[i].pc = -1
-	}
-	return d
 }
 
 // AttachProbe wires an observability probe; the datapath fires one span per
@@ -339,10 +412,8 @@ func (d *Datapath) nextCompletionCycle() (uint64, bool) {
 	}
 	var best uint64
 	found := false
-	for b := 0; b < completionWindow; b++ {
-		if len(d.completions[b]) == 0 {
-			continue
-		}
+	for m := d.occupied; m != 0; m &= m - 1 {
+		b := bits.TrailingZeros64(m)
 		if !found || d.completionAt[b] < best {
 			best = d.completionAt[b]
 			found = true
@@ -364,9 +435,12 @@ func (d *Datapath) tick() {
 	d.cycle = d.cycleAt()
 
 	// Make results visible for completions scheduled at or before now.
+	// Walking set bits low-to-high visits the same buckets in the same
+	// order as a full 0..63 scan, skipping empty ones.
 	if d.pendingSync > 0 {
-		for b := 0; b < completionWindow; b++ {
-			if len(d.completions[b]) == 0 || d.completionAt[b] > d.cycle {
+		for m := d.occupied; m != 0; m &= m - 1 {
+			b := bits.TrailingZeros64(m)
+			if d.completionAt[b] > d.cycle {
 				continue
 			}
 			for _, id := range d.completions[b] {
@@ -374,6 +448,7 @@ func (d *Datapath) tick() {
 			}
 			d.pendingSync -= len(d.completions[b])
 			d.completions[b] = d.completions[b][:0]
+			d.occupied &^= 1 << b
 		}
 	}
 	d.advanceWaves()
@@ -404,7 +479,12 @@ func (d *Datapath) tick() {
 			continue
 		}
 		if nd.Kind.IsMem() {
-			switch d.mem.Issue(id, nd, d.cycle, func() { d.asyncComplete(li, id) }) {
+			// pending is set before the attempt so the lane's pre-bound
+			// callback resolves the right node; it is only consulted when
+			// the model answers IssueAsync (completion callbacks never
+			// fire synchronously inside Issue).
+			ln.pending = id
+			switch d.mem.Issue(id, nd, d.cycle, d.completeFns[li]) {
 			case IssueRetry:
 				d.stats.MemStalls++
 				anyStalledRetry = true
@@ -472,7 +552,6 @@ func (d *Datapath) issue(ln *laneState, lane int, id int32, lat uint64) {
 	nd := &d.g.Trace.Nodes[id]
 	d.stats.OpsIssued[nd.Kind]++
 	d.stats.LaneOps[lane]++
-	d.issued[id] = true
 	ln.pc = id + 1
 	d.inFlight++
 	if d.sched != nil {
@@ -484,6 +563,7 @@ func (d *Datapath) issue(ln *laneState, lane int, id int32, lat uint64) {
 		b := vis % completionWindow
 		d.completions[b] = append(d.completions[b], id)
 		d.completionAt[b] = vis
+		d.occupied |= 1 << b
 		d.pendingSync++
 	}
 }
@@ -521,9 +601,10 @@ func (d *Datapath) waveOf(id int32) int {
 	return int(it)/d.cfg.Lanes + 1
 }
 
-// asyncComplete handles a variable-latency memory completion.
-func (d *Datapath) asyncComplete(lane int, id int32) {
-	d.complete(id)
+// asyncComplete handles a variable-latency memory completion for the
+// lane's pending node.
+func (d *Datapath) asyncComplete(lane int) {
+	d.complete(d.lanes[lane].pending)
 	d.lanes[lane].blocked = false
 	d.advanceWaves()
 	d.recordActive()
@@ -572,10 +653,14 @@ func (d *Datapath) finish() {
 	d.finished = true
 	end := d.eng.Now()
 	d.stats.Cycles = d.cfg.Clock.CyclesCeil(end - d.startTick)
+	st := d.stats
+	// The Result escapes while laneOpsBuf is recycled on the next run, so
+	// the per-lane counters must be cloned out of the shared backing.
+	st.LaneOps = append([]uint64(nil), d.stats.LaneOps...)
 	res := &Result{
 		Start:            d.startTick,
 		End:              end,
-		Stats:            d.stats,
+		Stats:            st,
 		ComputeIntervals: dma.MergeIntervals(d.intervals),
 	}
 	if d.cfg.RecordSchedule {

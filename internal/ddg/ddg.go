@@ -77,10 +77,63 @@ type memState struct {
 	loads     []int32 // loads since lastStore
 }
 
+type edge struct{ from, to int32 }
+
+// Builder constructs DDDGs while recycling the build scratch — the
+// per-address memState table, the edge list, and the CSR assembly buffers —
+// across calls. The produced Graphs own fresh output slices and stay valid
+// independently of the Builder, so sweeps can keep one Builder per worker
+// and rebuild kernel graphs without the transient allocation spike of a
+// from-scratch Build. The zero value is ready to use.
+type Builder struct {
+	mem     map[uint64]int32 // address key -> slab index
+	slab    []memState       // memState storage; loads backings recycled
+	edges   []edge
+	perDest [][]int32
+	counts  []int32
+	fill    []int32
+	depth   []int32
+}
+
+// grow returns s resliced to n elements, reallocating only when capacity is
+// insufficient. Contents are unspecified; callers overwrite or zero.
+func grow[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// memStateFor returns the tracking state for key k, allocating a slab slot
+// (or recycling a previously used one, keeping its loads backing) on first
+// sight.
+func (b *Builder) memStateFor(k uint64) *memState {
+	if idx, ok := b.mem[k]; ok {
+		return &b.slab[idx]
+	}
+	if len(b.slab) < cap(b.slab) {
+		b.slab = b.slab[:len(b.slab)+1]
+	} else {
+		b.slab = append(b.slab, memState{})
+	}
+	st := &b.slab[len(b.slab)-1]
+	st.lastStore = trace.NoDep
+	st.loads = st.loads[:0]
+	b.mem[k] = int32(len(b.slab) - 1)
+	return st
+}
+
 // Build constructs the DDDG for tr. It panics if the trace violates builder
 // invariants (dependences must point strictly backwards, iteration labels
 // must be nondecreasing) since those always indicate kernel bugs.
 func Build(tr *trace.Trace) *Graph {
+	var b Builder
+	return b.Build(tr)
+}
+
+// Build constructs the DDDG for tr, reusing the builder's scratch. See the
+// package-level Build for the invariants enforced.
+func (b *Builder) Build(tr *trace.Trace) *Graph {
 	g := &Graph{Trace: tr}
 	n := len(tr.Nodes)
 
@@ -130,8 +183,10 @@ func Build(tr *trace.Trace) *Graph {
 	}
 
 	// Collect edges: register deps plus memory deps.
-	type edge struct{ from, to int32 }
-	edges := make([]edge, 0, n*2)
+	if b.edges == nil {
+		b.edges = make([]edge, 0, n*2)
+	}
+	edges := b.edges[:0]
 	addEdge := func(from, to int32) {
 		if from == trace.NoDep {
 			return
@@ -142,7 +197,12 @@ func Build(tr *trace.Trace) *Graph {
 		edges = append(edges, edge{from, to})
 	}
 
-	mem := make(map[uint64]*memState)
+	if b.mem == nil {
+		b.mem = make(map[uint64]int32)
+	} else {
+		clear(b.mem)
+	}
+	b.slab = b.slab[:0]
 	key := func(nd *trace.Node) uint64 {
 		return uint64(uint16(nd.Arr))<<48 | uint64(nd.Addr)
 	}
@@ -155,12 +215,7 @@ func Build(tr *trace.Trace) *Graph {
 		if !nd.Kind.IsMem() {
 			continue
 		}
-		k := key(nd)
-		st := mem[k]
-		if st == nil {
-			st = &memState{lastStore: trace.NoDep}
-			mem[k] = st
-		}
+		st := b.memStateFor(key(nd))
 		switch nd.Kind {
 		case trace.OpLoad:
 			addEdge(st.lastStore, id) // RAW
@@ -175,12 +230,18 @@ func Build(tr *trace.Trace) *Graph {
 		}
 	}
 
+	b.edges = edges // retain grown backing for the next build
+
 	// Deduplicate edges per destination and build CSR + in-degrees.
 	g.InDeg = make([]int32, n)
-	counts := make([]int32, n+1)
+	counts := grow(b.counts, n+1)
+	clear(counts)
 	// Bucket edges by destination, then dedupe (from, to) pairs; fan-in per
 	// node is tiny so a quadratic scan within each bucket is cheap.
-	perDest := make([][]int32, n)
+	perDest := grow(b.perDest, n)
+	for i := range perDest {
+		perDest[i] = perDest[i][:0]
+	}
 	for _, e := range edges {
 		perDest[e.to] = append(perDest[e.to], e.from)
 	}
@@ -212,7 +273,7 @@ func Build(tr *trace.Trace) *Graph {
 		g.SuccIdx[i+1] = g.SuccIdx[i] + counts[i+1]
 	}
 	g.Succ = make([]int32, total)
-	fill := make([]int32, n)
+	fill := grow(b.fill, n)
 	copy(fill, g.SuccIdx[:n])
 	for to := range perDest {
 		for _, f := range perDest[to] {
@@ -222,7 +283,8 @@ func Build(tr *trace.Trace) *Graph {
 	}
 
 	// Critical path (unit latency): longest chain ending at each node.
-	depth := make([]int32, n)
+	depth := grow(b.depth, n)
+	clear(depth)
 	maxd := int32(0)
 	for to := 0; to < n; to++ {
 		d := int32(0)
@@ -237,6 +299,7 @@ func Build(tr *trace.Trace) *Graph {
 		}
 	}
 	g.CritPath = int(maxd)
+	b.counts, b.perDest, b.fill, b.depth = counts, perDest, fill, depth
 	return g
 }
 

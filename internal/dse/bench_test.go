@@ -1,0 +1,100 @@
+package dse_test
+
+// Sweep-level benchmarks: design-space-exploration throughput is the
+// headline metric of this simulator (the paper's co-design figures each
+// sweep hundreds of design points per kernel), so the benchmarks here
+// measure whole sweeps — fabric construction, run, and result collection
+// per design point — rather than single runs. The numbers recorded in
+// BENCH_sim.json come from:
+//
+//	go test ./internal/dse/ -bench . -benchmem
+import (
+	"math/rand"
+	"testing"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/soc"
+)
+
+// sweepConfigs builds the quick-mode DMA + cache design points for one
+// kernel: the mixed workload a scenario study (Fig 9/10) runs per kernel.
+func sweepConfigs() []soc.Config {
+	base := soc.DefaultConfig()
+	opt := dse.QuickOptions()
+	cfgs := dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions)
+	cfgs = append(cfgs, dse.CacheConfigs(base, opt.Lanes, opt.CacheKB,
+		opt.CacheLines, opt.CachePorts, opt.CacheAssoc)...)
+	return cfgs
+}
+
+// BenchmarkSweepQuick is the headline sweep-throughput benchmark: a
+// quick-mode DMA + cache sweep (27 design points) over fft-transpose,
+// parallel across CPUs. design-points/s is the metric that gates every
+// co-design study.
+func BenchmarkSweepQuick(b *testing.B) {
+	g := ddg.Build(machsuite.MustBuild("fft-transpose"))
+	cfgs := sweepConfigs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := dse.Sweep(g, cfgs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(space) != len(cfgs) {
+			b.Fatalf("sweep dropped points: %d of %d", len(space), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepQuickSerial is the single-worker variant: per-design-point
+// cost without parallel speedup, which isolates the effect of state reuse
+// from scheduling.
+func BenchmarkSweepQuickSerial(b *testing.B) {
+	g := ddg.Build(machsuite.MustBuild("fft-transpose"))
+	cfgs := sweepConfigs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sweepSerial(g, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// sweepSerial evaluates every config on one pooled worker.
+func sweepSerial(g *ddg.Graph, cfgs []soc.Config) (dse.Space, error) {
+	return dse.SweepN(g, cfgs, 1, nil)
+}
+
+// BenchmarkParetoFront measures frontier extraction at Fig 3 scale
+// (thousands of evaluated points).
+func BenchmarkParetoFront(b *testing.B) {
+	space := syntheticSpace(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(space.ParetoFront()) == 0 {
+			b.Fatal("empty frontier")
+		}
+	}
+}
+
+// syntheticSpace builds a deterministic pseudo-random space with realistic
+// runtime/power spreads.
+func syntheticSpace(n int) dse.Space {
+	rng := rand.New(rand.NewSource(42))
+	space := make(dse.Space, n)
+	for i := range space {
+		space[i] = dse.Point{Res: &soc.RunResult{
+			Runtime:   sim.Tick(1e6 + rng.Intn(1e9)),
+			AvgPowerW: 0.001 + rng.Float64()*0.1,
+		}}
+	}
+	return space
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/soc"
@@ -36,25 +37,52 @@ type Space []Point
 // is treated as poisoned and dropped from the space rather than failing the
 // whole sweep; any other error still aborts.
 func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
+	return SweepN(g, cfgs, 0, nil)
+}
+
+// SweepN is Sweep with explicit control over the worker pool and progress
+// reporting. workers <= 0 selects GOMAXPROCS. Each worker owns a reusable
+// soc.Runner, so the simulation state warmed up on one design point is
+// recycled on the next — the fixed pool exists for that reuse, not just to
+// bound concurrency (a goroutine per config would give every point a cold
+// fabric). progress, when non-nil, is called after each completed point
+// with (done, total); calls are serialized but may come from any worker.
+func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
 	out := make(Space, len(cfgs))
 	errs := make([]error, len(cfgs))
+	var next, done atomic.Int64
+	var mu sync.Mutex // serializes progress callbacks
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range cfgs {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := soc.Run(g, cfgs[i])
-			if err != nil {
-				if !errors.Is(err, soc.ErrAborted) {
+			var r soc.Runner
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				res, err := r.Run(g, cfgs[i])
+				switch {
+				case err == nil:
+					out[i] = Point{Cfg: cfgs[i], Res: res}
+				case !errors.Is(err, soc.ErrAborted):
 					errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
 				}
-				return
+				if progress != nil {
+					mu.Lock()
+					progress(int(done.Add(1)), len(cfgs))
+					mu.Unlock()
+				}
 			}
-			out[i] = Point{Cfg: cfgs[i], Res: res}
-		}(i)
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -75,32 +103,44 @@ func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
 // ParetoFront returns the points not dominated in (runtime, power): a
 // point survives if no other point is at least as fast AND at least as
 // low-power, with one strict. The result is sorted by runtime.
+//
+// One sort plus a min-power sweep over the sorted order, O(n log n): after
+// sorting by (runtime, power), any dominator of a point precedes it, so a
+// point is dominated iff some earlier point has strictly lower power, or
+// equal power with strictly lower runtime (the duplicate-coordinates case,
+// where exact ties survive together).
 func (s Space) ParetoFront() Space {
-	var front Space
-	for i, p := range s {
-		dominated := false
-		for j, q := range s {
-			if i == j {
-				continue
-			}
-			qFasterEq := q.Res.Runtime <= p.Res.Runtime
-			qCoolerEq := q.Res.AvgPowerW <= p.Res.AvgPowerW
-			strict := q.Res.Runtime < p.Res.Runtime || q.Res.AvgPowerW < p.Res.AvgPowerW
-			if qFasterEq && qCoolerEq && strict {
-				dominated = true
-				break
-			}
+	if len(s) == 0 {
+		return nil
+	}
+	order := make([]int, len(s))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		p, q := s[order[a]].Res, s[order[b]].Res
+		if p.Runtime != q.Runtime {
+			return p.Runtime < q.Runtime
 		}
+		if p.AvgPowerW != q.AvgPowerW {
+			return p.AvgPowerW < q.AvgPowerW
+		}
+		return order[a] < order[b]
+	})
+	var front Space
+	minPower := s[order[0]].Res.AvgPowerW
+	minPowerRuntime := s[order[0]].Res.Runtime
+	for _, idx := range order {
+		p := s[idx].Res
+		dominated := minPower < p.AvgPowerW ||
+			(minPower == p.AvgPowerW && minPowerRuntime < p.Runtime)
 		if !dominated {
-			front = append(front, p)
+			front = append(front, s[idx])
+		}
+		if p.AvgPowerW < minPower {
+			minPower, minPowerRuntime = p.AvgPowerW, p.Runtime
 		}
 	}
-	sort.Slice(front, func(i, j int) bool {
-		if front[i].Res.Runtime != front[j].Res.Runtime {
-			return front[i].Res.Runtime < front[j].Res.Runtime
-		}
-		return front[i].Res.AvgPowerW < front[j].Res.AvgPowerW
-	})
 	return front
 }
 

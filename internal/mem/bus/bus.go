@@ -64,16 +64,80 @@ type request struct {
 	attempts int
 }
 
+// fifo is a request queue that recycles its backing array: pops advance a
+// head index instead of reslicing (which would strand capacity in front of
+// the slice and force every push to reallocate), and pushes compact the
+// live region back to the front before growing.
+type fifo struct {
+	buf  []request
+	head int
+}
+
+func (f *fifo) len() int { return len(f.buf) - f.head }
+
+func (f *fifo) push(r request) {
+	if f.head > 0 && len(f.buf) == cap(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		clear(f.buf[n:]) // drop callback references in the moved-from slots
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	f.buf = append(f.buf, r)
+}
+
+func (f *fifo) pop() request {
+	r := f.buf[f.head]
+	f.buf[f.head] = request{} // release callbacks left in spare capacity
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return r
+}
+
+// Continuation kinds for the release event: what to do with the released
+// transaction once its bus occupancy elapses. Storing a kind plus the
+// request in Bus fields (only one transaction holds the bus at a time)
+// replaces a per-grant continuation closure.
+const (
+	relNone     = iota // nothing beyond re-arbitration (dropped transaction)
+	relDone            // invoke the requester's completion callback
+	relWrite           // hand the write to the target (posted)
+	relReadAddr        // hand the read to the target; response re-arbitrates
+	relFunc            // run afterRelease (rare fault-injection paths)
+)
+
+// pendingRead carries a read transaction through its target access: the
+// pre-bound fn is what the target calls when data is ready, queueing the
+// response's data phase. Nodes are pooled on the bus; targets may complete
+// out of order, so each outstanding read needs its own node.
+type pendingRead struct {
+	b   *Bus
+	req request
+	fn  func()
+}
+
+func (p *pendingRead) complete() {
+	b := p.b
+	resp := p.req
+	p.req = request{}
+	b.readPool = append(b.readPool, p)
+	resp.dataPhase = true
+	b.responses.push(resp)
+	b.arbitrate()
+}
+
 // Bus is a round-robin arbitrated split-transaction interconnect.
 type Bus struct {
 	cfg    Config
 	eng    *sim.Engine
 	target Target
 
-	queues    [][]request // per-master FIFO
-	responses []request   // read responses awaiting their data phase
-	rrNext    int         // next master to consider
-	granted   bool        // a transaction currently holds the bus
+	queues    []fifo // per-master FIFO
+	responses fifo   // read responses awaiting their data phase
+	rrNext    int    // next master to consider
+	granted   bool   // a transaction currently holds the bus
 	stats     Stats
 	probe     *obs.Probe
 	inj       *fault.Injector
@@ -83,9 +147,13 @@ type Bus struct {
 
 	// releaseEv fires when the granted transaction's occupancy elapses.
 	// Only one transaction holds the bus at a time, so a single pre-bound
-	// event and continuation slot replace a per-grant closure.
+	// event plus (relKind, relReq) replace a per-grant closure.
 	releaseEv    *sim.Event
-	afterRelease func()
+	relKind      int
+	relReq       request
+	afterRelease func() // relFunc continuation (fault paths only)
+
+	readPool []*pendingRead // recycled outstanding-read nodes
 }
 
 // New creates a bus attached to eng, delivering transactions to target.
@@ -105,17 +173,44 @@ func New(eng *sim.Engine, cfg Config, target Target) *Bus {
 // continuation, and re-arbitrates.
 func (b *Bus) release() {
 	b.granted = false
-	then := b.afterRelease
-	b.afterRelease = nil
-	if then != nil {
+	kind := b.relKind
+	req := b.relReq
+	b.relKind = relNone
+	b.relReq = request{}
+	switch kind {
+	case relDone:
+		req.done()
+	case relWrite:
+		req.target.Access(req.addr, req.bytes, true, req.done)
+	case relReadAddr:
+		req.target.Access(req.addr, req.bytes, false, b.pendingFor(req))
+	case relFunc:
+		then := b.afterRelease
+		b.afterRelease = nil
 		then()
 	}
 	b.arbitrate()
 }
 
+// pendingFor checks out a pooled read node for req and returns its
+// pre-bound response callback.
+func (b *Bus) pendingFor(req request) func() {
+	var p *pendingRead
+	if n := len(b.readPool); n > 0 {
+		p = b.readPool[n-1]
+		b.readPool[n-1] = nil
+		b.readPool = b.readPool[:n-1]
+	} else {
+		p = &pendingRead{b: b}
+		p.fn = p.complete
+	}
+	p.req = req
+	return p.fn
+}
+
 // RegisterMaster allocates an arbitration slot and returns its id.
 func (b *Bus) RegisterMaster() int {
-	b.queues = append(b.queues, nil)
+	b.queues = append(b.queues, fifo{})
 	return len(b.queues) - 1
 }
 
@@ -138,9 +233,9 @@ func (b *Bus) SetFaults(inj *fault.Injector) { b.inj = inj }
 // data phase, in a backoff delay, or currently granted. It feeds the
 // no-progress watchdog.
 func (b *Bus) InFlight() int {
-	n := len(b.responses) + b.backoffs
-	for _, q := range b.queues {
-		n += len(q)
+	n := b.responses.len() + b.backoffs
+	for i := range b.queues {
+		n += b.queues[i].len()
 	}
 	if b.granted {
 		n++
@@ -151,13 +246,14 @@ func (b *Bus) InFlight() int {
 // DumpInFlight renders the queue state for a watchdog diagnostic.
 func (b *Bus) DumpInFlight() string {
 	var s strings.Builder
-	fmt.Fprintf(&s, "granted=%v responses=%d backoffs=%d", b.granted, len(b.responses), b.backoffs)
-	for m, q := range b.queues {
-		if len(q) == 0 {
+	fmt.Fprintf(&s, "granted=%v responses=%d backoffs=%d", b.granted, b.responses.len(), b.backoffs)
+	for m := range b.queues {
+		q := &b.queues[m]
+		if q.len() == 0 {
 			continue
 		}
 		fmt.Fprintf(&s, "\nmaster%d queue:", m)
-		for _, r := range q {
+		for _, r := range q.buf[q.head:] {
 			kind := "read"
 			if r.write {
 				kind = "write"
@@ -215,7 +311,7 @@ func (b *Bus) AccessVia(master int, addr uint64, bytes uint32, write bool, targe
 		done()
 		return
 	}
-	b.queues[master] = append(b.queues[master], request{
+	b.queues[master].push(request{
 		addr: addr, bytes: bytes, write: write, issued: b.eng.Now(),
 		master: master, target: target, done: done,
 	})
@@ -246,7 +342,7 @@ func (b *Bus) ReadStreamVia(master int, addr uint64, bytes uint32, gran uint32, 
 		done()
 		return
 	}
-	b.queues[master] = append(b.queues[master], request{
+	b.queues[master].push(request{
 		addr: addr, bytes: bytes, issued: b.eng.Now(),
 		master: master, target: target, done: done,
 		progress: progress, progressGran: gran,
@@ -263,22 +359,17 @@ func (b *Bus) arbitrate() {
 	if b.granted {
 		return
 	}
-	if len(b.responses) > 0 {
-		req := b.responses[0]
-		b.responses[0] = request{} // release callbacks left in spare capacity
-		b.responses = b.responses[1:]
-		b.grant(req)
+	if b.responses.len() > 0 {
+		b.grant(b.responses.pop())
 		return
 	}
 	n := len(b.queues)
 	for i := 0; i < n; i++ {
 		m := (b.rrNext + i) % n
-		if len(b.queues[m]) == 0 {
+		if b.queues[m].len() == 0 {
 			continue
 		}
-		req := b.queues[m][0]
-		b.queues[m][0] = request{} // release callbacks left in spare capacity
-		b.queues[m] = b.queues[m][1:]
+		req := b.queues[m].pop()
 		b.rrNext = (m + 1) % n
 		b.grant(req)
 		return
@@ -287,11 +378,6 @@ func (b *Bus) arbitrate() {
 
 func (b *Bus) grant(req request) {
 	b.granted = true
-
-	dataTicks := b.cfg.Clock.Cycles(uint64((req.bytes + b.cfg.WidthBytes() - 1) / b.cfg.WidthBytes()))
-	release := func(after sim.Tick, phase string, then func()) {
-		b.releasePhase(req, after, phase, then)
-	}
 
 	// Fault injection: the address phase of a fresh transaction may be
 	// NACKed. Read responses are not (the address phase already succeeded).
@@ -302,7 +388,7 @@ func (b *Bus) grant(req request) {
 			// callback never fires; the requester's watchdog entry makes
 			// the loss diagnosable instead of a silent hang.
 			b.inj.CountBusDrop(b.eng.Now(), req.addr, req.attempts)
-			release(b.cfg.Clock.Cycles(1), "bus-drop", nil)
+			b.releasePhase(req, b.cfg.Clock.Cycles(1), "bus-drop", relNone, nil)
 			return
 		}
 		// The failed address phase still occupied a cycle; the master sits
@@ -311,11 +397,11 @@ func (b *Bus) grant(req request) {
 		retry := req
 		backoff := b.inj.BusBackoff(req.attempts)
 		b.backoffs++
-		release(b.cfg.Clock.Cycles(1), "bus-nack", func() {
+		b.releasePhase(req, b.cfg.Clock.Cycles(1), "bus-nack", relFunc, func() {
 			b.eng.After(backoff, func() {
 				b.backoffs--
 				b.inj.CountBusRetry()
-				b.queues[retry.master] = append(b.queues[retry.master], retry)
+				b.queues[retry.master].push(retry)
 				if !b.granted {
 					b.arbitrate()
 				}
@@ -324,11 +410,12 @@ func (b *Bus) grant(req request) {
 		return
 	}
 
-	b.dispatch(req, dataTicks, release)
+	b.dispatch(req)
 }
 
-// releasePhase accounts one bus occupancy window and schedules the release.
-func (b *Bus) releasePhase(req request, after sim.Tick, phase string, then func()) {
+// releasePhase accounts one bus occupancy window and schedules the release
+// with its continuation kind.
+func (b *Bus) releasePhase(req request, after sim.Tick, phase string, kind int, then func()) {
 	b.stats.BusyTicks += after
 	if b.probe.Enabled() {
 		start := uint64(b.eng.Now())
@@ -336,19 +423,22 @@ func (b *Bus) releasePhase(req request, after sim.Tick, phase string, then func(
 			End: start + uint64(after), Lane: int32(req.master),
 			Bytes: uint64(req.bytes)})
 	}
+	b.relKind = kind
+	b.relReq = req
 	b.afterRelease = then
 	b.eng.AfterEvent(after, b.releaseEv)
 }
 
 // dispatch moves a granted transaction through its bus phases.
-func (b *Bus) dispatch(req request, dataTicks sim.Tick, release func(sim.Tick, string, func())) {
+func (b *Bus) dispatch(req request) {
+	dataTicks := b.cfg.Clock.Cycles(uint64((req.bytes + b.cfg.WidthBytes() - 1) / b.cfg.WidthBytes()))
 	switch {
 	case req.dataPhase:
 		// Read response: data beats only.
 		if req.progress != nil {
 			b.scheduleProgress(req, dataTicks)
 		}
-		release(dataTicks, "read-data", req.done)
+		b.releasePhase(req, dataTicks, "read-data", relDone, nil)
 
 	case req.write:
 		// Write: address + data move together; the target accepts the
@@ -356,9 +446,7 @@ func (b *Bus) dispatch(req request, dataTicks sim.Tick, release func(sim.Tick, s
 		b.stats.Transactions++
 		b.stats.BytesMoved += uint64(req.bytes)
 		b.stats.WaitTicks += b.eng.Now() - req.issued
-		release(b.cfg.Clock.Cycles(1)+dataTicks, "write", func() {
-			req.target.Access(req.addr, req.bytes, true, req.done)
-		})
+		b.releasePhase(req, b.cfg.Clock.Cycles(1)+dataTicks, "write", relWrite, nil)
 
 	default:
 		// Read: address phase holds the bus one cycle, then the bus is
@@ -367,14 +455,7 @@ func (b *Bus) dispatch(req request, dataTicks sim.Tick, release func(sim.Tick, s
 		b.stats.Transactions++
 		b.stats.BytesMoved += uint64(req.bytes)
 		b.stats.WaitTicks += b.eng.Now() - req.issued
-		release(b.cfg.Clock.Cycles(1), "read-addr", func() {
-			req.target.Access(req.addr, req.bytes, false, func() {
-				resp := req
-				resp.dataPhase = true
-				b.responses = append(b.responses, resp)
-				b.arbitrate()
-			})
-		})
+		b.releasePhase(req, b.cfg.Clock.Cycles(1), "read-addr", relReadAddr, nil)
 	}
 }
 

@@ -1,0 +1,67 @@
+package cache
+
+import "testing"
+
+// Allocation gates for the flat-layout cache: sweep throughput depends on
+// the steady-state access paths staying off the heap, so these tests fail
+// if a refactor reintroduces per-access closures or map traffic.
+
+// TestHitPathAllocFree requires a steady-state cache hit — port grant,
+// tag match, coherence lookup, completion callback — to perform zero heap
+// allocations.
+func TestHitPathAllocFree(t *testing.T) {
+	r := newRig(t, nil)
+	done := func() {}
+	r.cache.Access(0x1000, 8, false, done) // warm the line
+	r.eng.Run()
+
+	for _, write := range []bool{false, true} {
+		write := write
+		// One store upgrades the line to Modified outside the measured
+		// region so the write loop below stays on the hit path.
+		r.cache.Access(0x1000, 8, true, done)
+		r.eng.Run()
+		allocs := testing.AllocsPerRun(200, func() {
+			r.cache.Access(0x1000, 8, write, done)
+			r.eng.Run()
+		})
+		if allocs != 0 {
+			t.Errorf("write=%v hit path allocates %.1f objects/op, want 0", write, allocs)
+		}
+	}
+}
+
+// TestMissPathAllocBounded requires a steady-state miss — MSHR claim, bus
+// transaction, DRAM access, fill, install, eviction — to stay within a
+// small constant number of allocations. Before the flat refactor a miss
+// cost dozens of closure allocations across the bus and MSHR table.
+func TestMissPathAllocBounded(t *testing.T) {
+	r := newRig(t, func(cfg *Config) {
+		cfg.SizeBytes = 2 * 1024
+		cfg.Assoc = 1 // direct-mapped: two conflicting lines always miss
+	})
+	done := func() {}
+	lineBytes := uint64(r.cache.Config().LineBytes)
+	sets := uint64(r.cache.Config().SizeBytes) / lineBytes
+	addrA, addrB := uint64(0x1000), uint64(0x1000)+sets*lineBytes
+
+	// Warm both slots and every queue/pool capacity.
+	for i := 0; i < 8; i++ {
+		r.cache.Access(addrA, 8, false, done)
+		r.eng.Run()
+		r.cache.Access(addrB, 8, false, done)
+		r.eng.Run()
+	}
+
+	allocs := testing.AllocsPerRun(200, func() {
+		r.cache.Access(addrA, 8, false, done)
+		r.eng.Run()
+		r.cache.Access(addrB, 8, false, done)
+		r.eng.Run()
+	})
+	perMiss := allocs / 2
+	const bound = 8
+	if perMiss > bound {
+		t.Errorf("miss path allocates %.1f objects/op, want <= %d", perMiss, bound)
+	}
+}

@@ -98,10 +98,31 @@ type way struct {
 	prefetch bool // installed by the prefetcher, not yet demanded
 }
 
+// mshrEntry is one slot of the fixed-capacity MSHR file. Slots live in a
+// contiguous array sized to Config.MSHRs: lookup is a bounded linear scan
+// (at most MSHRs entries, all in one or two cache lines), which at the
+// paper's 16-MSHR scale beats both a Go map (per-miss allocation, hashing)
+// and open-address probing (tombstone bookkeeping on the frequent
+// fill-completion deletes). fill is the slot's pre-bound bus-completion
+// callback; per-fill state (start tick, supplier) lives in the slot so the
+// closure is built once per slot, not once per miss.
 type mshrEntry struct {
 	line     uint64
 	waiters  []func()
+	start    sim.Tick // fill request tick, for FillLatency
+	fill     func()   // pre-bound completion reading this slot
+	valid    bool
 	prefetch bool
+	c2c      bool // fill supplied cache-to-cache rather than from DRAM
+}
+
+// retryReq is an access stalled on MSHR exhaustion, replayed on the next
+// fill completion. A struct, not a closure: the retry queue churns on every
+// MSHR-pressure phase and must not allocate per entry.
+type retryReq struct {
+	line  uint64
+	done  func()
+	write bool
 }
 
 type streamEntry struct {
@@ -138,14 +159,21 @@ type Cache struct {
 	// prefetches are still in flight after the final demand access.
 	OnIdle func()
 
-	sets     [][]way
+	// ways holds every cache line contiguously: set s occupies
+	// ways[s*assoc : (s+1)*assoc]. One flat allocation instead of a
+	// per-set slice-of-slices — the tag scan on every access walks
+	// adjacent memory.
+	ways     []way
+	assoc    int
 	setShift uint
 	setMask  uint64
 	lruClock uint64
 
-	mshrs   map[uint64]*mshrEntry
-	inUse   int
-	retries []func()
+	mshrs      []mshrEntry // fixed capacity cfg.MSHRs; valid slots in use
+	inUse      int
+	retries    []retryReq
+	retrySpare []retryReq // recycled backing for the drain swap
+	waiterPool [][]func() // recycled waiter buffers
 
 	ports []sim.Tick // earliest-free tick per port
 
@@ -168,15 +196,17 @@ func New(eng *sim.Engine, cfg Config, b *bus.Bus, coh *coherence.Controller, pee
 		cfg: cfg, eng: eng, bus: b, bm: b.RegisterMaster(),
 		coh: coh, self: peer,
 		snoop:    &snoopSupplier{eng: eng, lat: cfg.SnoopLat},
-		sets:     make([][]way, nsets),
+		ways:     make([]way, nsets*cfg.Assoc),
+		assoc:    cfg.Assoc,
 		setShift: uint(bits.TrailingZeros32(cfg.LineBytes)),
 		setMask:  uint64(nsets - 1),
-		mshrs:    make(map[uint64]*mshrEntry),
+		mshrs:    make([]mshrEntry, cfg.MSHRs),
 		ports:    make([]sim.Tick, cfg.Ports),
 		streams:  make([]streamEntry, 4),
 	}
-	for i := range c.sets {
-		c.sets[i] = make([]way, cfg.Assoc)
+	for i := range c.mshrs {
+		slot := &c.mshrs[i]
+		slot.fill = func() { c.fillComplete(slot) }
 	}
 	return c
 }
@@ -243,20 +273,21 @@ func (c *Cache) SetFaults(inj *fault.Injector) { c.inj = inj }
 // DumpInFlight lists the outstanding MSHRs (sorted by line address) plus any
 // MSHR-stalled retries, for a watchdog diagnostic.
 func (c *Cache) DumpInFlight() string {
-	lines := make([]uint64, 0, len(c.mshrs))
-	for l := range c.mshrs {
-		lines = append(lines, l)
+	busy := make([]*mshrEntry, 0, len(c.mshrs))
+	for i := range c.mshrs {
+		if c.mshrs[i].valid {
+			busy = append(busy, &c.mshrs[i])
+		}
 	}
-	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	sort.Slice(busy, func(i, j int) bool { return busy[i].line < busy[j].line })
 	var s strings.Builder
 	fmt.Fprintf(&s, "%d MSHRs busy, %d stalled retries", c.inUse, len(c.retries))
-	for _, l := range lines {
-		m := c.mshrs[l]
+	for _, m := range busy {
 		kind := "demand"
 		if m.prefetch {
 			kind = "prefetch"
 		}
-		fmt.Fprintf(&s, "\nmshr line %#x: %s, %d waiters", l, kind, len(m.waiters))
+		fmt.Fprintf(&s, "\nmshr line %#x: %s, %d waiters", m.line, kind, len(m.waiters))
 	}
 	return s.String()
 }
@@ -272,6 +303,22 @@ func (c *Cache) fireWriteback() {
 
 func (c *Cache) lineOf(addr uint64) uint64 { return addr &^ uint64(c.cfg.LineBytes-1) }
 func (c *Cache) setOf(line uint64) int     { return int((line >> c.setShift) & c.setMask) }
+
+// setWays returns the ways of line's set as a window into the flat array.
+func (c *Cache) setWays(line uint64) []way {
+	s := c.setOf(line) * c.assoc
+	return c.ways[s : s+c.assoc]
+}
+
+// findMSHR scans the MSHR file for an in-flight fill of line.
+func (c *Cache) findMSHR(line uint64) *mshrEntry {
+	for i := range c.mshrs {
+		if c.mshrs[i].valid && c.mshrs[i].line == line {
+			return &c.mshrs[i]
+		}
+	}
+	return nil
+}
 
 // FastHitResult is the outcome of a pipelined hit attempt.
 type FastHitResult uint8
@@ -310,7 +357,7 @@ func (c *Cache) TryFastHit(addr uint64, size uint32, write bool) FastHitResult {
 	if port < 0 {
 		return FastPortBusy
 	}
-	set := c.sets[c.setOf(line)]
+	set := c.setWays(line)
 	for i := range set {
 		w := &set[i]
 		if !w.valid || w.line != line {
@@ -367,12 +414,8 @@ func (c *Cache) Access(addr uint64, size uint32, write bool, done func()) {
 		c.Access(first+uint64(c.cfg.LineBytes), size-firstLen, write, sub)
 		return
 	}
-	c.acquirePort(func() { c.lookup(addr, write, done) })
-}
-
-// acquirePort delays fn until a cache port is free and holds the port for
-// one cycle.
-func (c *Cache) acquirePort(fn func()) {
+	// Port arbitration, inlined so the common case — a port free right
+	// now — calls lookup directly instead of building a deferred closure.
 	best := 0
 	for i := range c.ports {
 		if c.ports[i] < c.ports[best] {
@@ -386,17 +429,17 @@ func (c *Cache) acquirePort(fn func()) {
 	start = c.cfg.Clock.NextEdge(start)
 	c.ports[best] = start + c.cfg.Clock.Cycles(1)
 	if start == c.eng.Now() {
-		fn()
+		c.lookup(addr, write, done)
 		return
 	}
-	c.eng.Schedule(start, fn)
+	c.eng.Schedule(start, func() { c.lookup(addr, write, done) })
 }
 
 func (c *Cache) lookup(addr uint64, write bool, done func()) {
 	c.stats.Accesses++
 	line := c.lineOf(addr)
 	c.inj.ECC(fault.SiteCache, c.eng.Now(), line)
-	set := c.sets[c.setOf(line)]
+	set := c.setWays(line)
 	for i := range set {
 		w := &set[i]
 		if w.valid && w.line == line {
@@ -432,7 +475,7 @@ func (c *Cache) lookup(addr uint64, write bool, done func()) {
 
 // miss handles a demand (or prefetch) miss for the given line.
 func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
-	if m, ok := c.mshrs[line]; ok {
+	if m := c.findMSHR(line); m != nil {
 		// Merge into the in-flight fill.
 		if !prefetch {
 			c.stats.MSHRMerges++
@@ -446,17 +489,24 @@ func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
 			return // drop prefetches under MSHR pressure
 		}
 		c.stats.MSHRStalls++
-		c.retries = append(c.retries, func() { c.retryAccess(line, write, done) })
+		c.retries = append(c.retries, retryReq{line: line, write: write, done: done})
 		return
 	}
-	m := &mshrEntry{line: line, prefetch: prefetch}
+	var m *mshrEntry
+	for i := range c.mshrs {
+		if !c.mshrs[i].valid {
+			m = &c.mshrs[i]
+			break
+		}
+	}
+	m.line, m.valid, m.prefetch = line, true, prefetch
+	m.waiters = m.waiters[:0]
 	if !prefetch {
 		m.waiters = append(m.waiters, done)
 		c.stats.Misses++
 	} else {
 		c.stats.Prefetches++
 	}
-	c.mshrs[line] = m
 	c.inUse++
 
 	var res coherence.Result
@@ -465,44 +515,14 @@ func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
 	} else {
 		res = c.coh.Read(c.self, line)
 	}
-	target := bus.Target(nil)
-	c2c := res.Src == coherence.SrcCache
-	if c2c {
+	m.c2c = res.Src == coherence.SrcCache
+	m.start = c.eng.Now()
+	if m.c2c {
 		c.stats.C2CFills++
-		target = c.snoop
+		c.bus.AccessVia(c.bm, line, c.cfg.LineBytes, false, c.snoop, m.fill)
 	} else {
 		c.stats.MemFills++
-	}
-	start := c.eng.Now()
-	fill := func() {
-		c.stats.FillLatency += c.eng.Now() - start
-		if c.probe.Enabled() {
-			name := "fill-mem"
-			if c2c {
-				name = "fill-c2c"
-			}
-			if m.prefetch {
-				name = "prefetch-" + name
-			}
-			c.probe.Fire(obs.Event{Name: name, Start: uint64(start),
-				End: uint64(c.eng.Now()), Bytes: uint64(c.cfg.LineBytes)})
-		}
-		c.install(line, m.prefetch)
-		waiters := m.waiters
-		delete(c.mshrs, line)
-		c.inUse--
-		for _, w := range waiters {
-			w()
-		}
-		c.drainRetries()
-		if c.inUse == 0 && c.OnIdle != nil {
-			c.OnIdle()
-		}
-	}
-	if target != nil {
-		c.bus.AccessVia(c.bm, line, c.cfg.LineBytes, false, target, fill)
-	} else {
-		c.bus.Access(c.bm, line, c.cfg.LineBytes, false, fill)
+		c.bus.Access(c.bm, line, c.cfg.LineBytes, false, m.fill)
 	}
 
 	if c.cfg.Prefetch && !prefetch {
@@ -510,11 +530,53 @@ func (c *Cache) miss(line uint64, write bool, done func(), prefetch bool) {
 	}
 }
 
+// fillComplete is an MSHR slot's pre-bound bus-completion callback: it
+// installs the line, frees the slot, and resumes waiters and retries.
+func (c *Cache) fillComplete(m *mshrEntry) {
+	now := c.eng.Now()
+	c.stats.FillLatency += now - m.start
+	if c.probe.Enabled() {
+		name := "fill-mem"
+		if m.c2c {
+			name = "fill-c2c"
+		}
+		if m.prefetch {
+			name = "prefetch-" + name
+		}
+		c.probe.Fire(obs.Event{Name: name, Start: uint64(m.start),
+			End: uint64(now), Bytes: uint64(c.cfg.LineBytes)})
+	}
+	c.install(m.line, m.prefetch)
+	// Detach the waiter list before freeing the slot: a resumed waiter (or
+	// a drained retry) may re-allocate this slot and must not append into
+	// the list still being walked. The detached backing is recycled through
+	// waiterPool once the walk finishes.
+	waiters := m.waiters
+	m.waiters = nil
+	if n := len(c.waiterPool); n > 0 {
+		m.waiters = c.waiterPool[n-1]
+		c.waiterPool = c.waiterPool[:n-1]
+	}
+	m.valid = false
+	c.inUse--
+	for i, w := range waiters {
+		waiters[i] = nil // drop the closure reference once called
+		w()
+	}
+	if waiters != nil {
+		c.waiterPool = append(c.waiterPool, waiters[:0])
+	}
+	c.drainRetries()
+	if c.inUse == 0 && c.OnIdle != nil {
+		c.OnIdle()
+	}
+}
+
 // retryAccess replays an MSHR-stalled access: the line may have been
 // filled (or re-requested) while it waited, so it goes through a fresh
 // residence check rather than straight to a fill.
 func (c *Cache) retryAccess(line uint64, write bool, done func()) {
-	set := c.sets[c.setOf(line)]
+	set := c.setWays(line)
 	for i := range set {
 		if set[i].valid && set[i].line == line {
 			if !c.coh.StateOf(c.self, line).Valid() {
@@ -539,18 +601,23 @@ func (c *Cache) drainRetries() {
 	if len(c.retries) == 0 {
 		return
 	}
+	// Swap in the spare backing so replays that stall again append to a
+	// fresh queue; the drained backing becomes the next spare.
 	pending := c.retries
-	c.retries = nil
-	for _, r := range pending {
-		r()
+	c.retries = c.retrySpare[:0]
+	for i := range pending {
+		r := pending[i]
+		pending[i].done = nil // drop the closure reference once replayed
+		c.retryAccess(r.line, r.write, r.done)
 	}
+	c.retrySpare = pending[:0]
 }
 
 // install places a filled line, evicting the LRU way if needed. prefetch
 // marks lines brought in speculatively so a later demand hit is attributed
 // to the prefetcher.
 func (c *Cache) install(line uint64, prefetch bool) {
-	set := c.sets[c.setOf(line)]
+	set := c.setWays(line)
 	victim := 0
 	for i := range set {
 		if !set[i].valid {
@@ -621,16 +688,13 @@ func (c *Cache) trainPrefetcher(line uint64) {
 }
 
 func (c *Cache) resident(line uint64) bool {
-	set := c.sets[c.setOf(line)]
+	set := c.setWays(line)
 	for i := range set {
 		if set[i].valid && set[i].line == line {
 			return true
 		}
 	}
-	if _, ok := c.mshrs[line]; ok {
-		return true
-	}
-	return false
+	return c.findMSHR(line) != nil
 }
 
 // FlushDirty writes every dirty line back to memory and invalidates the
@@ -645,20 +709,18 @@ func (c *Cache) FlushDirty(done func()) {
 			done()
 		}
 	}
-	for si := range c.sets {
-		for wi := range c.sets[si] {
-			w := &c.sets[si][wi]
-			if !w.valid {
-				continue
-			}
-			res := c.coh.Evict(c.self, w.line)
-			w.valid = false
-			if res.Writeback {
-				c.stats.Writebacks++
-				c.fireWriteback()
-				outstanding++
-				c.bus.Access(c.bm, w.line, c.cfg.LineBytes, true, finish)
-			}
+	for wi := range c.ways {
+		w := &c.ways[wi]
+		if !w.valid {
+			continue
+		}
+		res := c.coh.Evict(c.self, w.line)
+		w.valid = false
+		if res.Writeback {
+			c.stats.Writebacks++
+			c.fireWriteback()
+			outstanding++
+			c.bus.Access(c.bm, w.line, c.cfg.LineBytes, true, finish)
 		}
 	}
 	finish()

@@ -80,11 +80,32 @@ func (o Op) String() string {
 	return fmt.Sprintf("Op(%d)", uint8(o))
 }
 
+// MaxPeers bounds how many caches one controller mediates: each line's
+// per-peer states pack into one uint64 at 4 bits per peer.
+const MaxPeers = 16
+
+// dirEntry is one slot of the directory: a line address and every peer's
+// state for it, packed 4 bits per peer. states == 0 means all peers
+// Invalid; such slots stay claimed (no tombstones) and are dropped at the
+// next rehash.
+type dirEntry struct {
+	line   uint64
+	states uint64
+	used   bool
+}
+
 // Controller mediates a set of peer caches snooping one bus. Peers are
 // identified by the index returned from AddPeer. Line addresses are opaque
 // keys (callers pass line-aligned physical addresses).
+//
+// The directory is a single open-addressed hash table over lines, with all
+// peers' states for a line packed into one word. Every snoop — which under
+// MOESI consults every peer — touches exactly one slot instead of one map
+// lookup per peer, and state transitions are nibble updates on that slot.
 type Controller struct {
-	peers []map[uint64]State
+	numPeers int
+	dir      []dirEntry // power-of-two capacity, linear probing
+	occupied int        // claimed slots (including all-Invalid ones)
 
 	// Observer, when non-nil, is called after every completed protocol
 	// action with the acting peer, the operation, the line, and the result.
@@ -93,26 +114,103 @@ type Controller struct {
 	Observer func(peer int, op Op, line uint64, res Result)
 }
 
+const dirInitCap = 1024 // slots; must be a power of two
+
 // NewController returns a controller with no peers.
-func NewController() *Controller { return &Controller{} }
+func NewController() *Controller {
+	return &Controller{dir: make([]dirEntry, dirInitCap)}
+}
 
 // AddPeer registers a cache and returns its peer id.
 func (c *Controller) AddPeer() int {
-	c.peers = append(c.peers, make(map[uint64]State))
-	return len(c.peers) - 1
+	if c.numPeers == MaxPeers {
+		panic("coherence: peer count exceeds MaxPeers")
+	}
+	c.numPeers++
+	return c.numPeers - 1
 }
 
 // NumPeers reports how many caches the controller mediates.
-func (c *Controller) NumPeers() int { return len(c.peers) }
+func (c *Controller) NumPeers() int { return c.numPeers }
+
+// Reset clears every line state and deregisters all peers, keeping the
+// directory's capacity. Sweep runners recycle one controller across design
+// points with it.
+func (c *Controller) Reset() {
+	for i := range c.dir {
+		c.dir[i] = dirEntry{}
+	}
+	c.numPeers, c.occupied = 0, 0
+	c.Observer = nil
+}
+
+// slotOf probes for line's slot, returning nil when absent.
+func (c *Controller) slotOf(line uint64) *dirEntry {
+	mask := uint64(len(c.dir) - 1)
+	for i := (line * 0x9E3779B97F4A7C15) >> 32 & mask; ; i = (i + 1) & mask {
+		e := &c.dir[i]
+		if !e.used {
+			return nil
+		}
+		if e.line == line {
+			return e
+		}
+	}
+}
+
+// claim returns line's slot, inserting (and growing) as needed.
+func (c *Controller) claim(line uint64) *dirEntry {
+	if c.occupied*4 >= len(c.dir)*3 {
+		c.rehash(len(c.dir) * 2)
+	}
+	mask := uint64(len(c.dir) - 1)
+	for i := (line * 0x9E3779B97F4A7C15) >> 32 & mask; ; i = (i + 1) & mask {
+		e := &c.dir[i]
+		if e.used && e.line == line {
+			return e
+		}
+		if !e.used {
+			e.used, e.line = true, line
+			c.occupied++
+			return e
+		}
+	}
+}
+
+// rehash rebuilds the table at the given capacity, dropping all-Invalid
+// slots (the table's substitute for per-delete tombstone bookkeeping).
+func (c *Controller) rehash(capacity int) {
+	old := c.dir
+	c.dir = make([]dirEntry, capacity)
+	c.occupied = 0
+	for i := range old {
+		if old[i].used && old[i].states != 0 {
+			*c.claim(old[i].line) = old[i]
+		}
+	}
+}
+
+// stateBits extracts peer p's nibble from a packed word.
+func stateBits(states uint64, p int) State { return State(states >> (4 * p) & 0xF) }
 
 // StateOf reports peer p's state for the line.
-func (c *Controller) StateOf(p int, line uint64) State { return c.peers[p][line] }
+func (c *Controller) StateOf(p int, line uint64) State {
+	if p < 0 || p >= c.numPeers {
+		panic("coherence: peer out of range")
+	}
+	if e := c.slotOf(line); e != nil {
+		return stateBits(e.states, p)
+	}
+	return Invalid
+}
 
 // Copies reports every peer's state for the line, indexed by peer id.
 func (c *Controller) Copies(line uint64) []State {
-	out := make([]State, len(c.peers))
-	for p := range c.peers {
-		out[p] = c.peers[p][line]
+	out := make([]State, c.numPeers)
+	if e := c.slotOf(line); e != nil {
+		for p := range out {
+			out[p] = stateBits(e.states, p)
+		}
 	}
 	return out
 }
@@ -131,30 +229,45 @@ func (c *Controller) notify(p int, op Op, line uint64, res Result) {
 	}
 }
 
-// setState updates a peer's state, deleting Invalid entries to bound memory.
+// setState updates a peer's nibble in the line's slot.
 func (c *Controller) setState(p int, line uint64, s State) {
 	if s == Invalid {
-		delete(c.peers[p], line)
+		// Absent lines are Invalid already; never claim a slot for one.
+		if e := c.slotOf(line); e != nil {
+			e.states &^= 0xF << (4 * p)
+		}
 		return
 	}
-	c.peers[p][line] = s
+	e := c.claim(line)
+	e.states = e.states&^(0xF<<(4*p)) | uint64(s)<<(4*p)
+}
+
+// setStateIn updates peer p's nibble on an already-resolved slot.
+func setStateIn(e *dirEntry, p int, s State) {
+	e.states = e.states&^(0xF<<(4*p)) | uint64(s)<<(4*p)
 }
 
 // Read performs a local load by peer p.
 func (c *Controller) Read(p int, line uint64) Result {
-	if s := c.peers[p][line]; s.Valid() {
+	e := c.slotOf(line)
+	var states uint64
+	if e != nil {
+		states = e.states
+	}
+	if s := stateBits(states, p); s.Valid() {
 		res := Result{NewState: s, Src: SrcNone, WasHit: true}
 		c.notify(p, OpRead, line, res)
 		return res
 	}
-	// Miss: GetS on the bus.
+	// Miss: GetS on the bus. The snoop over every peer reads the packed
+	// word captured above; transitions write back into the slot.
 	res := Result{Src: SrcMemory, NewState: Exclusive}
 	sharers := 0
-	for q := range c.peers {
+	for q := 0; q < c.numPeers; q++ {
 		if q == p {
 			continue
 		}
-		s := c.peers[q][line]
+		s := stateBits(states, q)
 		if !s.Valid() {
 			continue
 		}
@@ -162,26 +275,34 @@ func (c *Controller) Read(p int, line uint64) Result {
 		switch s {
 		case Modified:
 			// Owner keeps the dirty data, supplies it, moves to O.
-			c.setState(q, line, Owned)
+			setStateIn(e, q, Owned)
 			res.Src = SrcCache
 		case Owned:
 			res.Src = SrcCache
 		case Exclusive:
-			c.setState(q, line, Shared)
+			setStateIn(e, q, Shared)
 			res.Src = SrcCache
 		}
 	}
 	if sharers > 0 {
 		res.NewState = Shared
 	}
-	c.setState(p, line, res.NewState)
+	if e == nil {
+		e = c.claim(line)
+	}
+	setStateIn(e, p, res.NewState)
 	c.notify(p, OpRead, line, res)
 	return res
 }
 
 // Write performs a local store by peer p.
 func (c *Controller) Write(p int, line uint64) Result {
-	local := c.peers[p][line]
+	e := c.slotOf(line)
+	var states uint64
+	if e != nil {
+		states = e.states
+	}
+	local := stateBits(states, p)
 	res := Result{NewState: Modified}
 	switch local {
 	case Modified:
@@ -190,7 +311,7 @@ func (c *Controller) Write(p int, line uint64) Result {
 		return res
 	case Exclusive:
 		// Silent upgrade: sole copy.
-		c.setState(p, line, Modified)
+		setStateIn(e, p, Modified)
 		res := Result{NewState: Modified, Src: SrcNone, WasHit: true}
 		c.notify(p, OpWrite, line, res)
 		return res
@@ -201,21 +322,24 @@ func (c *Controller) Write(p int, line uint64) Result {
 	case Invalid:
 		res.Src = SrcMemory
 	}
-	for q := range c.peers {
+	for q := 0; q < c.numPeers; q++ {
 		if q == p {
 			continue
 		}
-		s := c.peers[q][line]
+		s := stateBits(states, q)
 		if !s.Valid() {
 			continue
 		}
 		if local == Invalid && s.CanSupply() {
 			res.Src = SrcCache
 		}
-		c.setState(q, line, Invalid)
+		setStateIn(e, q, Invalid)
 		res.Invalidations++
 	}
-	c.setState(p, line, Modified)
+	if e == nil {
+		e = c.claim(line)
+	}
+	setStateIn(e, p, Modified)
 	c.notify(p, OpWrite, line, res)
 	return res
 }
@@ -223,8 +347,11 @@ func (c *Controller) Write(p int, line uint64) Result {
 // Evict removes peer p's copy (capacity replacement), reporting whether a
 // writeback is required.
 func (c *Controller) Evict(p int, line uint64) Result {
-	s := c.peers[p][line]
-	c.setState(p, line, Invalid)
+	var s State
+	if e := c.slotOf(line); e != nil {
+		s = stateBits(e.states, p)
+		setStateIn(e, p, Invalid)
+	}
 	res := Result{NewState: Invalid, Writeback: s.Dirty()}
 	c.notify(p, OpEvict, line, res)
 	return res
@@ -240,16 +367,15 @@ func (c *Controller) FlushLine(p int, line uint64) Result {
 // over every line any peer holds. It returns an error describing the first
 // violation.
 func (c *Controller) CheckInvariants() error {
-	lines := make(map[uint64]struct{})
-	for _, pm := range c.peers {
-		for l := range pm {
-			lines[l] = struct{}{}
+	for i := range c.dir {
+		ent := &c.dir[i]
+		if !ent.used || ent.states == 0 {
+			continue
 		}
-	}
-	for l := range lines {
+		l := ent.line
 		var mCount, eCount, oCount, valid int
-		for _, pm := range c.peers {
-			switch pm[l] {
+		for q := 0; q < c.numPeers; q++ {
+			switch stateBits(ent.states, q) {
 			case Modified:
 				mCount++
 				valid++

@@ -103,6 +103,25 @@ type Engine struct {
 // NewEngine returns an empty simulation engine at tick 0.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset rewinds the engine to an empty queue at tick 0, keeping the heap and
+// ring capacities. Pending event slots are cleared so their callbacks become
+// collectable. Watches, the probe, and any abort error are dropped too: a
+// reset engine is indistinguishable from a new one (same tick, same sequence
+// numbering, hence bit-identical event ordering), except that it does not
+// pay the queue's warm-up allocations again. Sweep runners reuse one engine
+// across design points with it.
+func (e *Engine) Reset() {
+	clear(e.heap)
+	e.heap = e.heap[:0]
+	clear(e.fifo)
+	e.fifoHead, e.fifoLen = 0, 0
+	e.now, e.seq, e.fired = 0, 0, 0
+	e.probe = nil
+	clear(e.watches)
+	e.watches = e.watches[:0]
+	e.abortErr = nil
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() Tick { return e.now }
 

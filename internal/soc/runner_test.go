@@ -1,0 +1,95 @@
+package soc
+
+import (
+	"reflect"
+	"testing"
+
+	"gem5aladdin/internal/fault"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/sim"
+)
+
+// runnerConfigs returns the design points the Runner identity test covers:
+// the DMA and cache memory systems (the two the sweeps exercise), each in a
+// plain and a seeded fault-injection variant.
+func runnerConfigs() map[string]Config {
+	dma := DefaultConfig()
+	dma.Mem = DMA
+
+	cch := DefaultConfig()
+	cch.Mem = Cache
+
+	dmaFaults := dma
+	dmaFaults.Faults = fault.Config{Seed: 7, DRAMBitProb: 0.005, SpadBitProb: 0.001,
+		BusNackProb: 0.01, BusRetryLimit: 8, DoubleBitFrac: 0.1,
+		BusBackoff: 10 * sim.Nanosecond}
+
+	cchFaults := cch
+	cchFaults.Faults = fault.Config{Seed: 7, DRAMBitProb: 0.005, CacheBitProb: 0.001,
+		BusNackProb: 0.01, BusRetryLimit: 8, DoubleBitFrac: 0.1,
+		BusBackoff: 10 * sim.Nanosecond}
+
+	return map[string]Config{
+		"dma": dma, "cache": cch,
+		"dma-faults": dmaFaults, "cache-faults": cchFaults,
+	}
+}
+
+// TestRunnerBitIdentical drives one pooled Runner through every MachSuite
+// kernel under DMA and cache memory systems (faults off and seeded on) and
+// requires every result — cycles, energy, EDP, per-block stats, fault log —
+// to be bit-identical to a fresh soc.Run of the same design point. This is
+// the reuse contract: recycled engine, coherence, and datapath state must
+// never leak between runs.
+func TestRunnerBitIdentical(t *testing.T) {
+	kernels := machsuite.Names()
+	if testing.Short() {
+		kernels = kernels[:2]
+	}
+	var r Runner
+	for _, name := range kernels {
+		g := kernelGraph(t, name)
+		for label, cfg := range runnerConfigs() {
+			t.Run(name+"/"+label, func(t *testing.T) {
+				pooled, errP := r.Run(g, cfg)
+				fresh, errF := Run(g, cfg)
+				if (errP == nil) != (errF == nil) {
+					t.Fatalf("error mismatch: pooled %v, fresh %v", errP, errF)
+				}
+				if errP != nil {
+					if errP.Error() != errF.Error() {
+						t.Fatalf("error mismatch: pooled %v, fresh %v", errP, errF)
+					}
+					return
+				}
+				if !reflect.DeepEqual(pooled, fresh) {
+					t.Fatalf("pooled Runner result diverged from fresh Run:\npooled: %+v\nfresh:  %+v", pooled, fresh)
+				}
+			})
+		}
+	}
+}
+
+// TestRunnerSurvivesMemKindSwitch reuses one Runner across alternating
+// memory systems and graph shapes, the pattern a mixed DMA+cache sweep
+// produces on each worker.
+func TestRunnerSurvivesMemKindSwitch(t *testing.T) {
+	var r Runner
+	cfgs := runnerConfigs()
+	for _, name := range []string{"fft-transpose", "spmv-crs"} {
+		g := kernelGraph(t, name)
+		for _, label := range []string{"dma", "cache", "dma", "cache-faults", "dma-faults", "cache"} {
+			pooled, err := r.Run(g, cfgs[label])
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, label, err)
+			}
+			fresh, err := Run(g, cfgs[label])
+			if err != nil {
+				t.Fatalf("%s/%s fresh: %v", name, label, err)
+			}
+			if !reflect.DeepEqual(pooled, fresh) {
+				t.Fatalf("%s/%s: interleaved Runner result diverged from fresh Run", name, label)
+			}
+		}
+	}
+}

@@ -271,18 +271,27 @@ type fabric struct {
 	gen     *cpu.TrafficGen
 	inj     *fault.Injector
 	san     *sanitize.Checker
+
+	// dpScratch, when non-nil, recycles the datapath's scheduler buffers
+	// across design points (set by Runner; single-instance fabrics only).
+	dpScratch *core.Scratch
 }
 
 func newFabric(cfg Config) *fabric {
-	eng := sim.NewEngine()
-	f := &fabric{eng: eng}
+	return newFabricOn(sim.NewEngine(), coherence.NewController(), cfg)
+}
+
+// newFabricOn assembles the fabric on a caller-provided engine and coherence
+// controller, both assumed freshly created or Reset. Runner recycles its pair
+// across design points through this path.
+func newFabricOn(eng *sim.Engine, coh *coherence.Controller, cfg Config) *fabric {
+	f := &fabric{eng: eng, coh: coh}
 	f.inj = fault.New(cfg.Faults)
 	f.dram = dram.New(eng, cfg.DRAM)
 	f.dram.SetFaults(f.inj)
 	f.bus = bus.New(eng, bus.Config{WidthBits: cfg.BusWidthBits, Clock: sim.NewClockHz(cfg.BusHz)}, f.dram)
 	f.bus.SetFaults(f.inj)
 	f.host = cpu.New(eng, cfg.CPU)
-	f.coh = coherence.NewController()
 	f.cpuPeer = f.coh.AddPeer()
 	if cfg.Sanitize {
 		f.san = sanitize.Attach(f.coh)
@@ -518,9 +527,18 @@ func (inst *instance) dirtyCPULines() {
 
 // newRound builds a fresh datapath over the shared memory structures: the
 // scheduler state is per invocation, the cache/TLB/scratchpad contents
-// persist across rounds.
+// persist across rounds. Later rounds of one instance rewind the existing
+// scheduler in place; the first round draws from the fabric's scratch when a
+// Runner provided one.
 func (inst *instance) newRound() {
-	inst.dp = core.NewDatapath(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+	switch {
+	case inst.dp != nil:
+		inst.dp.Reset()
+	case inst.f.dpScratch != nil:
+		inst.dp = inst.f.dpScratch.Build(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+	default:
+		inst.dp = core.NewDatapath(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+	}
 	if inst.dpProbe != nil {
 		inst.dp.AttachProbe(inst.dpProbe)
 	}
@@ -638,12 +656,45 @@ func (inst *instance) collect(pm *power.Model) (*RunResult, error) {
 	return res, nil
 }
 
-// Run executes one invocation of the kernel captured in g under cfg.
-func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
+// Runner evaluates design points one at a time while recycling the heavy
+// simulation state between them: the event queue's heap and ring, the
+// coherence directory's slot table, and the datapath scheduler's dependence
+// counters, lane state, and completion ring. Results are bit-identical to
+// soc.Run — a reset engine restarts tick and sequence numbering from zero,
+// so event ordering cannot differ — but a sweep worker that owns a Runner
+// stops paying the per-point warm-up allocations that dominate fabric
+// construction. A Runner is single-threaded: each concurrent worker owns
+// its own. The zero value is ready to use.
+//
+// Reuse contract: each Run invalidates nothing from previous calls — every
+// RunResult (stats, schedule, intervals, fault log) owns its memory — but
+// the Runner must not be shared between goroutines, and a Run must finish
+// before the next begins.
+type Runner struct {
+	eng       *sim.Engine
+	coh       *coherence.Controller
+	dpScratch core.Scratch
+}
+
+// NewRunner returns an empty Runner. Equivalent to a zero value, provided
+// for symmetry with the rest of the package.
+func NewRunner() *Runner { return &Runner{} }
+
+// Run executes one invocation of the kernel captured in g under cfg,
+// recycling the runner's state.
+func (r *Runner) Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	f := newFabric(cfg)
+	if r.eng == nil {
+		r.eng = sim.NewEngine()
+		r.coh = coherence.NewController()
+	} else {
+		r.eng.Reset()
+		r.coh.Reset()
+	}
+	f := newFabricOn(r.eng, r.coh, cfg)
+	f.dpScratch = &r.dpScratch
 	inst, err := f.attach(g, cfg, 0)
 	if err != nil {
 		return nil, err
@@ -661,6 +712,14 @@ func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 		pm = power.Default()
 	}
 	return inst.collect(pm)
+}
+
+// Run executes one invocation of the kernel captured in g under cfg. It is
+// a one-shot Runner; sweeps evaluating many points should hold a Runner per
+// worker instead.
+func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
+	var r Runner
+	return r.Run(g, cfg)
 }
 
 // MultiResult is the outcome of a multi-accelerator run.
