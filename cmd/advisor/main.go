@@ -87,7 +87,8 @@ func main() {
 			p, ok := space.LowestPowerWithin(*slowdown)
 			return p, fmt.Sprintf("lowest power within %.2fx of fastest", *slowdown), ok
 		default:
-			return space.EDPOptimal(), "EDP optimal", true
+			p, ok := space.EDPOptimal()
+			return p, "EDP optimal", ok
 		}
 	}
 	best, criterion, ok := pick(all)
@@ -108,7 +109,9 @@ func main() {
 		*bench, *busBits, len(all), criterion)
 	fmt.Printf("recommended design: %s\n\n", describe(best))
 	tb := stats.NewTable("metric", "recommended", "best DMA", "best cache")
-	bd, bc := dmaSpace.EDPOptimal(), cacheSpace.EDPOptimal()
+	// Both spaces are non-empty (checked after the sweeps), so the optima exist.
+	bd, _ := dmaSpace.EDPOptimal()
+	bc, _ := cacheSpace.EDPOptimal()
 	tb.Row("memory system", best.Cfg.Mem.String(), "dma", "cache")
 	tb.Row("runtime (us)", best.Res.Seconds()*1e6, bd.Res.Seconds()*1e6, bc.Res.Seconds()*1e6)
 	tb.Row("power (mW)", best.Res.AvgPowerW*1e3, bd.Res.AvgPowerW*1e3, bc.Res.AvgPowerW*1e3)

@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
@@ -84,7 +86,11 @@ func main() {
 			}
 		}
 	}
-	space, err := dse.SweepN(g, cfgs, *jobs, onProgress)
+	// Ctrl-C abandons the sweep at the next design-point boundary instead of
+	// leaving workers mid-grid.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	space, err := dse.SweepCtx(ctx, g, cfgs, *jobs, onProgress)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -93,11 +99,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dse: skipped %d of %d design points that aborted under fault injection\n",
 			skipped, len(cfgs))
 	}
-	if len(space) == 0 {
+	best, ok := space.EDPOptimal()
+	if !ok {
 		fmt.Fprintln(os.Stderr, "dse: every design point aborted; nothing to rank")
 		os.Exit(1)
 	}
-	best := space.EDPOptimal()
 	pts := space
 	if *front {
 		pts = space.ParetoFront()

@@ -1,0 +1,68 @@
+// Command serve runs the sweep service: an HTTP front end over the
+// design-space explorer with a content-addressed result cache, so repeated
+// and concurrent sweeps of the same design points simulate once.
+//
+//	go run ./cmd/serve -addr localhost:8347
+//	curl -s localhost:8347/sweep -d '{"kernel":"spmv-crs","mem":"dma","lanes":[1,2],"partitions":[1,2]}'
+//	curl -s localhost:8347/statsz
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight sweeps finish (up to
+// -drain), then the worker pool exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gem5aladdin/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:8347", "listen address")
+		workers = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "concurrent sweep requests before 429 backpressure (0 = default)")
+		timeout = flag.Duration("timeout", 0, "per-request budget (0 = default 2m)")
+		cacheN  = flag.Int("cache", 0, "max cached design points (0 = default 65536)")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cacheN,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("sweep service on http://%s (POST /sweep; GET /kernels /statsz /metrics)", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err) // listen failure before any signal
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("signal received; draining in-flight sweeps (up to %v)", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.Shutdown(dctx); err != nil {
+		log.Printf("pool shutdown: %v", err)
+	}
+	log.Printf("drained")
+}

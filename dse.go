@@ -7,6 +7,8 @@ package gem5aladdin
 // for the end-to-end workflow.
 
 import (
+	"context"
+
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/soc"
 )
@@ -35,13 +37,34 @@ func SweepN(g *Graph, cfgs []Config, workers int, progress func(done, total int)
 	return dse.SweepN(g, cfgs, workers, progress)
 }
 
+// SweepCtx is SweepN under a context: cancellation or a deadline stops the
+// sweep at the next design-point boundary and returns ctx.Err() with no
+// partial space. Services and interactive tools use it to abandon sweeps
+// whose requester has gone away.
+func SweepCtx(ctx context.Context, g *Graph, cfgs []Config, workers int, progress func(done, total int)) (DesignSpace, error) {
+	return dse.SweepCtx(ctx, g, cfgs, workers, progress)
+}
+
 // ParetoFront returns the points of s not dominated in (runtime, power),
 // sorted by runtime: the frontier the paper's Fig 8 plots.
 func ParetoFront(s DesignSpace) DesignSpace { return s.ParetoFront() }
 
 // EDPOptimal returns the point of s with the minimum energy-delay product,
-// the co-design winner of Figs 1 and 10. It panics on an empty space.
-func EDPOptimal(s DesignSpace) DesignPoint { return s.EDPOptimal() }
+// the co-design winner of Figs 1 and 10. ok is false on an empty space —
+// which a fault-heavy sweep can legally produce once every poisoned point
+// has been compacted away.
+func EDPOptimal(s DesignSpace) (DesignPoint, bool) { return s.EDPOptimal() }
+
+// ErrEmptySpace is the sentinel for design-space queries that need at least
+// one evaluated point but found none; EDP-improvement comparisons wrap it
+// when a scenario sweep comes back empty. Test with errors.Is.
+var ErrEmptySpace = dse.ErrEmptySpace
+
+// PointKey returns the content address of one design point: a hex SHA-256
+// over the kernel name and the canonical encoding of cfg. Result caches
+// (the sweep service's, or your own) use it to deduplicate and reuse
+// simulations of identical design points.
+func PointKey(kernel string, cfg Config) string { return dse.PointKey(kernel, cfg) }
 
 // SweepOptions sizes the sweep axes; see QuickSweepOptions and
 // FullSweepOptions.

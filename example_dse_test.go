@@ -35,7 +35,10 @@ func ExampleSweep() {
 	}
 
 	front := gem5aladdin.ParetoFront(space)
-	best := gem5aladdin.EDPOptimal(space)
+	best, ok := gem5aladdin.EDPOptimal(space)
+	if !ok {
+		panic("empty design space")
+	}
 	onFront := false
 	for _, p := range front {
 		if p.Cfg == best.Cfg {

@@ -7,6 +7,7 @@
 package dse
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -18,6 +19,13 @@ import (
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/trace"
 )
+
+// ErrEmptySpace reports a design-space query that needs at least one
+// evaluated point but found none. Heavy fault injection can legally empty a
+// space — every design point aborts and is compacted away — so callers that
+// rank a swept space must be prepared for it; EDPImprovement wraps this
+// sentinel when a scenario sweep comes back empty.
+var ErrEmptySpace = errors.New("dse: empty design space")
 
 // Point is one evaluated design.
 type Point struct {
@@ -48,6 +56,16 @@ func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
 // fabric). progress, when non-nil, is called after each completed point
 // with (done, total); calls are serialized but may come from any worker.
 func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
+	return SweepCtx(context.Background(), g, cfgs, workers, progress)
+}
+
+// SweepCtx is SweepN under a context: cancellation (or a deadline) stops the
+// workers at the next design-point boundary and returns ctx.Err(). A single
+// design point is never interrupted mid-simulation — points run in the tens
+// of milliseconds, so the boundary check bounds the cancellation latency —
+// and a cancelled sweep returns no partial space. Long-running services use
+// this to release worker goroutines when a client goes away.
+func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -64,7 +82,7 @@ func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, to
 		go func() {
 			defer wg.Done()
 			var r soc.Runner
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(cfgs) {
 					return
@@ -85,6 +103,9 @@ func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, to
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -144,10 +165,12 @@ func (s Space) ParetoFront() Space {
 	return front
 }
 
-// EDPOptimal returns the point with the minimum energy-delay product.
-func (s Space) EDPOptimal() Point {
+// EDPOptimal returns the point with the minimum energy-delay product. ok is
+// false on an empty space — which a fault-heavy sweep can legally produce
+// after poisoned-point compaction — never a panic.
+func (s Space) EDPOptimal() (Point, bool) {
 	if len(s) == 0 {
-		panic("dse: EDPOptimal of empty space")
+		return Point{}, false
 	}
 	best := s[0]
 	for _, p := range s[1:] {
@@ -155,7 +178,7 @@ func (s Space) EDPOptimal() Point {
 			best = p
 		}
 	}
-	return best
+	return best, true
 }
 
 // FastestUnderPower returns the lowest-runtime design whose average
@@ -388,7 +411,10 @@ func EDPImprovement(g *ddg.Graph, isolatedOpt Point, sc Scenario, opt SweepOptio
 	if err != nil {
 		return Improvement{}, err
 	}
-	coBest := space.EDPOptimal()
+	coBest, ok := space.EDPOptimal()
+	if !ok {
+		return Improvement{}, fmt.Errorf("dse: scenario %s: %w", sc.Name, ErrEmptySpace)
+	}
 
 	// Deploy the isolated design naively in the same system: keep its
 	// lanes/partitions, take the scenario's memory system with default

@@ -1,9 +1,14 @@
 package dse
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"testing"
+	"time"
 
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/machsuite"
 	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/soc"
@@ -95,7 +100,10 @@ func TestEDPOptimalIsMinimum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	best := space.EDPOptimal()
+	best, ok := space.EDPOptimal()
+	if !ok {
+		t.Fatal("EDPOptimal found nothing in a non-empty space")
+	}
 	for _, p := range space {
 		if p.Res.EDPJs < best.Res.EDPJs {
 			t.Fatal("EDPOptimal missed a better point")
@@ -103,13 +111,93 @@ func TestEDPOptimalIsMinimum(t *testing.T) {
 	}
 }
 
-func TestEDPOptimalEmptyPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("empty EDPOptimal did not panic")
+func TestEDPOptimalEmptyReportsNotOK(t *testing.T) {
+	if _, ok := (Space{}).EDPOptimal(); ok {
+		t.Fatal("empty EDPOptimal claimed to find a point")
+	}
+	if _, ok := (Space)(nil).EDPOptimal(); ok {
+		t.Fatal("nil-space EDPOptimal claimed to find a point")
+	}
+}
+
+// TestFaultHeavySweepEmptySpace is the regression for the empty-space panic:
+// an all-aborting fault configuration (every DMA descriptor times out with
+// zero retries) legally empties the space through poisoned-point compaction,
+// and the ranking path must degrade to ok=false instead of panicking.
+func TestFaultHeavySweepEmptySpace(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
+	for i := range cfgs {
+		// A one-picosecond descriptor timeout with no retries aborts every
+		// transfer before its first bus transaction can complete.
+		cfgs[i].Faults = fault.Config{Seed: 1, DMATimeout: sim.Picosecond, DMARetries: 0}
+	}
+	space, err := Sweep(g, cfgs)
+	if err != nil {
+		t.Fatalf("all-aborting sweep must skip points, not fail: %v", err)
+	}
+	if len(space) != 0 {
+		t.Fatalf("space has %d points, want 0 (every point aborts)", len(space))
+	}
+	if _, ok := space.EDPOptimal(); ok {
+		t.Fatal("EDPOptimal claimed a point in an emptied space")
+	}
+	if len(space.ParetoFront()) != 0 {
+		t.Fatal("ParetoFront of an emptied space is non-empty")
+	}
+	if _, ok := space.FastestUnderPower(1e3); ok {
+		t.Fatal("FastestUnderPower claimed a point in an emptied space")
+	}
+}
+
+// TestSweepCtxCancellation pins the context-aware sweep contract: a
+// cancelled context stops the workers at the next design-point boundary and
+// surfaces ctx.Err() with no partial space.
+func TestSweepCtxCancellation(t *testing.T) {
+	g := graphOf(t, "spmv-crs")
+	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 2, 4, 8}, []int{1, 2, 4, 8})
+
+	// Already-cancelled context: nothing runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SweepCtx(ctx, g, cfgs, 2, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	// Cancel mid-flight from the progress callback.
+	ctx, cancel = context.WithCancel(context.Background())
+	defer cancel()
+	space, err := SweepCtx(ctx, g, cfgs, 2, func(done, total int) {
+		if done == 2 {
+			cancel()
 		}
-	}()
-	Space{}.EDPOptimal()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-flight cancel returned %v, want context.Canceled", err)
+	}
+	if space != nil {
+		t.Fatal("cancelled sweep returned a partial space")
+	}
+
+	// An expired deadline surfaces as DeadlineExceeded.
+	ctx, cancel = context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := SweepCtx(ctx, g, cfgs, 2, nil); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired sweep returned %v, want context.DeadlineExceeded", err)
+	}
+
+	// A background context is exactly SweepN.
+	a, err := SweepCtx(context.Background(), g, cfgs[:4], 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepN(g, cfgs[:4], 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SweepCtx(Background) differs from SweepN")
+	}
 }
 
 func TestCacheConfigsSkipInvalid(t *testing.T) {
@@ -180,7 +268,10 @@ func TestCoDesignShrinksDesigns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	isoBest := isoSpace.EDPOptimal()
+	isoBest, ok := isoSpace.EDPOptimal()
+	if !ok {
+		t.Fatal("isolated sweep came back empty")
+	}
 
 	imp, err := EDPImprovement(g, isoBest, Scenarios()[1], opt)
 	if err != nil {
@@ -311,8 +402,8 @@ func TestSweepSkipsPoisonedPoints(t *testing.T) {
 		}
 	}
 	// The survivors still rank.
-	best := space.EDPOptimal()
-	if best.Res == nil {
+	best, ok := space.EDPOptimal()
+	if !ok || best.Res == nil {
 		t.Fatalf("EDPOptimal on the compacted space")
 	}
 

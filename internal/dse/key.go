@@ -1,0 +1,23 @@
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"gem5aladdin/internal/soc"
+)
+
+// PointKey returns the content address of one design point: a hex SHA-256
+// over the kernel name and the canonical byte encoding of cfg
+// (soc.Config.AppendCanonical). Two design points share a key iff they would
+// simulate identically — every semantically relevant Config field is part of
+// the encoding, observability attachments are not — so the key is safe to
+// use for result caching and cross-request deduplication.
+func PointKey(kernel string, cfg soc.Config) string {
+	h := sha256.New()
+	h.Write([]byte(kernel))
+	h.Write([]byte{0}) // kernel-name/config domain separator
+	buf := make([]byte, 0, 512)
+	h.Write(cfg.AppendCanonical(buf))
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -98,7 +98,10 @@ func Fig1(w io.Writer, quick bool) error {
 		if err != nil {
 			return err
 		}
-		best := space.EDPOptimal()
+		best, ok := space.EDPOptimal()
+		if !ok {
+			return fmt.Errorf("figures: fig 1 %s sweep: %w", mem, dse.ErrEmptySpace)
+		}
 		tb := stats.NewTable("design", "lanes", "banks", "time(us)", "power(mW)", "EDP(nJ*s)", "")
 		for _, p := range space {
 			mark := ""
@@ -462,7 +465,10 @@ func Fig8(w io.Writer, quick bool) error {
 			if err != nil {
 				return err
 			}
-			best := space.EDPOptimal()
+			best, ok := space.EDPOptimal()
+			if !ok {
+				return fmt.Errorf("figures: fig 8 %s/%s sweep: %w", name, mem, dse.ErrEmptySpace)
+			}
 			for _, p := range space.ParetoFront() {
 				local := fmt.Sprintf("%db", p.Cfg.Partitions)
 				if mem == soc.Cache {
@@ -511,7 +517,10 @@ func scenarioOptima(name string, opt dse.SweepOptions) (map[string]dse.Point, ma
 	if err != nil {
 		return nil, nil, err
 	}
-	isoBest := isoSpace.EDPOptimal()
+	isoBest, ok := isoSpace.EDPOptimal()
+	if !ok {
+		return nil, nil, fmt.Errorf("figures: %s isolated sweep: %w", name, dse.ErrEmptySpace)
+	}
 	optima := map[string]dse.Point{scs[0].Name: isoBest}
 	imps := map[string]dse.Improvement{}
 	for _, sc := range scs[1:] {

@@ -94,10 +94,14 @@ func buildBFSQueue() (*trace.Trace, error) {
 		refLevel[v] = bfsUnset
 	}
 	refLevel[0] = 0
-	q := []int{0}
-	for len(q) > 0 {
-		v := q[0]
-		q = q[1:]
+	// Head-indexed pop: q[1:] reslicing strands the consumed prefix's
+	// capacity and forces append to regrow the queue it already had room
+	// for. Every vertex enqueues at most once, so the backing array is
+	// bounded by n and the head index never invalidates it.
+	q := make([]int, 1, n)
+	q[0] = 0
+	for qh := 0; qh < len(q); qh++ {
+		v := q[qh]
 		for e := begin[v]; e < begin[v+1]; e++ {
 			if refLevel[edges[e]] == bfsUnset {
 				refLevel[edges[e]] = refLevel[v] + 1

@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+)
+
+// Handler exposes a registry over HTTP: a GET returns the gem5-style text
+// snapshot, or the nested JSON dump when the request asks for JSON (either
+// `?format=json` or an Accept header naming application/json). Dumps read
+// every registered closure, so when stats are updated concurrently — a
+// serving process, unlike a finished simulation — pass the lock that guards
+// those updates and the handler holds it for the duration of the dump; pass
+// nil for registries that are quiescent at dump time.
+func Handler(r *Registry, mu sync.Locker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "stats are read-only", http.StatusMethodNotAllowed)
+			return
+		}
+		asJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(req.Header.Get("Accept"), "application/json")
+		if mu != nil {
+			mu.Lock()
+			defer mu.Unlock()
+		}
+		if asJSON {
+			w.Header().Set("Content-Type", "application/json")
+			_ = r.DumpJSON(w)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.DumpText(w)
+	})
+}

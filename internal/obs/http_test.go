@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	h := &Histogram{bounds: []float64{10, 20, 50}, counts: make([]uint64, 4)}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+	// 100 samples spread 1..100: p50 ~ 50, p99 ~ 99 within bucket resolution.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %v, want min 1", q)
+	}
+	if q := h.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %v, want max 100", q)
+	}
+	// p40 lands in the (20,50] bucket: 40 of 100 samples below rank, bucket
+	// holds 30, interpolation gives 20 + 30*(40-20)/30 = 40.
+	if q := h.Quantile(0.4); q < 30 || q > 50 {
+		t.Fatalf("p40 = %v, want within (20,50]", q)
+	}
+	// p99 lands in the catch-all bucket, clamped by the observed max.
+	if q := h.Quantile(0.99); q < 50 || q > 100 {
+		t.Fatalf("p99 = %v, want within (50,100]", q)
+	}
+	// Quantiles are monotone in q.
+	prev := h.Quantile(0)
+	for q := 0.05; q <= 1; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestHandlerTextAndJSON(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("svc.requests", "requests served")
+	c.Add(3)
+	r.GaugeFunc("svc.depth", "queue depth", func() float64 { return 2.5 })
+
+	var mu sync.Mutex
+	srv := httptest.NewServer(Handler(r, &mu))
+	defer srv.Close()
+
+	// Text by default.
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "svc.requests") ||
+		!strings.Contains(string(body), "Begin Simulation Statistics") {
+		t.Fatalf("text dump missing content:\n%s", body)
+	}
+
+	// JSON on request.
+	resp, err = http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	svc, ok := doc["svc"].(map[string]any)
+	if !ok || svc["requests"] != float64(3) {
+		t.Fatalf("json dump wrong: %v", doc)
+	}
+
+	// Writes are rejected.
+	resp, err = http.Post(srv.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST returned %d, want 405", resp.StatusCode)
+	}
+}

@@ -118,6 +118,48 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(h.samples)
 }
 
+// Quantile estimates the q-th quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank. The
+// first bucket interpolates from the observed minimum and the catch-all last
+// bucket is clamped to the observed maximum, so the estimate always lies in
+// [min, max]. Zero samples return 0. Services report p50/p99 latencies this
+// way without retaining individual samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.samples == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := q * float64(h.samples)
+	var cum float64
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next < rank || c == 0 {
+			cum = next
+			continue
+		}
+		lo := h.min
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.max
+		if i < len(h.bounds) && h.bounds[i] < hi {
+			hi = h.bounds[i]
+		}
+		if hi < lo {
+			// A bucket entirely above the observed max (or below the min)
+			// degenerates; clamp to the observed extreme.
+			return h.max
+		}
+		return lo + (hi-lo)*(rank-cum)/float64(c)
+	}
+	return h.max
+}
+
 // Registry is a hierarchical collection of statistics. The zero value is
 // not usable; call NewRegistry.
 type Registry struct {

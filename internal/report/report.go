@@ -88,6 +88,16 @@ func FromResult(benchmark string, r *soc.RunResult) Record {
 	}
 }
 
+// FromResults flattens a batch of runs sharing one benchmark label,
+// preserving order.
+func FromResults(benchmark string, rs []*soc.RunResult) []Record {
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = FromResult(benchmark, r)
+	}
+	return out
+}
+
 // WriteJSON emits records as an indented JSON array.
 func WriteJSON(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)

@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/soc"
+)
+
+// errAbandoned resolves an entry every waiter walked away from before a
+// worker picked it up: the point was never simulated. Live requests can
+// never observe it — abandonment requires zero waiters — it exists so the
+// entry's done channel can be closed exactly once.
+var errAbandoned = errors.New("serve: design point abandoned before simulation")
+
+// entry is one content-addressed design point: the unit of caching and of
+// singleflight deduplication. The first request to need a point creates its
+// entry and queues it; concurrent requests for the same point join the same
+// entry and wait on done. After done closes the result fields are immutable,
+// so readers need no lock (channel close is the happens-before edge).
+type entry struct {
+	key string
+	g   *ddg.Graph
+	cfg soc.Config
+
+	done chan struct{}
+
+	// Result fields, final once done is closed. Exactly one of res,
+	// aborted, err is meaningful: res for a completed simulation, aborted
+	// for a point the robustness layer poisoned (soc.ErrAborted — the
+	// sweep-compaction case), err for a genuine failure.
+	res     *soc.RunResult
+	aborted bool
+	err     error
+
+	// Guarded by Server.mu until done closes.
+	waiters int  // requests currently waiting on this point
+	started bool // a worker has claimed it
+}
+
+// enqueue appends e to the run queue and wakes one worker. Callers hold s.mu.
+func (s *Server) enqueue(e *entry) {
+	s.queue = append(s.queue, e)
+	s.cond.Signal()
+}
+
+// dequeue pops the oldest queued entry, blocking until one is available or
+// the pool is closing. The queue is a head-indexed compacting FIFO: popped
+// slots are nilled (no retention) and the backing array is reused once the
+// consumed prefix dominates. Callers hold s.mu.
+func (s *Server) dequeue() (*entry, bool) {
+	for len(s.queue) == s.qhead && !s.closing {
+		s.cond.Wait()
+	}
+	if s.qhead == len(s.queue) {
+		return nil, false // closing and drained
+	}
+	e := s.queue[s.qhead]
+	s.queue[s.qhead] = nil
+	s.qhead++
+	if s.qhead > 64 && s.qhead*2 > len(s.queue) {
+		n := copy(s.queue, s.queue[s.qhead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	return e, true
+}
+
+// worker owns one reusable soc.Runner and drains the point queue. The
+// Runner recycles the event queue, coherence directory, and datapath
+// scheduler between points, so a long-lived service stops paying the warm-up
+// allocations that dominate one-shot fabric construction.
+func (s *Server) worker() {
+	defer s.wgWorkers.Done()
+	var r soc.Runner
+	for {
+		s.mu.Lock()
+		e, ok := s.dequeue()
+		if !ok {
+			s.mu.Unlock()
+			return
+		}
+		if e.waiters == 0 {
+			// Every requester cancelled before simulation began: skip the
+			// point and forget it, so the worker slot goes to live work and
+			// a future request re-simulates rather than waiting forever.
+			delete(s.cache, e.key)
+			e.err = errAbandoned
+			close(e.done)
+			s.pointsAbandoned.Add(1)
+			s.mu.Unlock()
+			continue
+		}
+		e.started = true
+		s.mu.Unlock()
+
+		res, err := r.Run(e.g, e.cfg)
+
+		s.mu.Lock()
+		switch {
+		case err == nil:
+			e.res = res
+		case errors.Is(err, soc.ErrAborted):
+			e.aborted = true
+			s.pointsAborted.Add(1)
+		default:
+			e.err = err
+			// Failures are not cached: the next request retries.
+			delete(s.cache, e.key)
+		}
+		if e.err == nil {
+			s.finished(e.key)
+		}
+		close(e.done)
+		s.mu.Unlock()
+		s.pointsSimulated.Add(1)
+	}
+}
+
+// finished records a completed (cached) key for FIFO eviction and evicts the
+// oldest completed points past the cache bound. Callers hold s.mu.
+func (s *Server) finished(key string) {
+	s.evictOrder = append(s.evictOrder, key)
+	for len(s.evictOrder) > s.opt.CacheEntries {
+		victim := s.evictOrder[0]
+		s.evictOrder = s.evictOrder[1:]
+		delete(s.cache, victim)
+	}
+}
+
+// acquire returns the entry for one design point, creating and queueing it
+// on a miss. join reports whether the caller was registered as a waiter (and
+// must call release); hit reports whether the point cost no new simulation
+// (already complete, or joined in flight).
+func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config) (e *entry, join, hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache[key]; ok {
+		select {
+		case <-e.done:
+			// Complete: immutable, no waiter bookkeeping needed.
+			s.cacheHits.Add(1)
+			return e, false, true
+		default:
+			e.waiters++
+			s.cacheHits.Add(1)
+			return e, true, true
+		}
+	}
+	e = &entry{key: key, g: g, cfg: cfg, done: make(chan struct{}), waiters: 1}
+	s.cache[key] = e
+	s.cacheMisses.Add(1)
+	s.enqueue(e)
+	return e, true, false
+}
+
+// release undoes one acquire-join: a request that stops waiting (completed,
+// timed out, or disconnected) drops its claim so an unclaimed queued point
+// can be skipped by the worker that reaches it.
+func (s *Server) release(entries []*entry) {
+	s.mu.Lock()
+	for _, e := range entries {
+		e.waiters--
+	}
+	s.mu.Unlock()
+}
+
+// graphFor resolves a kernel name to its (cached) DDDG. Building a trace is
+// expensive — the kernel executes functionally while tracing — so graphs are
+// built once per kernel per server, concurrency-safe via sync.Once.
+func (s *Server) graphFor(kernel string) (*ddg.Graph, error) {
+	s.gmu.Lock()
+	ge, ok := s.graphs[kernel]
+	if !ok {
+		ge = &graphEntry{}
+		s.graphs[kernel] = ge
+	}
+	s.gmu.Unlock()
+	ge.once.Do(func() {
+		tr, err := s.opt.BuildKernel(kernel)
+		if err != nil {
+			ge.err = err
+			return
+		}
+		ge.g = ddg.Build(tr)
+	})
+	return ge.g, ge.err
+}
+
+type graphEntry struct {
+	once sync.Once
+	g    *ddg.Graph
+	err  error
+}

@@ -1,0 +1,585 @@
+// Package serve turns the design-space explorer into a long-running HTTP
+// service: sweep-as-a-service. Clients POST a kernel name and a config grid
+// to /sweep and get back the Pareto front and EDP optimum as JSON; the
+// server runs the points on a bounded pool of reused soc.Runners, memoizes
+// every simulated design point in a content-addressed cache keyed by
+// dse.PointKey (canonical hash of kernel + soc.Config), and deduplicates
+// concurrent identical work singleflight-style, so N clients asking for the
+// same sweep cost one simulation per unique point.
+//
+// Operational behavior:
+//
+//   - Backpressure: at most Options.QueueDepth requests are admitted at
+//     once; beyond that the server answers 429 with a Retry-After hint
+//     instead of queueing unboundedly.
+//   - Cancellation: each request carries a context (client disconnect or
+//     the request/server timeout); a cancelled request drops its claim on
+//     queued points, and points nobody still wants are skipped, so worker
+//     slots are released rather than burned on abandoned work.
+//   - Graceful shutdown: Shutdown stops admissions, drains in-flight
+//     sweeps, then joins the workers.
+//   - Observability: /statsz (gem5-style text) and /metrics (JSON) expose
+//     an internal/obs registry with cache hit rate, queue depth, points/s,
+//     and p50/p99 sweep latency.
+//
+// Responses are bit-identical to a direct dse.Sweep over the same grid:
+// workers call (*soc.Runner).Run, which is verified bit-identical to
+// soc.Run, and aborted (fault-poisoned) points are compacted out of the
+// space in request order exactly as dse.Sweep does.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/report"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/trace"
+)
+
+// ErrUnknownKernel marks a request naming a kernel the server cannot build;
+// handlers map it to 400 rather than 500.
+var ErrUnknownKernel = errors.New("serve: unknown kernel")
+
+// Options configures a Server. The zero value is usable: every field has a
+// default.
+type Options struct {
+	// Workers is the number of simulation workers, each owning one reused
+	// soc.Runner. Defaults to GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many sweep requests may be admitted at once
+	// (queued or running). Further requests are rejected with 429 and a
+	// Retry-After hint. Defaults to 8.
+	QueueDepth int
+	// RequestTimeout bounds one sweep request end to end; a request's
+	// timeout_ms field can tighten but not extend it. Defaults to 2 min.
+	RequestTimeout time.Duration
+	// CacheEntries bounds the content-addressed result cache; the oldest
+	// completed points are evicted FIFO past it. Defaults to 65536.
+	CacheEntries int
+	// RetryAfter is the hint sent with 429 responses. Defaults to 1s.
+	RetryAfter time.Duration
+	// BuildKernel resolves a kernel name to its dynamic trace. Defaults to
+	// the MachSuite registry; tests inject cheap synthetic kernels here.
+	BuildKernel func(name string) (*trace.Trace, error)
+}
+
+func (o *Options) setDefaults() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 8
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 2 * time.Minute
+	}
+	if o.CacheEntries <= 0 {
+		o.CacheEntries = 1 << 16
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = time.Second
+	}
+	if o.BuildKernel == nil {
+		o.BuildKernel = func(name string) (*trace.Trace, error) {
+			k, err := machsuite.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrUnknownKernel, err)
+			}
+			return k.Build()
+		}
+	}
+}
+
+// Server is the sweep service. Create with New, mount Handler, and drain
+// with Shutdown.
+type Server struct {
+	opt Options
+	reg *obs.Registry
+	mux *http.ServeMux
+
+	// admit holds one token per admitted request: the backpressure bound.
+	admit chan struct{}
+
+	// mu guards the point queue, the result cache, and entry waiter
+	// bookkeeping; cond signals workers when the queue grows.
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*entry
+	qhead      int
+	cache      map[string]*entry
+	evictOrder []string
+	closed     bool // Shutdown began: admit no new requests
+	closing    bool // requests drained: workers exit once the queue empties
+
+	gmu    sync.Mutex
+	graphs map[string]*graphEntry
+
+	wgReq     sync.WaitGroup
+	wgWorkers sync.WaitGroup
+
+	start time.Time
+
+	requests        atomic.Uint64
+	rejected        atomic.Uint64
+	cacheHits       atomic.Uint64
+	cacheMisses     atomic.Uint64
+	pointsSimulated atomic.Uint64
+	pointsAborted   atomic.Uint64
+	pointsAbandoned atomic.Uint64
+	activeRequests  atomic.Int64
+
+	// statsMu serializes latency-histogram observations against registry
+	// dumps; it is the locker handed to obs.Handler, so stat closures must
+	// not take it themselves.
+	statsMu sync.Mutex
+	latency *obs.Histogram
+}
+
+// New starts a Server: registers its statistics and launches the worker
+// pool. Callers own shutdown via Shutdown.
+func New(opt Options) *Server {
+	opt.setDefaults()
+	s := &Server{
+		opt:    opt,
+		reg:    obs.NewRegistry(),
+		mux:    http.NewServeMux(),
+		admit:  make(chan struct{}, opt.QueueDepth),
+		cache:  make(map[string]*entry),
+		graphs: make(map[string]*graphEntry),
+		start:  time.Now(),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.registerStats()
+	s.routes()
+	s.wgWorkers.Add(opt.Workers)
+	for i := 0; i < opt.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *Server) registerStats() {
+	r := s.reg
+	r.CounterFunc("serve.requests", "sweep requests received", s.requests.Load)
+	r.CounterFunc("serve.requests.rejected", "requests rejected with 429 backpressure", s.rejected.Load)
+	r.GaugeFunc("serve.requests.active", "requests currently admitted", func() float64 {
+		return float64(s.activeRequests.Load())
+	})
+	r.CounterFunc("serve.cache.hits", "design points served without a new simulation", s.cacheHits.Load)
+	r.CounterFunc("serve.cache.misses", "design points that required simulation", s.cacheMisses.Load)
+	r.Formula("serve.cache.hit_rate", "fraction of requested points served from cache or joined in flight", func() float64 {
+		h, m := float64(s.cacheHits.Load()), float64(s.cacheMisses.Load())
+		if h+m == 0 {
+			return 0
+		}
+		return h / (h + m)
+	})
+	r.GaugeFunc("serve.cache.entries", "design points resident in the result cache", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.cache))
+	})
+	r.CounterFunc("serve.points.simulated", "design points actually simulated", s.pointsSimulated.Load)
+	r.CounterFunc("serve.points.aborted", "simulated points poisoned by the robustness layer", s.pointsAborted.Load)
+	r.CounterFunc("serve.points.abandoned", "queued points skipped after every requester cancelled", s.pointsAbandoned.Load)
+	r.GaugeFunc("serve.queue.points", "design points queued awaiting a worker", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.queue) - s.qhead)
+	})
+	r.Formula("serve.points.per_sec", "simulated points per second of uptime", func() float64 {
+		up := time.Since(s.start).Seconds()
+		if up <= 0 {
+			return 0
+		}
+		return float64(s.pointsSimulated.Load()) / up
+	})
+	s.latency = r.Histogram("serve.sweep.latency_ms", "end-to-end sweep request latency",
+		[]float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000})
+	r.Formula("serve.sweep.latency_p50", "median sweep latency (ms)", func() float64 {
+		return s.latency.Quantile(0.5)
+	})
+	r.Formula("serve.sweep.latency_p99", "99th-percentile sweep latency (ms)", func() float64 {
+		return s.latency.Quantile(0.99)
+	})
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/kernels", s.handleKernels)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	stats := obs.Handler(s.reg, &s.statsMu)
+	s.mux.Handle("/statsz", stats)
+	s.mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Header.Set("Accept", "application/json")
+		stats.ServeHTTP(w, r)
+	}))
+}
+
+// Handler returns the service's HTTP mux: POST /sweep, GET /kernels,
+// /healthz, /statsz (text), /metrics (JSON).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the service statistics, for embedding in other dumps.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// SweepRequest is the POST /sweep body. Axes left empty default to the
+// quick sweep grid (or the full Fig 3 grid with full=true), mirroring
+// cmd/dse, so a minimal request body is a kernel name alone.
+type SweepRequest struct {
+	// Kernel names the benchmark (see GET /kernels).
+	Kernel string `json:"kernel"`
+	// Mem picks the memory system: "isolated", "dma" (default), "cache".
+	Mem string `json:"mem,omitempty"`
+	// BusBits sets the system bus width (default 32).
+	BusBits int `json:"bus_bits,omitempty"`
+
+	Lanes      []int `json:"lanes,omitempty"`
+	Partitions []int `json:"partitions,omitempty"`
+	CacheKB    []int `json:"cache_kb,omitempty"`
+	CacheLines []int `json:"cache_lines,omitempty"`
+	CachePorts []int `json:"cache_ports,omitempty"`
+	CacheAssoc []int `json:"cache_assoc,omitempty"`
+
+	// Full defaults unspecified axes to the full sweep grid instead of the
+	// pruned quick grid.
+	Full bool `json:"full,omitempty"`
+	// IncludeSpace returns every evaluated point, not just the front.
+	IncludeSpace bool `json:"include_space,omitempty"`
+	// TimeoutMS tightens (never extends) the server's request timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Configs expands the request into its design-point grid, exactly as
+// cmd/dse would build it. Exported so tests can replay the same grid
+// through dse.Sweep and demand bit-identical results.
+func (req SweepRequest) Configs() ([]soc.Config, error) {
+	var kind soc.MemKind
+	switch req.Mem {
+	case "", "dma":
+		kind = soc.DMA
+	case "isolated":
+		kind = soc.Isolated
+	case "cache":
+		kind = soc.Cache
+	default:
+		return nil, fmt.Errorf("serve: unknown mem kind %q (want isolated, dma, or cache)", req.Mem)
+	}
+	base := soc.DefaultConfig()
+	if req.BusBits != 0 {
+		base.BusWidthBits = req.BusBits
+	}
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	opt := dse.QuickOptions()
+	if req.Full {
+		opt = dse.FullOptions()
+	}
+	if len(req.Lanes) > 0 {
+		opt.Lanes = req.Lanes
+	}
+	if len(req.Partitions) > 0 {
+		opt.Partitions = req.Partitions
+	}
+	if len(req.CacheKB) > 0 {
+		opt.CacheKB = req.CacheKB
+	}
+	if len(req.CacheLines) > 0 {
+		opt.CacheLines = req.CacheLines
+	}
+	if len(req.CachePorts) > 0 {
+		opt.CachePorts = req.CachePorts
+	}
+	if len(req.CacheAssoc) > 0 {
+		opt.CacheAssoc = req.CacheAssoc
+	}
+	var cfgs []soc.Config
+	if kind == soc.Cache {
+		// CacheConfigs validates and silently prunes illegal combinations
+		// (that is the sweep contract), so an all-illegal grid surfaces as
+		// the empty-grid error below.
+		cfgs = dse.CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
+			opt.CachePorts, opt.CacheAssoc)
+	} else {
+		cfgs = dse.SpadConfigs(base, kind, opt.Lanes, opt.Partitions)
+		for _, c := range cfgs {
+			if err := c.Validate(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil, errors.New("serve: request expands to an empty design grid")
+	}
+	return cfgs, nil
+}
+
+// SweepResponse is the POST /sweep reply.
+type SweepResponse struct {
+	Kernel string `json:"kernel"`
+	Mem    string `json:"mem"`
+
+	// RequestedPoints is the grid size; EvaluatedPoints excludes points
+	// the robustness layer aborted (poisoned-point compaction, as in
+	// dse.Sweep); CachedPoints says how many cost no new simulation.
+	RequestedPoints int `json:"requested_points"`
+	EvaluatedPoints int `json:"evaluated_points"`
+	AbortedPoints   int `json:"aborted_points"`
+	CachedPoints    int `json:"cached_points"`
+
+	// EDPOptimal is null when every point aborted (the empty-space case).
+	EDPOptimal *report.Record  `json:"edp_optimal,omitempty"`
+	Pareto     []report.Record `json:"pareto"`
+	Space      []report.Record `json:"space,omitempty"`
+
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		http.Error(w, "sweep requests are POSTs", http.StatusMethodNotAllowed)
+		return
+	}
+	s.requests.Add(1)
+
+	var req SweepRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad sweep request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfgs, err := req.Configs()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Admission: the queue-full case answers immediately so clients can
+	// back off instead of piling onto a saturated simulator.
+	select {
+	case s.admit <- struct{}{}:
+	default:
+		s.rejected.Add(1)
+		secs := int((s.opt.RetryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, "sweep queue full", http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.admit }()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		return
+	}
+	s.wgReq.Add(1)
+	s.mu.Unlock()
+	defer s.wgReq.Done()
+	s.activeRequests.Add(1)
+	defer s.activeRequests.Add(-1)
+
+	timeout := s.opt.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	g, err := s.graphFor(req.Kernel)
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownKernel) {
+			code = http.StatusBadRequest
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+
+	started := time.Now()
+	resp, code, err := s.sweep(ctx, req, g, cfgs)
+	if err != nil {
+		http.Error(w, err.Error(), code)
+		return
+	}
+	ms := float64(time.Since(started)) / float64(time.Millisecond)
+	resp.ElapsedMS = ms
+	s.statsMu.Lock()
+	s.latency.Observe(ms)
+	s.statsMu.Unlock()
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(resp)
+}
+
+// sweep resolves every grid point through the cache/singleflight layer,
+// waits for the outstanding ones, and assembles the response in request
+// order with aborted points compacted out — the dse.Sweep contract.
+func (s *Server) sweep(ctx context.Context, req SweepRequest, g *ddg.Graph, cfgs []soc.Config) (*SweepResponse, int, error) {
+	entries := make([]*entry, len(cfgs))
+	byKey := make(map[string]*entry, len(cfgs))
+	var uniq, joined []*entry
+	cached := 0
+	for i, cfg := range cfgs {
+		key := dse.PointKey(req.Kernel, cfg)
+		if e, ok := byKey[key]; ok {
+			entries[i] = e // duplicate point within one request
+			continue
+		}
+		e, join, hit := s.acquire(key, g, cfg)
+		entries[i] = e
+		byKey[key] = e
+		uniq = append(uniq, e)
+		if join {
+			joined = append(joined, e)
+		}
+		if hit {
+			cached++
+		}
+	}
+	// Dropping the claims releases unstarted points for skipping whether we
+	// finish, time out, or the client disconnects.
+	defer s.release(joined)
+
+	for _, e := range uniq {
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return nil, http.StatusGatewayTimeout,
+				fmt.Errorf("serve: sweep unfinished: %v", ctx.Err())
+		}
+	}
+
+	space := make(dse.Space, 0, len(cfgs))
+	aborted := 0
+	for i, cfg := range cfgs {
+		e := entries[i]
+		if e.err != nil {
+			return nil, http.StatusInternalServerError, e.err
+		}
+		if e.aborted {
+			aborted++
+			continue
+		}
+		space = append(space, dse.Point{Cfg: cfg, Res: e.res})
+	}
+
+	resp := &SweepResponse{
+		Kernel:          req.Kernel,
+		Mem:             cfgs[0].Mem.String(),
+		RequestedPoints: len(cfgs),
+		EvaluatedPoints: len(space),
+		AbortedPoints:   aborted,
+		CachedPoints:    cached,
+		Pareto:          spaceRecords(req.Kernel, space.ParetoFront()),
+	}
+	if best, ok := space.EDPOptimal(); ok {
+		rec := report.FromResult(req.Kernel, best.Res)
+		resp.EDPOptimal = &rec
+	}
+	if req.IncludeSpace {
+		resp.Space = spaceRecords(req.Kernel, space)
+	}
+	return resp, http.StatusOK, nil
+}
+
+func spaceRecords(kernel string, sp dse.Space) []report.Record {
+	rs := make([]*soc.RunResult, len(sp))
+	for i, p := range sp {
+		rs[i] = p.Res
+	}
+	return report.FromResults(kernel, rs)
+}
+
+func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "kernel list is read-only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(machsuite.Names())
+}
+
+// Shutdown gracefully stops the service: new requests get 503, in-flight
+// sweeps drain (bounded by ctx), then the workers exit. On ctx expiry the
+// workers are still told to wind down, but stragglers are not awaited.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.wgReq.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+
+	s.mu.Lock()
+	s.closing = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if err == nil {
+		s.wgWorkers.Wait()
+	}
+	return err
+}
+
+// Snapshot is a point-in-time copy of the service counters, for tests and
+// programmatic health checks.
+type Snapshot struct {
+	Requests, Rejected                              uint64
+	CacheHits, CacheMisses                          uint64
+	PointsSimulated, PointsAborted, PointsAbandoned uint64
+	ActiveRequests                                  int64
+	QueuedPoints, CacheEntries                      int
+}
+
+// Snapshot reads the counters.
+func (s *Server) Snapshot() Snapshot {
+	s.mu.Lock()
+	queued, entries := len(s.queue)-s.qhead, len(s.cache)
+	s.mu.Unlock()
+	return Snapshot{
+		Requests:        s.requests.Load(),
+		Rejected:        s.rejected.Load(),
+		CacheHits:       s.cacheHits.Load(),
+		CacheMisses:     s.cacheMisses.Load(),
+		PointsSimulated: s.pointsSimulated.Load(),
+		PointsAborted:   s.pointsAborted.Load(),
+		PointsAbandoned: s.pointsAbandoned.Load(),
+		ActiveRequests:  s.activeRequests.Load(),
+		QueuedPoints:    queued,
+		CacheEntries:    entries,
+	}
+}

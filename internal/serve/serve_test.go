@@ -1,0 +1,388 @@
+package serve_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/report"
+	"gem5aladdin/internal/serve"
+	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/trace"
+)
+
+// quickReq is a 4-point DMA grid on the cheapest interesting kernel: small
+// enough that a full test run sweeps it many times, rich enough that the
+// Pareto front and EDP optimum are non-trivial.
+func quickReq() serve.SweepRequest {
+	return serve.SweepRequest{
+		Kernel:       "spmv-crs",
+		Mem:          "dma",
+		Lanes:        []int{1, 2},
+		Partitions:   []int{1, 2},
+		IncludeSpace: true,
+	}
+}
+
+func newTestServer(t *testing.T, opt serve.Options) (*serve.Server, *httptest.Server) {
+	t.Helper()
+	s := serve.New(opt)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return s, ts
+}
+
+func postSweep(t *testing.T, url string, req serve.SweepRequest) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func decodeSweep(t *testing.T, body []byte) serve.SweepResponse {
+	t.Helper()
+	var resp serve.SweepResponse
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decoding sweep response: %v\n%s", err, body)
+	}
+	return resp
+}
+
+// directSweep replays the request's grid through dse.Sweep in-process and
+// flattens it exactly as the service does: the ground truth responses must
+// match bit for bit.
+func directSweep(t *testing.T, req serve.SweepRequest) (space, pareto []report.Record, edp *report.Record) {
+	t.Helper()
+	cfgs, err := req.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := ddg.Build(machsuite.MustBuild(req.Kernel))
+	sp, err := dse.Sweep(g, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := func(sp dse.Space) []*soc.RunResult {
+		rs := make([]*soc.RunResult, len(sp))
+		for i, p := range sp {
+			rs[i] = p.Res
+		}
+		return rs
+	}
+	space = report.FromResults(req.Kernel, results(sp))
+	pareto = report.FromResults(req.Kernel, results(sp.ParetoFront()))
+	if best, ok := sp.EDPOptimal(); ok {
+		rec := report.FromResult(req.Kernel, best.Res)
+		edp = &rec
+	}
+	return space, pareto, edp
+}
+
+// TestSweepMatchesDirectSweep is the service's correctness anchor: a cold
+// response and a fully cached response both decode to exactly the records a
+// direct dse.Sweep produces (Go's JSON float64 encoding round-trips, so
+// reflect.DeepEqual means bit-identical values).
+func TestSweepMatchesDirectSweep(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 2})
+	req := quickReq()
+	wantSpace, wantPareto, wantEDP := directSweep(t, req)
+
+	for round, wantCached := range []int{0, len(wantSpace)} {
+		code, body := postSweep(t, ts.URL, req)
+		if code != http.StatusOK {
+			t.Fatalf("round %d: status %d: %s", round, code, body)
+		}
+		resp := decodeSweep(t, body)
+		if !reflect.DeepEqual(resp.Space, wantSpace) {
+			t.Errorf("round %d: space differs from direct sweep\ngot:  %+v\nwant: %+v",
+				round, resp.Space, wantSpace)
+		}
+		if !reflect.DeepEqual(resp.Pareto, wantPareto) {
+			t.Errorf("round %d: pareto differs from direct sweep", round)
+		}
+		if !reflect.DeepEqual(resp.EDPOptimal, wantEDP) {
+			t.Errorf("round %d: EDP optimum differs: got %+v want %+v",
+				round, resp.EDPOptimal, wantEDP)
+		}
+		if resp.RequestedPoints != 4 || resp.EvaluatedPoints != 4 || resp.AbortedPoints != 0 {
+			t.Errorf("round %d: counts %d/%d/%d, want 4/4/0",
+				round, resp.RequestedPoints, resp.EvaluatedPoints, resp.AbortedPoints)
+		}
+		if resp.CachedPoints != wantCached {
+			t.Errorf("round %d: cached %d, want %d", round, resp.CachedPoints, wantCached)
+		}
+	}
+	if snap := s.Snapshot(); snap.PointsSimulated != 4 {
+		t.Errorf("simulated %d points across two identical sweeps, want 4", snap.PointsSimulated)
+	}
+}
+
+// TestConcurrentIdenticalRequestsSingleflight fires 32 concurrent copies of
+// the same sweep: the content-addressed cache plus singleflight join must
+// collapse them to exactly one simulation per unique design point, and every
+// response must be identical.
+func TestConcurrentIdenticalRequestsSingleflight(t *testing.T) {
+	const n = 32
+	s, ts := newTestServer(t, serve.Options{Workers: 4, QueueDepth: n})
+	req := quickReq()
+
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	codes := make([]int, n)
+	bodies := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			codes[i], bodies[i] = postSweep(t, ts.URL, req)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+
+	first := decodeSweep(t, bodies[0])
+	for i := 0; i < n; i++ {
+		if codes[i] != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s", i, codes[i], bodies[i])
+		}
+		got := decodeSweep(t, bodies[i])
+		// Timing and per-request cache luck legitimately differ.
+		got.ElapsedMS, first.ElapsedMS = 0, 0
+		got.CachedPoints, first.CachedPoints = 0, 0
+		if !reflect.DeepEqual(got, first) {
+			t.Errorf("request %d: response differs from request 0", i)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.PointsSimulated != 4 {
+		t.Errorf("simulated %d points for %d identical 4-point sweeps, want exactly 4",
+			snap.PointsSimulated, n)
+	}
+	if snap.CacheMisses != 4 || snap.CacheHits != 4*n-4 {
+		t.Errorf("cache hits/misses = %d/%d, want %d/4",
+			snap.CacheHits, snap.CacheMisses, 4*n-4)
+	}
+	wantSpace, _, _ := directSweep(t, req)
+	if !reflect.DeepEqual(first.Space, wantSpace) {
+		t.Errorf("concurrent responses differ from direct sweep")
+	}
+}
+
+// TestBackpressure saturates a QueueDepth=1 server with a request pinned
+// inside kernel resolution, and checks the next request is turned away with
+// 429 and a Retry-After hint instead of queueing.
+func TestBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	s, ts := newTestServer(t, serve.Options{
+		Workers:    1,
+		QueueDepth: 1,
+		BuildKernel: func(name string) (*trace.Trace, error) {
+			<-block
+			return nil, fmt.Errorf("%w: %s is synthetic", serve.ErrUnknownKernel, name)
+		},
+	})
+
+	done := make(chan int, 1)
+	go func() {
+		code, _ := postSweep(t, ts.URL, quickReq())
+		done <- code
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Snapshot().ActiveRequests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	body, _ := json.Marshal(quickReq())
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated server returned %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+
+	close(block)
+	if code := <-done; code != http.StatusBadRequest {
+		t.Errorf("pinned request finished with %d, want 400 (unknown kernel)", code)
+	}
+	if snap := s.Snapshot(); snap.Rejected != 1 {
+		t.Errorf("rejected counter = %d, want 1", snap.Rejected)
+	}
+}
+
+// TestCancellationReleasesWorker times a sweep out mid-flight on a 1-worker
+// server, then proves the worker was released: the identical follow-up sweep
+// completes, and no design point was simulated more than once — abandoned
+// points were skipped, queued ones were adopted by the second request.
+func TestCancellationReleasesWorker(t *testing.T) {
+	s, ts := newTestServer(t, serve.Options{Workers: 1})
+	req := quickReq()
+	req.Lanes = []int{1, 2, 4}
+	req.Partitions = []int{1, 2, 4}
+
+	timed := req
+	timed.TimeoutMS = 1
+	code, body := postSweep(t, ts.URL, timed)
+	if code != http.StatusGatewayTimeout {
+		t.Fatalf("1ms sweep returned %d, want 504: %s", code, body)
+	}
+
+	code, body = postSweep(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("follow-up sweep returned %d: %s", code, body)
+	}
+	resp := decodeSweep(t, body)
+	if resp.EvaluatedPoints != 9 {
+		t.Fatalf("follow-up evaluated %d points, want 9", resp.EvaluatedPoints)
+	}
+	if snap := s.Snapshot(); snap.PointsSimulated != 9 {
+		t.Errorf("simulated %d points across timeout + retry, want exactly 9 (no rework, no stuck slots)",
+			snap.PointsSimulated)
+	}
+}
+
+// TestShutdownDrains completes a sweep, shuts the pool down, and checks new
+// requests are refused while the shutdown itself reports a clean drain.
+func TestShutdownDrains(t *testing.T) {
+	s := serve.New(serve.Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body := postSweep(t, ts.URL, quickReq()); code != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if code, _ := postSweep(t, ts.URL, quickReq()); code != http.StatusServiceUnavailable {
+		t.Errorf("post-shutdown sweep returned %d, want 503", code)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/sweep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /sweep = %d, want 405", resp.StatusCode)
+	}
+
+	for name, req := range map[string]serve.SweepRequest{
+		"unknown kernel": {Kernel: "no-such-kernel"},
+		"unknown mem":    {Kernel: "spmv-crs", Mem: "telepathy"},
+		"invalid grid":   {Kernel: "spmv-crs", Mem: "dma", Partitions: []int{0}},
+	} {
+		if code, body := postSweep(t, ts.URL, req); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400: %s", name, code, body)
+		}
+	}
+	resp, err = http.Post(ts.URL+"/sweep", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestObservabilityEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	if code, body := postSweep(t, ts.URL, quickReq()); code != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(text), "serve.requests") ||
+		!strings.Contains(string(text), "serve.sweep.latency_p99") {
+		t.Errorf("statsz missing service stats:\n%s", text)
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	err = json.NewDecoder(resp.Body).Decode(&doc)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	sv, _ := doc["serve"].(map[string]any)
+	if sv == nil {
+		t.Fatalf("metrics missing serve subtree: %v", doc)
+	}
+	pts, _ := sv["points"].(map[string]any)
+	if pts == nil || pts["simulated"] != float64(4) {
+		t.Errorf("metrics points.simulated = %v, want 4", pts)
+	}
+
+	resp, err = http.Get(ts.URL + "/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	err = json.NewDecoder(resp.Body).Decode(&names)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range names {
+		found = found || n == "spmv-crs"
+	}
+	if !found {
+		t.Errorf("kernel list %v missing spmv-crs", names)
+	}
+}

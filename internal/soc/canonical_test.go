@@ -1,0 +1,74 @@
+package soc
+
+import (
+	"bytes"
+	"testing"
+
+	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/power"
+	"gem5aladdin/internal/sim"
+)
+
+func canon(c Config) []byte { return c.AppendCanonical(nil) }
+
+// TestCanonicalDeterministic pins the cache-key substrate: identical configs
+// encode identically, and the encoding never depends on pointer identity.
+func TestCanonicalDeterministic(t *testing.T) {
+	a := DefaultConfig()
+	b := DefaultConfig()
+	if !bytes.Equal(canon(a), canon(b)) {
+		t.Fatal("two DefaultConfigs encode differently")
+	}
+	// Distinct but equal-valued pointers must encode identically.
+	a.Traffic = &TrafficConfig{Period: 100 * sim.Nanosecond, Bytes: 64}
+	b.Traffic = &TrafficConfig{Period: 100 * sim.Nanosecond, Bytes: 64}
+	a.Power, b.Power = power.Default(), power.Default()
+	if !bytes.Equal(canon(a), canon(b)) {
+		t.Fatal("equal-valued pointers encode differently")
+	}
+}
+
+// TestCanonicalSensitivity checks that every kind of change to the design
+// point — top-level scalar, nested struct, pointer presence, pointer
+// contents, fault block — produces a different encoding.
+func TestCanonicalSensitivity(t *testing.T) {
+	base := canon(DefaultConfig())
+	mutations := map[string]func(*Config){
+		"mem kind":         func(c *Config) { c.Mem = Cache },
+		"lanes":            func(c *Config) { c.Lanes = 8 },
+		"bool flag":        func(c *Config) { c.Prefetch = !c.Prefetch },
+		"accel clock":      func(c *Config) { c.AccelHz = 200e6 },
+		"nested dram":      func(c *Config) { c.DRAM.Banks = 4 },
+		"nested cpu clock": func(c *Config) { c.CPU.Clock.Period *= 2 },
+		"fault seed":       func(c *Config) { c.Faults.Seed = 7 },
+		"traffic present":  func(c *Config) { c.Traffic = &TrafficConfig{Period: 1, Bytes: 1} },
+		"power present":    func(c *Config) { c.Power = power.Default() },
+		"sanitize":         func(c *Config) { c.Sanitize = true },
+		"watchdog":         func(c *Config) { c.WatchdogTicks = 1 },
+	}
+	for name, mutate := range mutations {
+		c := DefaultConfig()
+		mutate(&c)
+		if bytes.Equal(base, canon(c)) {
+			t.Errorf("%s: mutation did not change the canonical encoding", name)
+		}
+	}
+	// Pointer contents, not just presence.
+	a, b := DefaultConfig(), DefaultConfig()
+	a.Power, b.Power = power.Default(), power.Default()
+	b.Power.LaneLeakUW *= 2
+	if bytes.Equal(canon(a), canon(b)) {
+		t.Error("power-model contents not part of the encoding")
+	}
+}
+
+// TestCanonicalIgnoresObs pins the exclusion: an attached observer changes
+// what is recorded, never what is simulated, so it must not split the cache.
+func TestCanonicalIgnoresObs(t *testing.T) {
+	plain := DefaultConfig()
+	observed := DefaultConfig()
+	observed.Obs = obs.New(true)
+	if !bytes.Equal(canon(plain), canon(observed)) {
+		t.Fatal("Obs attachment changed the canonical encoding")
+	}
+}

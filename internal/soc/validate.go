@@ -23,6 +23,18 @@ func (e *ConfigError) Error() string {
 
 func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
+// Upper bounds for Config fields that hardware construction later narrows to
+// uint32 (cache.Config.LineBytes at soc.go's cacheConfig, the bus's
+// WidthBytes). Without them a huge value silently truncates — a 2^37-byte
+// cache line becomes 0 — so Validate rejects anything past a bound that is
+// already far beyond physical hardware yet comfortably inside uint32.
+const (
+	// maxCacheLineBytes caps a cache line at 1 MB.
+	maxCacheLineBytes = 1 << 20
+	// maxBusWidthBits caps the system bus at 8 KB per beat.
+	maxBusWidthBits = 1 << 16
+)
+
 // Validate checks a configuration for impossible design points and returns
 // a *ConfigError naming the offending field, or nil. Run, RunGraph,
 // RunMulti, and RunRepeated all call it before constructing any hardware,
@@ -56,6 +68,10 @@ func (c Config) Validate() error {
 	if c.BusWidthBits%8 != 0 {
 		return &ConfigError{Field: "BusWidthBits", Value: c.BusWidthBits, Reason: "bus width must be a whole number of bytes"}
 	}
+	if c.BusWidthBits > maxBusWidthBits {
+		return &ConfigError{Field: "BusWidthBits", Value: c.BusWidthBits,
+			Reason: fmt.Sprintf("bus width cannot exceed %d bits (would truncate at uint32 narrowing)", maxBusWidthBits)}
+	}
 	if c.DRAM.Banks <= 0 {
 		return &ConfigError{Field: "DRAM.Banks", Value: c.DRAM.Banks, Reason: "DRAM needs at least one bank"}
 	}
@@ -85,6 +101,10 @@ func (c Config) Validate() error {
 		}
 		if !powerOfTwo(c.CacheLineBytes) {
 			return &ConfigError{Field: "CacheLineBytes", Value: c.CacheLineBytes, Reason: "cache line size must be a power of two"}
+		}
+		if c.CacheLineBytes > maxCacheLineBytes {
+			return &ConfigError{Field: "CacheLineBytes", Value: c.CacheLineBytes,
+				Reason: fmt.Sprintf("cache line cannot exceed %d bytes (would truncate at uint32 narrowing)", maxCacheLineBytes)}
 		}
 		if !powerOfTwo(c.CacheAssoc) {
 			return &ConfigError{Field: "CacheAssoc", Value: c.CacheAssoc, Reason: "cache associativity must be a power of two"}

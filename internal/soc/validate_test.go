@@ -51,12 +51,21 @@ func TestValidateTypedErrors(t *testing.T) {
 		{"zero bus clock", mutate(func(c *Config) { c.BusHz = 0 }), "BusHz"},
 		{"zero bus width", mutate(func(c *Config) { c.BusWidthBits = 0 }), "BusWidthBits"},
 		{"ragged bus width", mutate(func(c *Config) { c.BusWidthBits = 12 }), "BusWidthBits"},
+		{"huge bus width", mutate(func(c *Config) { c.BusWidthBits = 1 << 20 }), "BusWidthBits"},
+		{"uint32-truncating bus width", mutate(func(c *Config) { c.BusWidthBits = 1 << 35 }), "BusWidthBits"},
 		{"zero dram banks", mutate(func(c *Config) { c.DRAM.Banks = 0 }), "DRAM.Banks"},
 		{"zero cpu clock", mutate(func(c *Config) { c.CPU.Clock.Period = 0 }), "CPU.Clock"},
 		{"zero traffic period", mutate(func(c *Config) { c.Traffic = &TrafficConfig{Period: 0, Bytes: 64} }), "Traffic.Period"},
 		{"unknown mem kind", mutate(func(c *Config) { c.Mem = MemKind(42) }), "Mem"},
 		{"zero cache size", mutate(func(c *Config) { c.Mem = Cache; c.CacheKB = 0 }), "CacheKB"},
 		{"non-pow2 cache line", mutate(func(c *Config) { c.Mem = Cache; c.CacheLineBytes = 48 }), "CacheLineBytes"},
+		{"huge cache line", mutate(func(c *Config) { c.Mem = Cache; c.CacheLineBytes = 1 << 21 }), "CacheLineBytes"},
+		{"uint32-truncating cache line", mutate(func(c *Config) {
+			// 2^37 is a power of two that narrows to uint32(0) at cache
+			// construction; the explicit bound must reject it first.
+			c.Mem = Cache
+			c.CacheLineBytes = 1 << 37
+		}), "CacheLineBytes"},
 		{"non-pow2 assoc", mutate(func(c *Config) { c.Mem = Cache; c.CacheAssoc = 3 }), "CacheAssoc"},
 		{"zero cache ports", mutate(func(c *Config) { c.Mem = Cache; c.CachePorts = 0 }), "CachePorts"},
 		{"zero mshrs", mutate(func(c *Config) { c.Mem = Cache; c.MSHRs = 0 }), "MSHRs"},
