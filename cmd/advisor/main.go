@@ -32,7 +32,15 @@ func main() {
 		full     = flag.Bool("full", false, "full Fig 3 sweep axes")
 	)
 	rb := report.AddRobustFlags(flag.CommandLine)
+	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	lg, closeLog, err := logf.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeLog()
 
 	k, err := machsuite.ByName(*bench)
 	if err != nil {
@@ -69,9 +77,16 @@ func main() {
 		}
 		return space
 	}
+	if lg != nil {
+		lg.Info("advisor sweeping", "bench", *bench, "full", *full)
+	}
 	dmaSpace := sweep(dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions))
 	cacheSpace := sweep(dse.CacheConfigs(base, opt.Lanes, opt.CacheKB,
 		opt.CacheLines, opt.CachePorts, opt.CacheAssoc))
+	if lg != nil {
+		lg.Info("advisor swept", "dma_points", len(dmaSpace),
+			"cache_points", len(cacheSpace))
+	}
 	all := append(append(dse.Space{}, dmaSpace...), cacheSpace...)
 	if len(dmaSpace) == 0 || len(cacheSpace) == 0 {
 		fmt.Fprintln(os.Stderr, "advisor: every design point in a sweep aborted (fault injection too aggressive?)")

@@ -15,6 +15,7 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
@@ -36,10 +37,19 @@ func main() {
 		cacheAssoc = flag.Int("cache-assoc", 4, "cache associativity")
 		busBits    = flag.Int("bus-bits", 32, "system bus width in bits")
 		timeline   = flag.Bool("timeline", false, "render the per-lane execution timeline")
+		profile    = flag.Bool("profile", false, "attribute every simulated cycle to one component bucket and print the breakdown")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	lg, closeLog, err := logf.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeLog()
 
 	var tr *trace.Trace
 	name := *bench
@@ -107,10 +117,21 @@ func main() {
 		cfg.Obs = o
 	}
 
+	if lg != nil {
+		lg.Info("run starting", "bench", name, "mem", cfg.Mem.String(),
+			"lanes", cfg.Lanes, "ops", g.NumNodes())
+	}
 	res, err := soc.Run(g, cfg)
 	if err != nil {
+		if lg != nil {
+			lg.Error("run failed", "bench", name, "err", err)
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if lg != nil {
+		lg.Info("run complete", "bench", name, "cycles", res.Cycles,
+			"runtime_us", res.Seconds()*1e6, "edp_njs", res.EDPJs*1e9)
 	}
 	if o != nil {
 		if err := ob.Write(o); err != nil {
@@ -166,6 +187,29 @@ func main() {
 		tb.Row("bank conflicts", res.Spad.BankConflicts)
 	}
 	tb.Render(os.Stdout)
+
+	if *profile {
+		// Re-run under the cycle-attribution profiler: the run is
+		// deterministic, so the re-simulation reproduces res exactly and
+		// the buckets sum to its cycle count.
+		pres, att, err := soc.ProfileRun(g, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if pres.Runtime != res.Runtime {
+			fmt.Fprintf(os.Stderr, "aladdin: profiled run diverged: %v != %v\n",
+				pres.Runtime, res.Runtime)
+			os.Exit(1)
+		}
+		fmt.Println("\ncycle attribution (every tick in exactly one bucket):")
+		pt := stats.NewTable("bucket", "ticks", "share")
+		for b := 0; b < obs.NumBuckets; b++ {
+			pt.Row(obs.Bucket(b).String(), att.Ticks[b],
+				fmt.Sprintf("%5.1f%%", 100*float64(att.Ticks[b])/float64(att.Total)))
+		}
+		pt.Render(os.Stdout)
+	}
 
 	if *timeline {
 		fmt.Println("\nexecution timeline (F flush, D dma, O overlap, C compute, . idle):")

@@ -11,12 +11,15 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
@@ -32,10 +35,21 @@ func main() {
 		format  = flag.String("format", "table", "output format: table, json, csv")
 		jobs    = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
 		every   = flag.Int("progress", 0, "print a progress line every N completed points (0 = off)")
+		profile = flag.Bool("profile", false, "re-run the Pareto-front points with the cycle-attribution profiler and print a per-point breakdown")
+		folded  = flag.String("profile-folded", "", "write the profiled points' folded stacks (flamegraph input) to this file (implies -profile work)")
+		spanOut = flag.String("span-out", "", "write the sweep's wall-clock spans (one per design point) as JSON lines to this file")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	lg, closeLog, err := logf.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeLog()
 
 	k, err := machsuite.ByName(*bench)
 	if err != nil {
@@ -90,14 +104,46 @@ func main() {
 	// leaving workers mid-grid.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	// -span-out threads a root span through the sweep context: every design
+	// point becomes one JSON line with its worker track and wall-clock cost.
+	var root *obs.Span
+	if *spanOut != "" {
+		sf, err := os.Create(*spanOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer sf.Close()
+		root = obs.NewSpanTracer(sf, 0).StartTrace("dse-sweep")
+		root.SetAttr("bench", *bench)
+		root.SetAttr("mem", *mem)
+		root.SetAttr("points", len(cfgs))
+		ctx = obs.WithSpan(ctx, root)
+	}
+
+	if lg != nil {
+		lg.Info("sweep starting", "bench", *bench, "mem", *mem,
+			"points", len(cfgs), "workers", *jobs, "full", *full)
+	}
+	swept := time.Now()
 	space, err := dse.SweepCtx(ctx, g, cfgs, *jobs, onProgress)
+	root.EndSpan()
 	if err != nil {
+		if lg != nil {
+			lg.Error("sweep failed", "err", err.Error())
+		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if skipped := len(cfgs) - len(space); skipped > 0 {
+	skipped := len(cfgs) - len(space)
+	if skipped > 0 {
 		fmt.Fprintf(os.Stderr, "dse: skipped %d of %d design points that aborted under fault injection\n",
 			skipped, len(cfgs))
+	}
+	if lg != nil {
+		lg.Info("sweep complete", "evaluated", len(space), "skipped", skipped,
+			"elapsed_ms", time.Since(swept).Milliseconds())
 	}
 	best, ok := space.EDPOptimal()
 	if !ok {
@@ -144,24 +190,87 @@ func main() {
 			fmt.Fprintln(os.Stderr, werr)
 			os.Exit(1)
 		}
-		return
+	} else {
+		tb := stats.NewTable("lanes", "local memory", "time(us)", "power(mW)", "EDP(nJ*s)", "")
+		for _, p := range pts {
+			local := fmt.Sprintf("%d banks x %d ports", p.Cfg.Partitions, p.Cfg.SpadPorts)
+			if p.Cfg.Mem == soc.Cache {
+				local = fmt.Sprintf("%dKB %dB/line %dp %d-way",
+					p.Cfg.CacheKB, p.Cfg.CacheLineBytes, p.Cfg.CachePorts, p.Cfg.CacheAssoc)
+			}
+			mark := ""
+			if p.Cfg == best.Cfg {
+				mark = "<-- EDP optimal"
+			}
+			tb.Row(p.Cfg.Lanes, local, p.Res.Seconds()*1e6, p.Res.AvgPowerW*1e3,
+				p.Res.EDPJs*1e9, mark)
+		}
+		fmt.Printf("%s, %s, %d-bit bus: %d design points (%d on Pareto frontier)\n\n",
+			*bench, *mem, *busBits, len(space), len(space.ParetoFront()))
+		tb.Render(os.Stdout)
 	}
 
-	tb := stats.NewTable("lanes", "local memory", "time(us)", "power(mW)", "EDP(nJ*s)", "")
-	for _, p := range pts {
-		local := fmt.Sprintf("%d banks x %d ports", p.Cfg.Partitions, p.Cfg.SpadPorts)
-		if p.Cfg.Mem == soc.Cache {
-			local = fmt.Sprintf("%dKB %dB/line %dp %d-way",
-				p.Cfg.CacheKB, p.Cfg.CacheLineBytes, p.Cfg.CachePorts, p.Cfg.CacheAssoc)
+	if *profile || *folded != "" {
+		if err := profilePoints(g, space.ParetoFront(), *bench, *folded, *profile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		mark := ""
-		if p.Cfg == best.Cfg {
-			mark = "<-- EDP optimal"
-		}
-		tb.Row(p.Cfg.Lanes, local, p.Res.Seconds()*1e6, p.Res.AvgPowerW*1e3,
-			p.Res.EDPJs*1e9, mark)
 	}
-	fmt.Printf("%s, %s, %d-bit bus: %d design points (%d on Pareto frontier)\n\n",
-		*bench, *mem, *busBits, len(space), len(space.ParetoFront()))
-	tb.Render(os.Stdout)
+}
+
+// pointLabel compactly names one design point for folded stacks (no spaces
+// or semicolons — both are separators in the flamegraph format) and the
+// attribution table.
+func pointLabel(cfg soc.Config) string {
+	if cfg.Mem == soc.Cache {
+		return fmt.Sprintf("lanes%d-%dKB-%dway", cfg.Lanes, cfg.CacheKB, cfg.CacheAssoc)
+	}
+	return fmt.Sprintf("lanes%d-banks%dx%d", cfg.Lanes, cfg.Partitions, cfg.SpadPorts)
+}
+
+// profilePoints re-simulates the Pareto-front points under the
+// cycle-attribution profiler. Every simulated cycle lands in exactly one
+// bucket, so the percentage rows sum to 100; the folded output feeds
+// flamegraph.pl (or speedscope) directly.
+func profilePoints(g *ddg.Graph, pts dse.Space, bench, foldedPath string, table bool) error {
+	var fw io.Writer
+	if foldedPath != "" {
+		f, err := os.Create(foldedPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		fw = f
+	}
+	cols := []string{"point", "cycles"}
+	for b := 0; b < obs.NumBuckets; b++ {
+		cols = append(cols, obs.Bucket(b).String())
+	}
+	tb := stats.NewTable(cols...)
+	for _, p := range pts {
+		res, att, err := soc.ProfileRun(g, p.Cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dse: profiling %s: %v\n", pointLabel(p.Cfg), err)
+			continue
+		}
+		if res.Runtime != p.Res.Runtime {
+			return fmt.Errorf("dse: profiled run of %s diverged: %v != %v",
+				pointLabel(p.Cfg), res.Runtime, p.Res.Runtime)
+		}
+		row := []any{pointLabel(p.Cfg), att.Total}
+		for b := 0; b < obs.NumBuckets; b++ {
+			row = append(row, fmt.Sprintf("%5.1f%%", 100*float64(att.Ticks[b])/float64(att.Total)))
+		}
+		tb.Row(row...)
+		if fw != nil {
+			if err := att.WriteFolded(fw, bench+";"+pointLabel(p.Cfg)); err != nil {
+				return err
+			}
+		}
+	}
+	if table {
+		fmt.Printf("\ncycle attribution, Pareto-front points (each row sums to 100%%):\n\n")
+		tb.Render(os.Stdout)
+	}
+	return nil
 }

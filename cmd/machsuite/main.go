@@ -21,7 +21,15 @@ func main() {
 	export := flag.String("export", "", "directory to write serialized .trace files into")
 	ob := report.AddObsFlags(flag.CommandLine, "simulate every benchmark under the default SoC config and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
+
+	lg, closeLog, err := logf.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	defer closeLog()
 
 	o := ob.Observer()
 
@@ -36,10 +44,17 @@ func main() {
 	for _, k := range machsuite.All() {
 		tr, err := k.Build()
 		if err != nil {
+			if lg != nil {
+				lg.Error("functional mismatch", "bench", k.Name, "err", err.Error())
+			}
 			fmt.Fprintf(os.Stderr, "%s: FUNCTIONAL MISMATCH: %v\n", k.Name, err)
 			os.Exit(1)
 		}
 		g := ddg.Build(tr)
+		if lg != nil {
+			lg.Info("trace built", "bench", k.Name,
+				"ops", tr.NumNodes(), "critpath", g.CritPath)
+		}
 		if *export != "" {
 			path := filepath.Join(*export, k.Name+".trace")
 			f, err := os.Create(path)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/trace"
 )
@@ -65,6 +66,11 @@ func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, to
 // of milliseconds, so the boundary check bounds the cancellation latency —
 // and a cancelled sweep returns no partial space. Long-running services use
 // this to release worker goroutines when a client goes away.
+//
+// When ctx carries an obs span (obs.WithSpan), every design point gets a
+// child span on a per-worker track, so a traced sweep renders one Perfetto
+// row per worker with its sequence of point simulations. An untraced
+// context costs one nil span check per point.
 func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -72,6 +78,7 @@ func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int,
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
+	parent := obs.SpanFromContext(ctx)
 	out := make(Space, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var next, done atomic.Int64
@@ -79,7 +86,7 @@ func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int,
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(track int) {
 			defer wg.Done()
 			var r soc.Runner
 			for ctx.Err() == nil {
@@ -87,20 +94,28 @@ func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int,
 				if i >= len(cfgs) {
 					return
 				}
+				ps := parent.ChildOn("point", track)
+				ps.SetAttr("index", i)
+				ps.SetAttr("lanes", cfgs[i].Lanes)
 				res, err := r.Run(g, cfgs[i])
 				switch {
 				case err == nil:
 					out[i] = Point{Cfg: cfgs[i], Res: res}
+					ps.SetAttr("cycles", res.Cycles)
 				case !errors.Is(err, soc.ErrAborted):
 					errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
+					ps.SetAttr("error", err.Error())
+				default:
+					ps.SetAttr("aborted", true)
 				}
+				ps.EndSpan()
 				if progress != nil {
 					mu.Lock()
 					progress(int(done.Add(1)), len(cfgs))
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

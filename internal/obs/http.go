@@ -6,32 +6,100 @@ import (
 	"sync"
 )
 
-// Handler exposes a registry over HTTP: a GET returns the gem5-style text
-// snapshot, or the nested JSON dump when the request asks for JSON (either
-// `?format=json` or an Accept header naming application/json). Dumps read
-// every registered closure, so when stats are updated concurrently — a
-// serving process, unlike a finished simulation — pass the lock that guards
-// those updates and the handler holds it for the duration of the dump; pass
-// nil for registries that are quiescent at dump time.
-func Handler(r *Registry, mu sync.Locker) http.Handler {
+// dumpHandler is the shared skeleton of the stats endpoints: method
+// gating, optional locking, no-store caching policy, and bodiless HEAD.
+func dumpHandler(mu sync.Locker, serve func(w http.ResponseWriter, req *http.Request) bool) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		if req.Method != http.MethodGet && req.Method != http.MethodHead {
 			w.Header().Set("Allow", "GET, HEAD")
 			http.Error(w, "stats are read-only", http.StatusMethodNotAllowed)
 			return
 		}
-		asJSON := req.URL.Query().Get("format") == "json" ||
-			strings.Contains(req.Header.Get("Accept"), "application/json")
+		// Snapshots go stale the moment they are written; an intermediary
+		// must never serve a cached one.
+		w.Header().Set("Cache-Control", "no-store")
 		if mu != nil {
 			mu.Lock()
 			defer mu.Unlock()
 		}
+		serve(w, req)
+	})
+}
+
+// acceptable reports whether an Accept header admits one of the offered
+// media types (or anything, via */* or type/*). An absent header accepts
+// everything.
+func acceptable(header string, offers ...string) bool {
+	if header == "" {
+		return true
+	}
+	for _, part := range strings.Split(header, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if mt == "*/*" || mt == "" {
+			return true
+		}
+		for _, offer := range offers {
+			if mt == offer {
+				return true
+			}
+			if prefix, ok := strings.CutSuffix(mt, "/*"); ok &&
+				strings.HasPrefix(offer, prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Handler exposes a registry over HTTP: a GET returns the gem5-style text
+// snapshot, or the nested JSON dump when the request asks for JSON (either
+// `?format=json` or an Accept header naming application/json). An Accept
+// header admitting neither text nor JSON is answered 406 rather than
+// silently defaulting; HEAD returns headers only. Dumps read every
+// registered closure, so when stats are updated concurrently — a serving
+// process, unlike a finished simulation — pass the lock that guards those
+// updates and the handler holds it for the duration of the dump; pass nil
+// for registries that are quiescent at dump time.
+func Handler(r *Registry, mu sync.Locker) http.Handler {
+	return dumpHandler(mu, func(w http.ResponseWriter, req *http.Request) bool {
+		accept := req.Header.Get("Accept")
+		asJSON := req.URL.Query().Get("format") == "json" ||
+			strings.Contains(accept, "application/json")
+		if !asJSON && !acceptable(accept, "text/plain", "application/json") {
+			http.Error(w, "stats are text/plain or application/json",
+				http.StatusNotAcceptable)
+			return false
+		}
 		if asJSON {
 			w.Header().Set("Content-Type", "application/json")
-			_ = r.DumpJSON(w)
-			return
+			if req.Method != http.MethodHead {
+				_ = r.DumpJSON(w)
+			}
+			return true
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		_ = r.DumpText(w)
+		if req.Method != http.MethodHead {
+			_ = r.DumpText(w)
+		}
+		return true
+	})
+}
+
+// PromHandler exposes a registry in the Prometheus text exposition format
+// (see DumpProm): the /metrics endpoint. Locking semantics match Handler.
+func PromHandler(r *Registry, mu sync.Locker) http.Handler {
+	return dumpHandler(mu, func(w http.ResponseWriter, req *http.Request) bool {
+		if !acceptable(req.Header.Get("Accept"), "text/plain") {
+			http.Error(w, "metrics are text/plain", http.StatusNotAcceptable)
+			return false
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method != http.MethodHead {
+			_ = r.DumpProm(w)
+		}
+		return true
 	})
 }

@@ -13,7 +13,11 @@ import (
 type Observer struct {
 	Registry *Registry
 	Tracer   *Tracer
-	prefix   string
+	// Profile, when non-nil, makes wiring code subscribe the
+	// cycle-attribution profiler to the same probe points the tracer
+	// uses; tracing and profiling enable independently.
+	Profile *Profile
+	prefix  string
 }
 
 // New returns an observer with a fresh registry, and a tracer when
@@ -26,13 +30,13 @@ func New(withTrace bool) *Observer {
 	return o
 }
 
-// Sub returns a view sharing the registry and tracer but nesting every
-// stat path and track name under prefix. Harnesses that observe several
-// simulations in one dump (per-benchmark, per-design-point) use it to keep
-// paths disjoint.
+// Sub returns a view sharing the registry, tracer, and profile but nesting
+// every stat path and track name under prefix. Harnesses that observe
+// several simulations in one dump (per-benchmark, per-design-point) use it
+// to keep paths disjoint.
 func (o *Observer) Sub(prefix string) *Observer {
 	return &Observer{Registry: o.Registry, Tracer: o.Tracer,
-		prefix: o.Path(prefix)}
+		Profile: o.Profile, prefix: o.Path(prefix)}
 }
 
 // Path resolves a stat path or track name under the observer's prefix.
@@ -43,8 +47,16 @@ func (o *Observer) Path(p string) string {
 	return o.prefix + "." + p
 }
 
-// Tracing reports whether probe subscriptions should be wired.
+// Tracing reports whether timeline probe subscriptions should be wired.
 func (o *Observer) Tracing() bool { return o != nil && o.Tracer != nil }
+
+// Profiling reports whether cycle-attribution probe subscriptions should
+// be wired.
+func (o *Observer) Profiling() bool { return o != nil && o.Profile != nil }
+
+// Observing reports whether any probe consumer (tracer or profiler) needs
+// the component probes attached.
+func (o *Observer) Observing() bool { return o.Tracing() || o.Profiling() }
 
 // WriteFiles dumps the registry as text to statsPath, as JSON to jsonPath,
 // and the trace timeline to tracePath; empty paths are skipped. This backs

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Bucket classifies where a simulated tick went in the cycle-attribution
+// profile. Declaration order is attribution priority: a tick covered by
+// several components' activity windows is charged to the lowest-numbered
+// bucket, so compute overlapped with a DMA burst counts as compute and the
+// DMA bucket keeps only transfer time the datapath could not hide.
+type Bucket uint8
+
+// Attribution buckets, highest priority first.
+const (
+	// BucketCacheMiss is accelerator-cache miss service time (MSHR
+	// allocation to fill), demand and prefetch alike. It outranks compute
+	// because a load node's datapath span covers issue to retire — miss
+	// latency included — so the miss window is the more specific charge
+	// for ticks both cover; what remains of the datapath span is genuine
+	// compute and issue overhead.
+	BucketCacheMiss Bucket = iota
+	// BucketCompute is datapath-lane activity (node issue to retire).
+	BucketCompute
+	// BucketDMA is DMA descriptor transfer time. Ranked below compute so
+	// it keeps only transfers the datapath could not hide — the paper's
+	// "exposed data movement".
+	BucketDMA
+	// BucketFlush is CPU cache flush/invalidate work for DMA coherence.
+	BucketFlush
+	// BucketBus is system-bus occupancy: arbitration, address, data
+	// phases, and NACK/retry windows.
+	BucketBus
+	// BucketDRAM is DRAM bank busy time (row activation + burst service).
+	BucketDRAM
+	// BucketIdle is the remainder: ticks no instrumented component
+	// claimed.
+	BucketIdle
+
+	// NumBuckets counts the buckets, BucketIdle included.
+	NumBuckets = int(BucketIdle) + 1
+)
+
+// String names the bucket for tables and folded stacks.
+func (b Bucket) String() string {
+	switch b {
+	case BucketCompute:
+		return "compute"
+	case BucketDMA:
+		return "dma"
+	case BucketFlush:
+		return "flush"
+	case BucketCacheMiss:
+		return "cache-miss"
+	case BucketBus:
+		return "bus"
+	case BucketDRAM:
+		return "dram"
+	case BucketIdle:
+		return "idle"
+	}
+	return fmt.Sprintf("Bucket(%d)", uint8(b))
+}
+
+// ival is one half-open activity window [start, end) in engine ticks.
+type ival struct{ start, end uint64 }
+
+// Profile accumulates per-bucket activity windows from the existing probe
+// points and attributes every simulated tick of a run to exactly one
+// bucket. Collection is append-only (one slice append per probe event);
+// the interval algebra runs once at Attribute time. Not safe for
+// concurrent use: one Profile observes one single-threaded simulation.
+type Profile struct {
+	ivals [NumBuckets][]ival
+}
+
+// NewProfile returns an empty profile.
+func NewProfile() *Profile { return &Profile{} }
+
+// Observe records one activity window. Zero-length windows (instant
+// events: cache writebacks, fault markers) carry no cycles and are
+// dropped.
+func (p *Profile) Observe(b Bucket, start, end uint64) {
+	if end <= start {
+		return
+	}
+	p.ivals[b] = append(p.ivals[b], ival{start, end})
+}
+
+// Listener adapts a bucket to the probe API: subscribe it with
+// Probe.Listen and every span event fired on the probe lands in b.
+func (p *Profile) Listener(b Bucket) func(Event) {
+	return func(ev Event) { p.Observe(b, ev.Start, ev.End) }
+}
+
+// Reset clears collected windows, retaining capacity, so one Profile can
+// observe a sweep of design points without reallocating.
+func (p *Profile) Reset() {
+	for b := range p.ivals {
+		p.ivals[b] = p.ivals[b][:0]
+	}
+}
+
+// Attribution is the result of one attribution pass: exclusive tick
+// counts per bucket. The counts sum to Total exactly — every tick of
+// [0, Total) lands in precisely one bucket — which the MachSuite
+// regression gate asserts kernel by kernel.
+type Attribution struct {
+	Ticks [NumBuckets]uint64
+	Total uint64
+}
+
+// Attribute charges every tick of [0, total) to exactly one bucket:
+// buckets claim their activity windows in priority order (earlier buckets
+// win overlaps), windows are clipped to [0, total), and unclaimed ticks
+// fall to BucketIdle. The pass is O(n log n) in recorded windows.
+func (p *Profile) Attribute(total uint64) Attribution {
+	att := Attribution{Total: total}
+	var union []ival // claimed so far, sorted, disjoint
+	for b := 0; b < int(BucketIdle); b++ {
+		m := canon(p.ivals[b], total)
+		if len(m) == 0 {
+			continue
+		}
+		att.Ticks[b] = dur(subtract(m, union))
+		union = merge(union, m)
+	}
+	claimed := dur(union)
+	att.Ticks[BucketIdle] = total - claimed
+	return att
+}
+
+// Sum returns the bucket total (== Total by construction).
+func (a Attribution) Sum() uint64 {
+	var s uint64
+	for _, t := range a.Ticks {
+		s += t
+	}
+	return s
+}
+
+// WriteFolded writes the attribution in folded-stack format — one
+// "root;bucket count" line per non-empty bucket — the input format of
+// flamegraph.pl and speedscope. Counts are ticks.
+func (a Attribution) WriteFolded(w io.Writer, root string) error {
+	for b := 0; b < NumBuckets; b++ {
+		if a.Ticks[b] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s;%s %d\n", root, Bucket(b), a.Ticks[b]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// canon sorts a copy of ivs, clips to [0, limit), and merges overlaps,
+// returning a disjoint ascending list.
+func canon(ivs []ival, limit uint64) []ival {
+	out := make([]ival, 0, len(ivs))
+	for _, iv := range ivs {
+		if iv.start >= limit {
+			continue
+		}
+		if iv.end > limit {
+			iv.end = limit
+		}
+		out = append(out, iv)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].start < out[j].start })
+	return coalesce(out)
+}
+
+// coalesce merges overlapping/abutting intervals of a sorted list in
+// place.
+func coalesce(ivs []ival) []ival {
+	if len(ivs) == 0 {
+		return ivs
+	}
+	out := ivs[:1]
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.start <= last.end {
+			if iv.end > last.end {
+				last.end = iv.end
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// merge unions two disjoint sorted lists into a new disjoint sorted list.
+func merge(a, b []ival) []ival {
+	out := make([]ival, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j == len(b) || (i < len(a) && a[i].start <= b[j].start) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return coalesce(out)
+}
+
+// subtract returns a minus b; both disjoint and sorted.
+func subtract(a, b []ival) []ival {
+	var out []ival
+	j := 0
+	for _, iv := range a {
+		cur := iv
+		for j < len(b) && b[j].end <= cur.start {
+			j++
+		}
+		k := j
+		for k < len(b) && b[k].start < cur.end {
+			if b[k].start > cur.start {
+				out = append(out, ival{cur.start, b[k].start})
+			}
+			if b[k].end >= cur.end {
+				cur.start = cur.end
+				break
+			}
+			cur.start = b[k].end
+			k++
+		}
+		if cur.start < cur.end {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// dur sums interval lengths.
+func dur(ivs []ival) uint64 {
+	var d uint64
+	for _, iv := range ivs {
+		d += iv.end - iv.start
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestAttributePriorityAndExactSum(t *testing.T) {
+	p := NewProfile()
+	// Compute covers [10,50); DMA [0,20) and [40,80); bus [0,100).
+	p.Observe(BucketCompute, 10, 50)
+	p.Observe(BucketDMA, 0, 20)
+	p.Observe(BucketDMA, 40, 80)
+	p.Observe(BucketBus, 0, 100)
+	att := p.Attribute(120)
+
+	if att.Ticks[BucketCompute] != 40 {
+		t.Fatalf("compute = %d, want 40", att.Ticks[BucketCompute])
+	}
+	// DMA keeps [0,10) and [50,80): 10 + 30.
+	if att.Ticks[BucketDMA] != 40 {
+		t.Fatalf("dma = %d, want 40", att.Ticks[BucketDMA])
+	}
+	// Bus keeps [80,100): everything else was claimed above it.
+	if att.Ticks[BucketBus] != 20 {
+		t.Fatalf("bus = %d, want 20", att.Ticks[BucketBus])
+	}
+	if att.Ticks[BucketIdle] != 20 {
+		t.Fatalf("idle = %d, want 20", att.Ticks[BucketIdle])
+	}
+	if att.Sum() != att.Total || att.Total != 120 {
+		t.Fatalf("sum %d != total %d", att.Sum(), att.Total)
+	}
+}
+
+func TestAttributeClipsAndDropsInstants(t *testing.T) {
+	p := NewProfile()
+	p.Observe(BucketDRAM, 90, 200) // clipped to [90,100)
+	p.Observe(BucketDRAM, 150, 160)
+	p.Observe(BucketBus, 5, 5) // instant: dropped
+	ev := Event{Name: "writeback", Start: 7, End: 7}
+	p.Listener(BucketCacheMiss)(ev) // instant via listener: dropped
+	att := p.Attribute(100)
+	if att.Ticks[BucketDRAM] != 10 || att.Ticks[BucketBus] != 0 || att.Ticks[BucketCacheMiss] != 0 {
+		t.Fatalf("attribution = %+v", att.Ticks)
+	}
+	if att.Ticks[BucketIdle] != 90 || att.Sum() != 100 {
+		t.Fatalf("idle=%d sum=%d", att.Ticks[BucketIdle], att.Sum())
+	}
+}
+
+func TestAttributeRandomizedSumInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		p := NewProfile()
+		total := uint64(rng.Intn(1000) + 1)
+		for b := 0; b < int(BucketIdle); b++ {
+			for k := rng.Intn(20); k > 0; k-- {
+				start := uint64(rng.Intn(1200))
+				p.Observe(Bucket(b), start, start+uint64(rng.Intn(300)))
+			}
+		}
+		att := p.Attribute(total)
+		if att.Sum() != total {
+			t.Fatalf("trial %d: sum %d != total %d (ticks %v)",
+				trial, att.Sum(), total, att.Ticks)
+		}
+		// Reset keeps the profile reusable: everything becomes idle.
+		p.Reset()
+		att = p.Attribute(total)
+		if att.Ticks[BucketIdle] != total {
+			t.Fatalf("trial %d: reset profile attributed %v", trial, att.Ticks)
+		}
+	}
+}
+
+func TestWriteFolded(t *testing.T) {
+	p := NewProfile()
+	p.Observe(BucketCompute, 0, 30)
+	p.Observe(BucketDMA, 30, 50)
+	att := p.Attribute(60)
+	var buf bytes.Buffer
+	if err := att.WriteFolded(&buf, "gemm"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{"gemm;compute 30", "gemm;dma 20", "gemm;idle 10"}
+	if len(lines) != len(want) {
+		t.Fatalf("folded output:\n%s", buf.String())
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Fatalf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}
+
+func TestBucketNames(t *testing.T) {
+	seen := map[string]bool{}
+	for b := 0; b < NumBuckets; b++ {
+		name := Bucket(b).String()
+		if name == "" || strings.Contains(name, "Bucket(") {
+			t.Fatalf("bucket %d unnamed: %q", b, name)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate bucket name %q", name)
+		}
+		seen[name] = true
+	}
+}

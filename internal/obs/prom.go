@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PromName sanitizes a dotted stat path into a legal Prometheus metric
+// name: every character outside [a-zA-Z0-9_:] becomes '_' (dots
+// included), and a leading digit gains a '_' prefix. Distinct paths can
+// collide after sanitization ("a.b" and "a_b"); DumpProm deduplicates
+// those deterministically.
+func PromName(path string) string {
+	var b strings.Builder
+	b.Grow(len(path) + 1)
+	for i := 0; i < len(path); i++ {
+		c := path[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promEscapeHelp escapes a HELP text per the exposition format.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// promFloat renders a float in exposition format (NaN/±Inf spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// DumpProm writes the registry in the Prometheus text exposition format:
+// a # HELP and # TYPE line per metric, sanitized names, counters and
+// gauges as scalars, histograms as cumulative _bucket/_sum/_count series.
+// Paths that sanitize to the same metric name are deduplicated by
+// appending _2, _3, … in path order, so every registered stat scrapes
+// under a distinct, stable name.
+func (r *Registry) DumpProm(w io.Writer) error {
+	stats := r.sorted()
+	names := make([]string, len(stats))
+	used := make(map[string]int, len(stats))
+	for i, s := range stats {
+		name := PromName(s.path)
+		if n := used[name]; n > 0 {
+			used[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n+1)
+		}
+		used[name]++
+		names[i] = name
+	}
+	for i, s := range stats {
+		name := names[i]
+		typ := "gauge"
+		if s.kind == KindCounter {
+			typ = "counter"
+		}
+		if s.kind == KindHistogram {
+			typ = "histogram"
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			name, promEscapeHelp(s.desc), name, typ); err != nil {
+			return err
+		}
+		var err error
+		switch s.kind {
+		case KindCounter:
+			_, err = fmt.Fprintf(w, "%s %d\n", name, s.intFn())
+		case KindGauge, KindFormula:
+			_, err = fmt.Fprintf(w, "%s %s\n", name, promFloat(s.floatFn()))
+		case KindHistogram:
+			h := s.hist
+			var cum uint64
+			for bi, c := range h.counts {
+				cum += c
+				le := "+Inf"
+				if bi < len(h.bounds) {
+					le = promFloat(h.bounds[bi])
+				}
+				if _, err = fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+					return err
+				}
+			}
+			_, err = fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n",
+				name, promFloat(h.sum), name, h.samples)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

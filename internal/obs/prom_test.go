@@ -1,0 +1,256 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromNameSanitization(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"serve.cache.hit_rate", "serve_cache_hit_rate"},
+		{"accel.0.dma.bytes_moved", "accel_0_dma_bytes_moved"},
+		{"9lives", "_9lives"},
+		{"a-b c/d", "a_b_c_d"},
+		{"ns:sub", "ns:sub"},
+		{"", "_"},
+		{"τ.x", "___x"}, // multi-byte runes sanitize per byte
+	}
+	for _, c := range cases {
+		if got := PromName(c.in); got != c.want {
+			t.Errorf("PromName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDumpPromExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("svc.requests", "requests served")
+	c.Add(7)
+	r.GaugeFunc("svc.depth", "queue depth", func() float64 { return 2.5 })
+	r.Formula("svc.bad", "can be non-finite", func() float64 { return math.Inf(1) })
+	h := r.Histogram("svc.latency_ms", "latency", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(100)
+
+	var buf bytes.Buffer
+	if err := r.DumpProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP svc_requests requests served",
+		"# TYPE svc_requests counter",
+		"svc_requests 7",
+		"# TYPE svc_depth gauge",
+		"svc_depth 2.5",
+		"svc_bad +Inf",
+		"# TYPE svc_latency_ms histogram",
+		`svc_latency_ms_bucket{le="1"} 1`,
+		`svc_latency_ms_bucket{le="10"} 2`,
+		`svc_latency_ms_bucket{le="+Inf"} 3`,
+		"svc_latency_ms_sum 105.5",
+		"svc_latency_ms_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "svc.") {
+		t.Fatalf("unsanitized name leaked:\n%s", out)
+	}
+}
+
+func TestDumpPromCollisionDedup(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("a.b", "dotted", func() uint64 { return 1 })
+	r.CounterFunc("a_b", "underscored", func() uint64 { return 2 })
+	r.CounterFunc("a-b", "dashed", func() uint64 { return 3 })
+	var buf bytes.Buffer
+	if err := r.DumpProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Sorted path order: "a-b" < "a.b" < "a_b" (ASCII '-' < '.' < '_').
+	for _, want := range []string{"a_b 3", "a_b_2 1", "a_b_3 2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dedup missing %q:\n%s", want, out)
+		}
+	}
+	var a, b bytes.Buffer
+	_ = r.DumpProm(&a)
+	_ = r.DumpProm(&b)
+	if a.String() != b.String() {
+		t.Fatal("collision dedup not deterministic")
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m.hits", "hits").Add(2)
+	srv := httptest.NewServer(PromHandler(r, nil))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "# TYPE m_hits counter") {
+		t.Fatalf("prom endpoint body:\n%s", body)
+	}
+	if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+		t.Fatalf("Cache-Control = %q", got)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Accept", "application/grpc")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("unsupported Accept returned %d, want 406", resp.StatusCode)
+	}
+}
+
+func TestHandlerHardening(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("svc.requests", "requests").Add(1)
+	srv := httptest.NewServer(Handler(r, nil))
+	defer srv.Close()
+
+	// HEAD: headers, no body.
+	resp, err := http.Head(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) != 0 {
+		t.Fatalf("HEAD returned a body: %q", body)
+	}
+	if resp.StatusCode != http.StatusOK ||
+		resp.Header.Get("Cache-Control") != "no-store" ||
+		!strings.HasPrefix(resp.Header.Get("Content-Type"), "text/plain") {
+		t.Fatalf("HEAD response: %d %v", resp.StatusCode, resp.Header)
+	}
+
+	// Unsupported Accept: 406, not a silent text default.
+	req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+	req.Header.Set("Accept", "image/png")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotAcceptable {
+		t.Fatalf("Accept: image/png returned %d, want 406", resp.StatusCode)
+	}
+
+	// Wildcards and explicit types still negotiate.
+	for _, accept := range []string{"", "*/*", "text/*", "text/plain",
+		"application/json", "text/html;q=0.9, */*;q=0.1"} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("Accept %q returned %d, want 200", accept, resp.StatusCode)
+		}
+	}
+
+	// ?format=json still wins regardless of Accept.
+	resp, err = http.Get(srv.URL + "?format=json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("format=json Content-Type = %q", ct)
+	}
+}
+
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	mk := func() *Histogram {
+		return &Histogram{bounds: []float64{10, 20}, counts: make([]uint64, 3)}
+	}
+
+	// Zero samples: every quantile is 0.
+	h := mk()
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single sample: every quantile is that sample.
+	h = mk()
+	h.Observe(15)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := h.Quantile(q); got != 15 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 15", q, got)
+		}
+	}
+
+	// q outside [0,1] clamps to min/max.
+	h = mk()
+	h.Observe(5)
+	h.Observe(25)
+	if h.Quantile(-0.5) != 5 || h.Quantile(2) != 25 {
+		t.Fatalf("clamping wrong: q<0 -> %v, q>1 -> %v", h.Quantile(-0.5), h.Quantile(2))
+	}
+
+	// All mass in the overflow bucket: estimates stay within [min, max].
+	h = mk()
+	for _, v := range []float64{100, 200, 300} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0, 0.3, 0.6, 0.99, 1} {
+		got := h.Quantile(q)
+		if got < 100 || got > 300 {
+			t.Fatalf("overflow-bucket Quantile(%v) = %v outside [100,300]", q, got)
+		}
+	}
+
+	// NaN observations are dropped entirely.
+	h = mk()
+	h.Observe(math.NaN())
+	if h.Samples() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("NaN observation recorded: samples=%d", h.Samples())
+	}
+	h.Observe(12)
+	h.Observe(math.NaN())
+	if h.Samples() != 1 || h.Quantile(0.5) != 12 {
+		t.Fatalf("NaN polluted histogram: samples=%d p50=%v", h.Samples(), h.Quantile(0.5))
+	}
+
+	// ±Inf land in the outermost buckets and saturate min/max without
+	// breaking interior estimates.
+	h = mk()
+	h.Observe(math.Inf(-1))
+	h.Observe(15)
+	h.Observe(math.Inf(1))
+	if h.counts[0] != 1 || h.counts[2] != 1 {
+		t.Fatalf("Inf bucketing wrong: %v", h.counts)
+	}
+	if h.Quantile(0) != math.Inf(-1) || h.Quantile(1) != math.Inf(1) {
+		t.Fatal("Inf extremes lost")
+	}
+	mid := h.Quantile(0.5)
+	if math.IsNaN(mid) {
+		t.Fatalf("interior quantile NaN with Inf extremes: %v", mid)
+	}
+}

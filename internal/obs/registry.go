@@ -90,8 +90,13 @@ type Histogram struct {
 	max     float64
 }
 
-// Observe records one sample.
+// Observe records one sample. NaN observations are dropped — they cannot
+// be bucketed (every comparison is false) and would poison min/max/sum —
+// while ±Inf land in the outermost buckets and saturate min/max.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
 	if h.samples == 0 || v < h.min {
 		h.min = v
 	}
@@ -143,7 +148,7 @@ func (h *Histogram) Quantile(q float64) float64 {
 			continue
 		}
 		lo := h.min
-		if i > 0 {
+		if i > 0 && h.bounds[i-1] > lo {
 			lo = h.bounds[i-1]
 		}
 		hi := h.max

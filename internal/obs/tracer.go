@@ -136,33 +136,66 @@ type traceEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
-// traceFile is the JSON object container form of the format.
-type traceFile struct {
-	TraceEvents     []traceEvent `json:"traceEvents"`
-	DisplayTimeUnit string       `json:"displayTimeUnit"`
+const socPid = 1
+
+// streamWriter accumulates the first write error so trace serialization
+// loops stay unconditional.
+type streamWriter struct {
+	w   io.Writer
+	err error
 }
 
-const socPid = 1
+func (s *streamWriter) write(b []byte) {
+	if s.err == nil {
+		_, s.err = s.w.Write(b)
+	}
+}
+
+func (s *streamWriter) printf(format string, args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintf(s.w, format, args...)
+	}
+}
 
 // WriteJSON flushes any open merge windows and writes the whole timeline.
 // Identical runs produce byte-identical output: tracks serialize in
 // creation order, events in recording order, and metadata uses no
-// map-ordered iteration.
+// map-ordered iteration. Events stream to w one at a time — the timeline
+// is never materialized as one slice, so a long service run's memory
+// ceiling is the recorded events themselves, not a second copy at dump
+// time.
 func (t *Tracer) WriteJSON(w io.Writer) error {
 	for _, fl := range t.flushers {
 		fl()
 	}
-	evs := make([]traceEvent, 0, t.Events()+len(t.tracks)+1)
-	evs = append(evs, traceEvent{
+	sw := &streamWriter{w: w}
+	sw.printf(`{"traceEvents":[`)
+	first := true
+	emit := func(te traceEvent) {
+		if sw.err != nil {
+			return
+		}
+		b, err := json.Marshal(te)
+		if err != nil {
+			sw.err = err
+			return
+		}
+		if !first {
+			sw.printf(",")
+		}
+		first = false
+		sw.write(b)
+	}
+	emit(traceEvent{
 		Name: "process_name", Ph: "M", Pid: socPid, Tid: 0,
 		Args: map[string]any{"name": "gem5-aladdin soc"},
 	})
 	for i, tr := range t.tracks {
-		evs = append(evs, traceEvent{
+		emit(traceEvent{
 			Name: "thread_name", Ph: "M", Pid: socPid, Tid: tr.tid,
 			Args: map[string]any{"name": tr.name},
 		})
-		evs = append(evs, traceEvent{
+		emit(traceEvent{
 			Name: "thread_sort_index", Ph: "M", Pid: socPid, Tid: tr.tid,
 			Args: map[string]any{"sort_index": i},
 		})
@@ -184,11 +217,11 @@ func (t *Tracer) WriteJSON(w io.Writer) error {
 				dur := float64(ev.End-ev.Start) / tickPerMicro
 				te.Dur = &dur
 			}
-			evs = append(evs, te)
+			emit(te)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ns"})
+	sw.printf("],\"displayTimeUnit\":\"ns\"}\n")
+	return sw.err
 }
 
 // eventArgs builds the args payload; JSON map keys marshal sorted, so this

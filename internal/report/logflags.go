@@ -1,0 +1,74 @@
+package report
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+)
+
+// LogFlags bundles the structured-logging flags the CLIs share (-log,
+// -log-format, -log-out). Logging is opt-in: with no -log level the
+// returned logger is nil and callers skip their logging branches entirely,
+// so the default CLI runs do no formatting work and write no log bytes.
+type LogFlags struct {
+	Level  string
+	Format string
+	Out    string
+}
+
+// AddLogFlags registers -log/-log-format/-log-out on fs.
+func AddLogFlags(fs *flag.FlagSet) *LogFlags {
+	f := &LogFlags{}
+	fs.StringVar(&f.Level, "log", "", "enable structured logs at this level (debug, info, warn, error)")
+	fs.StringVar(&f.Format, "log-format", "json", "structured log format: json or text")
+	fs.StringVar(&f.Out, "log-out", "", "write logs to this file instead of stderr")
+	return f
+}
+
+// Logger builds the logger the flags describe. It returns (nil, noop, nil)
+// when logging was not requested; close flushes and closes the log file
+// when one was opened.
+func (f *LogFlags) Logger() (lg *slog.Logger, close func() error, err error) {
+	close = func() error { return nil }
+	if f.Level == "" {
+		return nil, close, nil
+	}
+	var level slog.Level
+	switch strings.ToLower(f.Level) {
+	case "debug":
+		level = slog.LevelDebug
+	case "info":
+		level = slog.LevelInfo
+	case "warn", "warning":
+		level = slog.LevelWarn
+	case "error":
+		level = slog.LevelError
+	default:
+		return nil, close, fmt.Errorf("report: unknown log level %q (want debug, info, warn, or error)", f.Level)
+	}
+	var w io.Writer = os.Stderr
+	if f.Out != "" {
+		file, ferr := os.Create(f.Out)
+		if ferr != nil {
+			return nil, close, ferr
+		}
+		w = file
+		close = file.Close
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	switch strings.ToLower(f.Format) {
+	case "", "json":
+		h = slog.NewJSONHandler(w, opts)
+	case "text":
+		h = slog.NewTextHandler(w, opts)
+	default:
+		err := fmt.Errorf("report: unknown log format %q (want json or text)", f.Format)
+		_ = close()
+		return nil, func() error { return nil }, err
+	}
+	return slog.New(h), close, nil
+}

@@ -1,0 +1,89 @@
+package report
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func parseLogFlags(t *testing.T, args ...string) *LogFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := AddLogFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestLogFlagsDisabledByDefault(t *testing.T) {
+	f := parseLogFlags(t)
+	lg, closeFn, err := f.Logger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lg != nil {
+		t.Fatal("logger enabled without -log")
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogFlagsJSONToFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.log")
+	f := parseLogFlags(t, "-log", "info", "-log-out", out)
+	lg, closeFn, err := f.Logger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("sweep done", "kernel", "gemm", "points", 42)
+	lg.Debug("dropped: below level")
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("log lines = %d, want 1 (debug filtered):\n%s", len(lines), data)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v", err)
+	}
+	if rec["msg"] != "sweep done" || rec["kernel"] != "gemm" || rec["points"] != float64(42) {
+		t.Fatalf("log record wrong: %v", rec)
+	}
+}
+
+func TestLogFlagsTextFormat(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "run.log")
+	f := parseLogFlags(t, "-log", "warn", "-log-format", "text", "-log-out", out)
+	lg, closeFn, err := f.Logger()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Warn("slow point", "ms", 1234)
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "msg=\"slow point\"") {
+		t.Fatalf("text log wrong:\n%s", data)
+	}
+}
+
+func TestLogFlagsRejectsBadValues(t *testing.T) {
+	if _, _, err := parseLogFlags(t, "-log", "loud").Logger(); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, _, err := parseLogFlags(t, "-log", "info", "-log-format", "xml").Logger(); err == nil {
+		t.Error("bad format accepted")
+	}
+}

@@ -1,10 +1,14 @@
 package serve
 
 import (
+	"context"
 	"errors"
+	"log/slog"
 	"sync"
+	"time"
 
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/soc"
 )
 
@@ -37,6 +41,14 @@ type entry struct {
 	// Guarded by Server.mu until done closes.
 	waiters int  // requests currently waiting on this point
 	started bool // a worker has claimed it
+
+	// span is the creating request's per-point span; qspan times the wait
+	// from enqueue to worker claim. Both are the nil no-op span when the
+	// creator ran untraced. Written under Server.mu before enqueue; only
+	// the claiming worker touches them afterwards (the mutex is the
+	// happens-before edge).
+	span  *obs.Span
+	qspan *obs.Span
 }
 
 // enqueue appends e to the run queue and wakes one worker. Callers hold s.mu.
@@ -93,24 +105,34 @@ func (s *Server) worker() {
 			close(e.done)
 			s.pointsAbandoned.Add(1)
 			s.mu.Unlock()
+			e.qspan.EndSpan()
+			e.span.SetAttr("abandoned", true)
+			e.span.EndSpan()
 			continue
 		}
 		e.started = true
 		s.mu.Unlock()
 
+		e.qspan.EndSpan()
+		sim := e.span.Child("simulate")
+		started := time.Now()
 		res, err := r.Run(e.g, e.cfg)
+		elapsed := time.Since(started)
 
 		s.mu.Lock()
 		switch {
 		case err == nil:
 			e.res = res
+			sim.SetAttr("cycles", res.Cycles)
 		case errors.Is(err, soc.ErrAborted):
 			e.aborted = true
 			s.pointsAborted.Add(1)
+			sim.SetAttr("aborted", true)
 		default:
 			e.err = err
 			// Failures are not cached: the next request retries.
 			delete(s.cache, e.key)
+			sim.SetAttr("error", err.Error())
 		}
 		if e.err == nil {
 			s.finished(e.key)
@@ -118,6 +140,17 @@ func (s *Server) worker() {
 		close(e.done)
 		s.mu.Unlock()
 		s.pointsSimulated.Add(1)
+		sim.EndSpan()
+		e.span.EndSpan()
+
+		if lg := s.opt.Logger; lg != nil &&
+			s.opt.SlowPoint > 0 && elapsed > s.opt.SlowPoint {
+			lg.LogAttrs(context.Background(), slog.LevelWarn, "slow design point",
+				slog.String("key", e.key),
+				slog.Int64("elapsed_ms", elapsed.Milliseconds()),
+				slog.Int("lanes", e.cfg.Lanes),
+				slog.String("mem", e.cfg.Mem.String()))
+		}
 	}
 }
 
@@ -135,8 +168,10 @@ func (s *Server) finished(key string) {
 // acquire returns the entry for one design point, creating and queueing it
 // on a miss. join reports whether the caller was registered as a waiter (and
 // must call release); hit reports whether the point cost no new simulation
-// (already complete, or joined in flight).
-func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config) (e *entry, join, hit bool) {
+// (already complete, or joined in flight). On a miss the creating request's
+// span (nil when untraced) parents the point's simulation spans, laid out on
+// the given track; joiners share the creator's spans singleflight-style.
+func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config, parent *obs.Span, track int) (e *entry, join, hit bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.cache[key]; ok {
@@ -152,10 +187,25 @@ func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config) (e *entry, jo
 		}
 	}
 	e = &entry{key: key, g: g, cfg: cfg, done: make(chan struct{}), waiters: 1}
+	if parent != nil {
+		e.span = parent.ChildOn("point", track)
+		e.span.SetAttr("key", shortKey(key))
+		e.span.SetAttr("lanes", cfg.Lanes)
+		e.qspan = e.span.Child("queue-wait")
+	}
 	s.cache[key] = e
 	s.cacheMisses.Add(1)
 	s.enqueue(e)
 	return e, true, false
+}
+
+// shortKey abbreviates a content-addressed point key for span attributes
+// and log lines.
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
 }
 
 // release undoes one acquire-join: a request that stops waiting (completed,

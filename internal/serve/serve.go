@@ -18,9 +18,14 @@
 //     slots are released rather than burned on abandoned work.
 //   - Graceful shutdown: Shutdown stops admissions, drains in-flight
 //     sweeps, then joins the workers.
-//   - Observability: /statsz (gem5-style text) and /metrics (JSON) expose
-//     an internal/obs registry with cache hit rate, queue depth, points/s,
-//     and p50/p99 sweep latency.
+//   - Observability: /statsz (gem5-style text, JSON on request) and
+//     /metrics (Prometheus exposition) expose an internal/obs registry
+//     with cache hit rate, queue depth, points/s, and p50/p99 sweep
+//     latency. With Options.Spans set, every request becomes a root span
+//     with children for admission, cache lookup, queue wait, and each
+//     point's simulation; the response carries the trace ID and
+//     GET /trace/{id} replays the trace as Perfetto JSON. Options.Logger
+//     (log/slog) receives request, slow-point, and lifecycle records.
 //
 // Responses are bit-identical to a direct dse.Sweep over the same grid:
 // workers call (*soc.Runner).Run, which is verified bit-identical to
@@ -33,9 +38,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -74,6 +81,18 @@ type Options struct {
 	// BuildKernel resolves a kernel name to its dynamic trace. Defaults to
 	// the MachSuite registry; tests inject cheap synthetic kernels here.
 	BuildKernel func(name string) (*trace.Trace, error)
+
+	// Logger receives structured request, slow-point, and lifecycle
+	// records. Nil disables logging entirely (no formatting work happens).
+	Logger *slog.Logger
+	// Spans, when set, turns every sweep request into a wall-clock trace:
+	// a root span with children for each request phase and design point,
+	// retained for GET /trace/{id} export. Nil disables span tracing at
+	// zero cost (every span handle is the nil no-op span).
+	Spans *obs.SpanTracer
+	// SlowPoint is the per-point simulation duration beyond which a
+	// warning is logged. Zero disables the warning.
+	SlowPoint time.Duration
 }
 
 func (o *Options) setDefaults() {
@@ -168,6 +187,14 @@ func New(opt Options) *Server {
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
+	if lg := s.opt.Logger; lg != nil {
+		lg.Info("sweep service started",
+			"workers", opt.Workers,
+			"queue_depth", opt.QueueDepth,
+			"cache_entries", opt.CacheEntries,
+			"request_timeout", opt.RequestTimeout.String(),
+			"tracing", opt.Spans != nil)
+	}
 	return s
 }
 
@@ -223,16 +250,46 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
-	stats := obs.Handler(s.reg, &s.statsMu)
-	s.mux.Handle("/statsz", stats)
-	s.mux.Handle("/metrics", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		r.Header.Set("Accept", "application/json")
-		stats.ServeHTTP(w, r)
-	}))
+	s.mux.Handle("/statsz", obs.Handler(s.reg, &s.statsMu))
+	s.mux.Handle("/metrics", obs.PromHandler(s.reg, &s.statsMu))
+	s.mux.HandleFunc("/trace/", s.handleTrace)
+}
+
+// handleTrace exports one retained request trace as Chrome trace-event /
+// Perfetto JSON: GET /trace/{id} with the trace ID a sweep response (or
+// its X-Trace-Id header) carried.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "traces are read-only", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/trace/")
+	if id == "" || strings.ContainsRune(id, '/') {
+		http.NotFound(w, r)
+		return
+	}
+	tr := s.opt.Spans
+	if tr == nil || len(tr.Collect(id)) == 0 {
+		http.Error(w, "unknown or expired trace (span tracing may be disabled)",
+			http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Content-Type", "application/json")
+	if r.Method == http.MethodHead {
+		return
+	}
+	if ok, _ := tr.WriteTraceJSON(w, id); !ok {
+		// The trace aged out of the retention ring between the existence
+		// check and the export; nothing was written yet.
+		http.Error(w, "trace expired", http.StatusNotFound)
+	}
 }
 
 // Handler returns the service's HTTP mux: POST /sweep, GET /kernels,
-// /healthz, /statsz (text), /metrics (JSON).
+// /healthz, /statsz (gem5 text), /metrics (Prometheus), /trace/{id}
+// (Perfetto JSON).
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry exposes the service statistics, for embedding in other dumps.
@@ -349,6 +406,10 @@ type SweepResponse struct {
 	Space      []report.Record `json:"space,omitempty"`
 
 	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// TraceID names the request's span trace when the server runs with
+	// span tracing; GET /trace/{id} replays it as Perfetto JSON.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
@@ -359,28 +420,54 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	s.requests.Add(1)
 
+	// The root span covers the request end to end; every handle below is
+	// the nil no-op span when tracing is off.
+	span := s.opt.Spans.StartTrace("sweep")
+	defer span.EndSpan()
+	tid := ""
+	if span != nil {
+		tid = span.TraceID
+		w.Header().Set("X-Trace-Id", tid)
+	}
+	lg := s.opt.Logger
+	fail := func(code int, msg string) {
+		span.SetAttr("error", msg)
+		span.SetAttr("status", code)
+		if lg != nil {
+			lg.LogAttrs(r.Context(), slog.LevelWarn, "sweep rejected",
+				slog.String("trace", tid), slog.Int("status", code),
+				slog.String("err", msg))
+		}
+		http.Error(w, msg, code)
+	}
+
 	var req SweepRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		http.Error(w, "bad sweep request: "+err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, "bad sweep request: "+err.Error())
 		return
 	}
+	span.SetAttr("kernel", req.Kernel)
 	cfgs, err := req.Configs()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		fail(http.StatusBadRequest, err.Error())
 		return
 	}
+	span.SetAttr("points", len(cfgs))
 
 	// Admission: the queue-full case answers immediately so clients can
 	// back off instead of piling onto a saturated simulator.
+	adm := span.Child("admission-wait")
 	select {
 	case s.admit <- struct{}{}:
+		adm.EndSpan()
 	default:
+		adm.EndSpan()
 		s.rejected.Add(1)
 		secs := int((s.opt.RetryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
-		http.Error(w, "sweep queue full", http.StatusTooManyRequests)
+		fail(http.StatusTooManyRequests, "sweep queue full")
 		return
 	}
 	defer func() { <-s.admit }()
@@ -388,7 +475,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		http.Error(w, "server shutting down", http.StatusServiceUnavailable)
+		fail(http.StatusServiceUnavailable, "server shutting down")
 		return
 	}
 	s.wgReq.Add(1)
@@ -405,28 +492,45 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	ctx = obs.WithSpan(ctx, span)
 
+	build := span.Child("build-graph")
 	g, err := s.graphFor(req.Kernel)
+	build.EndSpan()
 	if err != nil {
 		code := http.StatusInternalServerError
 		if errors.Is(err, ErrUnknownKernel) {
 			code = http.StatusBadRequest
 		}
-		http.Error(w, err.Error(), code)
+		fail(code, err.Error())
 		return
 	}
 
 	started := time.Now()
 	resp, code, err := s.sweep(ctx, req, g, cfgs)
 	if err != nil {
-		http.Error(w, err.Error(), code)
+		fail(code, err.Error())
 		return
 	}
 	ms := float64(time.Since(started)) / float64(time.Millisecond)
 	resp.ElapsedMS = ms
+	resp.TraceID = tid
 	s.statsMu.Lock()
 	s.latency.Observe(ms)
 	s.statsMu.Unlock()
+
+	span.SetAttr("evaluated", resp.EvaluatedPoints)
+	span.SetAttr("cached", resp.CachedPoints)
+	if lg != nil {
+		lg.LogAttrs(r.Context(), slog.LevelInfo, "sweep served",
+			slog.String("trace", tid),
+			slog.String("kernel", req.Kernel),
+			slog.Int("requested", resp.RequestedPoints),
+			slog.Int("evaluated", resp.EvaluatedPoints),
+			slog.Int("aborted", resp.AbortedPoints),
+			slog.Int("cached", resp.CachedPoints),
+			slog.Float64("elapsed_ms", ms))
+	}
 
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
@@ -438,17 +542,21 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // waits for the outstanding ones, and assembles the response in request
 // order with aborted points compacted out — the dse.Sweep contract.
 func (s *Server) sweep(ctx context.Context, req SweepRequest, g *ddg.Graph, cfgs []soc.Config) (*SweepResponse, int, error) {
+	span := obs.SpanFromContext(ctx)
 	entries := make([]*entry, len(cfgs))
 	byKey := make(map[string]*entry, len(cfgs))
 	var uniq, joined []*entry
 	cached := 0
+	lookup := span.Child("cache-lookup")
 	for i, cfg := range cfgs {
 		key := dse.PointKey(req.Kernel, cfg)
 		if e, ok := byKey[key]; ok {
 			entries[i] = e // duplicate point within one request
 			continue
 		}
-		e, join, hit := s.acquire(key, g, cfg)
+		// Track i+1 gives each design point its own Perfetto row; track 0
+		// carries the request phases.
+		e, join, hit := s.acquire(key, g, cfg, span, i+1)
 		entries[i] = e
 		byKey[key] = e
 		uniq = append(uniq, e)
@@ -459,14 +567,20 @@ func (s *Server) sweep(ctx context.Context, req SweepRequest, g *ddg.Graph, cfgs
 			cached++
 		}
 	}
+	lookup.SetAttr("unique", len(uniq))
+	lookup.SetAttr("cached", cached)
+	lookup.EndSpan()
 	// Dropping the claims releases unstarted points for skipping whether we
 	// finish, time out, or the client disconnects.
 	defer s.release(joined)
 
+	await := span.Child("await-points")
+	defer await.EndSpan()
 	for _, e := range uniq {
 		select {
 		case <-e.done:
 		case <-ctx.Done():
+			await.SetAttr("timeout", ctx.Err().Error())
 			return nil, http.StatusGatewayTimeout,
 				fmt.Errorf("serve: sweep unfinished: %v", ctx.Err())
 		}
@@ -529,6 +643,11 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 // sweeps drain (bounded by ctx), then the workers exit. On ctx expiry the
 // workers are still told to wind down, but stragglers are not awaited.
 func (s *Server) Shutdown(ctx context.Context) error {
+	lg := s.opt.Logger
+	if lg != nil {
+		lg.Info("shutdown: draining in-flight sweeps",
+			"active", s.activeRequests.Load())
+	}
 	s.mu.Lock()
 	s.closed = true
 	s.mu.Unlock()
@@ -551,6 +670,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	if err == nil {
 		s.wgWorkers.Wait()
+	}
+	if lg != nil {
+		if err != nil {
+			lg.Warn("shutdown: drain timed out; workers abandoned", "err", err.Error())
+		} else {
+			lg.Info("shutdown complete",
+				"points_simulated", s.pointsSimulated.Load(),
+				"requests", s.requests.Load())
+		}
 	}
 	return err
 }

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -17,6 +18,7 @@ import (
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/serve"
 	"gem5aladdin/internal/soc"
@@ -353,19 +355,21 @@ func TestObservabilityEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var doc map[string]any
-	err = json.NewDecoder(resp.Body).Decode(&doc)
+	prom, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if err != nil {
-		t.Fatalf("metrics not JSON: %v", err)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics Content-Type = %q", ct)
 	}
-	sv, _ := doc["serve"].(map[string]any)
-	if sv == nil {
-		t.Fatalf("metrics missing serve subtree: %v", doc)
-	}
-	pts, _ := sv["points"].(map[string]any)
-	if pts == nil || pts["simulated"] != float64(4) {
-		t.Errorf("metrics points.simulated = %v, want 4", pts)
+	for _, want := range []string{
+		"# HELP serve_requests sweep requests received",
+		"# TYPE serve_requests counter",
+		"serve_points_simulated 4",
+		"# TYPE serve_sweep_latency_ms histogram",
+		`serve_sweep_latency_ms_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, prom)
+		}
 	}
 
 	resp, err = http.Get(ts.URL + "/kernels")
@@ -384,5 +388,155 @@ func TestObservabilityEndpoints(t *testing.T) {
 	}
 	if !found {
 		t.Errorf("kernel list %v missing spmv-crs", names)
+	}
+}
+
+// syncBuf is a goroutine-safe bytes.Buffer: request handlers and workers
+// log concurrently.
+type syncBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestTracingAndLogging exercises the request-scoped observability path:
+// a traced, logged sweep returns its trace ID, the trace exports as
+// Perfetto JSON with the request's phase and point spans, every finished
+// span lands in the JSONL sink, and the structured log carries the
+// request and slow-point records tagged with the same trace ID.
+func TestTracingAndLogging(t *testing.T) {
+	var spanLog, logBuf syncBuf
+	opt := serve.Options{
+		Workers:   2,
+		Spans:     obs.NewSpanTracer(&spanLog, 256),
+		Logger:    slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		SlowPoint: time.Nanosecond, // every real simulation is "slow"
+	}
+	_, ts := newTestServer(t, opt)
+
+	code, body := postSweep(t, ts.URL, quickReq())
+	if code != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", code, body)
+	}
+	resp := decodeSweep(t, body)
+	if resp.TraceID == "" {
+		t.Fatal("traced sweep response carries no trace ID")
+	}
+
+	// The trace exports as Chrome trace-event JSON with the request tree.
+	tr, err := http.Get(ts.URL + "/trace/" + resp.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traceBody, _ := io.ReadAll(tr.Body)
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch: %d: %s", tr.StatusCode, traceBody)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traceBody, &doc); err != nil {
+		t.Fatalf("trace not JSON: %v\n%s", err, traceBody)
+	}
+	seen := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			seen[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"sweep", "admission-wait", "cache-lookup",
+		"await-points", "point", "queue-wait", "simulate"} {
+		if !seen[want] {
+			t.Errorf("trace missing %q span; saw %v", want, seen)
+		}
+	}
+
+	// Unknown traces 404.
+	tr, err = http.Get(ts.URL + "/trace/doesnotexist")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown trace returned %d, want 404", tr.StatusCode)
+	}
+
+	// Every finished span is one JSON line in the sink.
+	lines := strings.Split(strings.TrimSpace(spanLog.String()), "\n")
+	if len(lines) < 7 {
+		t.Fatalf("span sink has %d lines, want >= 7:\n%s", len(lines), spanLog.String())
+	}
+	for _, ln := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("span sink line not JSON: %v: %s", err, ln)
+		}
+	}
+
+	// Structured logs: startup, the served request (tagged with the trace
+	// ID), and the slow-point warnings.
+	logs := logBuf.String()
+	for _, want := range []string{
+		"sweep service started", "sweep served", "slow design point",
+		resp.TraceID,
+	} {
+		if !strings.Contains(logs, want) {
+			t.Errorf("log missing %q:\n%s", want, logs)
+		}
+	}
+	for _, ln := range strings.Split(strings.TrimSpace(logs), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(ln), &rec); err != nil {
+			t.Fatalf("log line not JSON: %v: %s", err, ln)
+		}
+	}
+}
+
+// TestUntracedSweepHasNoTraceID pins the zero-cost-off contract at the API
+// boundary: without Options.Spans the response carries no trace ID, no
+// X-Trace-Id header appears, and /trace/{id} is a 404.
+func TestUntracedSweepHasNoTraceID(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+	body, err := json.Marshal(quickReq())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/sweep", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep returned %d: %s", resp.StatusCode, out)
+	}
+	if h := resp.Header.Get("X-Trace-Id"); h != "" {
+		t.Errorf("untraced sweep set X-Trace-Id %q", h)
+	}
+	if sr := decodeSweep(t, out); sr.TraceID != "" {
+		t.Errorf("untraced sweep response has trace ID %q", sr.TraceID)
+	}
+	tr, err := http.Get(ts.URL + "/trace/anything")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Body.Close()
+	if tr.StatusCode != http.StatusNotFound {
+		t.Errorf("trace endpoint without tracer returned %d, want 404", tr.StatusCode)
 	}
 }

@@ -14,6 +14,7 @@ package sim
 
 import (
 	"fmt"
+	"log/slog"
 	"strings"
 )
 
@@ -49,6 +50,22 @@ type StallError struct {
 	PendingEvents int
 	// Items lists each watched component with in-flight work.
 	Items []StallItem
+}
+
+// LogValue renders the stall as a structured log group, so services that
+// log a stalled design point get queryable fields (reason, tick, per-item
+// in-flight counts) instead of a flattened multi-line string.
+func (e *StallError) LogValue() slog.Value {
+	attrs := []slog.Attr{
+		slog.String("reason", e.Reason),
+		slog.Uint64("tick", uint64(e.Now)),
+		slog.Uint64("events_fired", e.EventsFired),
+		slog.Int("events_pending", e.PendingEvents),
+	}
+	for _, it := range e.Items {
+		attrs = append(attrs, slog.Int("inflight."+it.Name, it.InFlight))
+	}
+	return slog.GroupValue(attrs...)
 }
 
 // Error renders the multi-line diagnostic.

@@ -342,19 +342,25 @@ func (f *fabric) observe(o *obs.Observer) {
 	if f.san != nil {
 		f.san.RegisterStats(reg, o.Path("soc.sanitize"))
 	}
-	if o.Tracing() {
+	if o.Observing() {
 		busProbe := &obs.Probe{}
 		f.bus.AttachProbe(busProbe)
-		o.Tracer.Subscribe(busProbe, o.Path("bus"))
 		dramProbe := &obs.Probe{}
 		f.dram.AttachProbe(dramProbe)
-		o.Tracer.SubscribeFunc(dramProbe, func(ev obs.Event) string {
-			return o.Path(fmt.Sprintf("dram.bank%d", ev.Lane))
-		})
-		if f.inj != nil {
-			faultProbe := &obs.Probe{}
-			f.inj.AttachProbe(faultProbe)
-			o.Tracer.Subscribe(faultProbe, o.Path("faults"))
+		if o.Tracing() {
+			o.Tracer.Subscribe(busProbe, o.Path("bus"))
+			o.Tracer.SubscribeFunc(dramProbe, func(ev obs.Event) string {
+				return o.Path(fmt.Sprintf("dram.bank%d", ev.Lane))
+			})
+			if f.inj != nil {
+				faultProbe := &obs.Probe{}
+				f.inj.AttachProbe(faultProbe)
+				o.Tracer.Subscribe(faultProbe, o.Path("faults"))
+			}
+		}
+		if o.Profiling() {
+			busProbe.Listen(o.Profile.Listener(obs.BucketBus))
+			dramProbe.Listen(o.Profile.Listener(obs.BucketDRAM))
 		}
 	}
 }
@@ -483,24 +489,43 @@ func (inst *instance) observe(o *obs.Observer, idx int) {
 		}
 	}
 
-	if !o.Tracing() {
+	if !o.Observing() {
 		return
 	}
 	inst.dpProbe = &obs.Probe{}
-	// Coalesce the per-node retire stream into per-lane busy windows; gaps
-	// of more than eight accelerator cycles stay visible as stalls.
-	gap := uint64(inst.dpCfg.Clock.Cycles(8))
-	o.Tracer.MergeLanes(inst.dpProbe, o.Path(tpfx+"datapath.lane%d"), "busy", gap)
+	if o.Tracing() {
+		// Coalesce the per-node retire stream into per-lane busy windows;
+		// gaps of more than eight accelerator cycles stay visible as stalls.
+		gap := uint64(inst.dpCfg.Clock.Cycles(8))
+		o.Tracer.MergeLanes(inst.dpProbe, o.Path(tpfx+"datapath.lane%d"), "busy", gap)
+	}
+	if o.Profiling() {
+		inst.dpProbe.Listen(o.Profile.Listener(obs.BucketCompute))
+	}
 	if inst.engDMA != nil {
 		transfer, flush := &obs.Probe{}, &obs.Probe{}
 		inst.engDMA.AttachProbe(transfer, flush)
-		o.Tracer.Subscribe(transfer, o.Path(tpfx+"dma"))
-		o.Tracer.Subscribe(flush, o.Path(tpfx+"cpu.flush"))
+		if o.Tracing() {
+			o.Tracer.Subscribe(transfer, o.Path(tpfx+"dma"))
+			o.Tracer.Subscribe(flush, o.Path(tpfx+"cpu.flush"))
+		}
+		if o.Profiling() {
+			transfer.Listen(o.Profile.Listener(obs.BucketDMA))
+			flush.Listen(o.Profile.Listener(obs.BucketFlush))
+		}
 	}
 	if inst.cch != nil {
 		cacheProbe := &obs.Probe{}
 		inst.cch.AttachProbe(cacheProbe)
-		o.Tracer.Subscribe(cacheProbe, o.Path(tpfx+"cache"))
+		if o.Tracing() {
+			o.Tracer.Subscribe(cacheProbe, o.Path(tpfx+"cache"))
+		}
+		if o.Profiling() {
+			// Fill spans cover MSHR allocation to line install: miss
+			// service (and MSHR-stall) time. Writeback instants carry no
+			// duration and fall out of attribution.
+			cacheProbe.Listen(o.Profile.Listener(obs.BucketCacheMiss))
+		}
 	}
 }
 
@@ -720,6 +745,25 @@ func (r *Runner) Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 	var r Runner
 	return r.Run(g, cfg)
+}
+
+// ProfileRun executes one invocation with the cycle-attribution profiler
+// subscribed to every component probe (datapath lanes, DMA, CPU flush,
+// cache misses, bus, DRAM) and returns the run result together with the
+// attribution of every simulated tick in [0, Runtime) to exactly one
+// bucket. cfg.Obs is replaced by a run-private observer: attribution
+// needs its own probe wiring, and stat registration paths may not repeat
+// within a shared registry. The attribution's bucket ticks sum to
+// res.Runtime bit-exactly (the MachSuite regression gate asserts this for
+// every kernel).
+func ProfileRun(g *ddg.Graph, cfg Config) (*RunResult, obs.Attribution, error) {
+	prof := obs.NewProfile()
+	cfg.Obs = &obs.Observer{Registry: obs.NewRegistry(), Profile: prof}
+	res, err := Run(g, cfg)
+	if err != nil {
+		return nil, obs.Attribution{}, err
+	}
+	return res, prof.Attribute(uint64(res.Runtime)), nil
 }
 
 // MultiResult is the outcome of a multi-accelerator run.
