@@ -23,14 +23,19 @@
 //		b.BeginIter()
 //		b.Store(y, i, b.FAdd(b.FMul(a, b.Load(x, i)), b.Load(y, i)))
 //	}
-//	result, err := gem5aladdin.Run(b.Finish(), gem5aladdin.DefaultConfig())
+//	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(b.Finish()))
+//	result, err := gem5aladdin.Run(k, gem5aladdin.DefaultConfig())
 //
 // # Design spaces
 //
-// Build the dependence graph once with BuildGraph and sweep Configs over
-// it with RunGraph (or the explorer in internal/dse via cmd/dse); the
-// nineteen MachSuite benchmarks of the paper's evaluation are available
-// through Benchmarks and BuildBenchmark.
+// Compile a kernel once and sweep Configs over the shared artifact: the
+// Kernel precomputes everything that does not depend on the design point
+// (lane schedules, operation classes, transfer manifests), so each point
+// costs only the simulation itself. Sweep, ParetoFront, and EDPOptimal
+// (this package) drive the co-design studies programmatically, and cmd/dse
+// does the same from the command line; the nineteen MachSuite benchmarks
+// of the paper's evaluation are available through Benchmarks and
+// BuildBenchmark.
 package gem5aladdin
 
 import (
@@ -109,15 +114,35 @@ func NewKernel(name string) *Builder { return trace.NewBuilder(name) }
 // DefaultConfig returns the paper's nominal system configuration.
 func DefaultConfig() Config { return soc.DefaultConfig() }
 
-// BuildGraph constructs the dependence graph for a trace. Build it once
-// and reuse it across Run calls when sweeping design points.
+// BuildGraph constructs the dependence graph for a trace. Build it once,
+// Compile it, and reuse the Kernel across Run calls when sweeping design
+// points.
 func BuildGraph(tr *Trace) *Graph { return ddg.Build(tr) }
 
-// Run simulates one invocation of the traced kernel under cfg.
-func Run(tr *Trace, cfg Config) (*RunResult, error) { return soc.RunTrace(tr, cfg) }
+// Kernel is the compiled, immutable form of one kernel: the dependence
+// graph plus every product of it that does not depend on the design point
+// (lane schedules, operation classes, DMA transfer manifests, footprints).
+// Compile once per kernel; a Kernel is safe to share read-only across
+// goroutines, sweeps, and repeated Run calls.
+type Kernel = soc.Compiled
 
-// RunGraph simulates one invocation over a prebuilt graph.
-func RunGraph(g *Graph, cfg Config) (*RunResult, error) { return soc.Run(g, cfg) }
+// Compile derives the reusable kernel artifact from a prebuilt graph.
+func Compile(g *Graph) *Kernel { return soc.Compile(g) }
+
+// Run simulates one invocation of the compiled kernel under cfg.
+func Run(k *Kernel, cfg Config) (*RunResult, error) { return soc.Run(k, cfg) }
+
+// RunTrace simulates one invocation straight from a recorded trace,
+// building and compiling internally — convenient for one-shot runs; sweeps
+// should Compile once instead.
+func RunTrace(tr *Trace, cfg Config) (*RunResult, error) { return soc.RunTrace(tr, cfg) }
+
+// RunGraph simulates one invocation over a prebuilt graph, compiling it
+// internally.
+//
+// Deprecated: build the artifact once with Compile and call Run; RunGraph
+// recompiles the kernel on every call.
+func RunGraph(g *Graph, cfg Config) (*RunResult, error) { return soc.RunGraph(g, cfg) }
 
 // MultiResult is the outcome of a multi-accelerator run.
 type MultiResult = soc.MultiResult
@@ -125,9 +150,9 @@ type MultiResult = soc.MultiResult
 // RunMulti launches several accelerators simultaneously on one shared
 // bus, DRAM, and coherence fabric (the multi-accelerator SoC of the
 // paper's Fig 3 diagram). System-level parameters come from the first
-// config.
-func RunMulti(gs []*Graph, cfgs []Config) (*MultiResult, error) {
-	return soc.RunMulti(gs, cfgs)
+// config. The same Kernel may appear more than once.
+func RunMulti(ks []*Kernel, cfgs []Config) (*MultiResult, error) {
+	return soc.RunMulti(ks, cfgs)
 }
 
 // RepeatResult is the outcome of a repeated-invocation run.
@@ -137,8 +162,8 @@ type RepeatResult = soc.RepeatResult
 // and TLB contents persist across rounds. With reuseInputs=true (resident
 // weights/coefficients) a cache interface amortizes its cold misses,
 // while DMA pays the full transfer each call.
-func RunRepeated(g *Graph, cfg Config, invocations int, reuseInputs bool) (*RepeatResult, error) {
-	return soc.RunRepeated(g, cfg, invocations, reuseInputs)
+func RunRepeated(k *Kernel, cfg Config, invocations int, reuseInputs bool) (*RepeatResult, error) {
+	return soc.RunRepeated(k, cfg, invocations, reuseInputs)
 }
 
 // ReassociateReductions rewrites serial reduction chains (acc = acc op x)

@@ -38,7 +38,7 @@ func TestPublicAPIRun(t *testing.T) {
 	for _, mem := range []gem5aladdin.MemKind{gem5aladdin.Isolated, gem5aladdin.DMA, gem5aladdin.Cache} {
 		cfg := gem5aladdin.DefaultConfig()
 		cfg.Mem = mem
-		res, err := gem5aladdin.Run(tr, cfg)
+		res, err := gem5aladdin.RunTrace(tr, cfg)
 		if err != nil {
 			t.Fatalf("%v: %v", mem, err)
 		}
@@ -96,7 +96,7 @@ func Example() {
 		b.BeginIter()
 		b.Store(y, i, b.FMul(two, b.Load(x, i)))
 	}
-	res, err := gem5aladdin.Run(b.Finish(), gem5aladdin.DefaultConfig())
+	res, err := gem5aladdin.RunTrace(b.Finish(), gem5aladdin.DefaultConfig())
 	if err != nil {
 		fmt.Println(err)
 		return
@@ -107,10 +107,10 @@ func Example() {
 
 func TestPublicAPIRunRepeated(t *testing.T) {
 	tr, _ := buildSaxpy(256)
-	g := gem5aladdin.BuildGraph(tr)
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 	cfg := gem5aladdin.DefaultConfig()
 	cfg.Mem = gem5aladdin.Cache
-	rr, err := gem5aladdin.RunRepeated(g, cfg, 3, true)
+	rr, err := gem5aladdin.RunRepeated(k, cfg, 3, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,9 +124,9 @@ func TestPublicAPIRunRepeated(t *testing.T) {
 
 func TestPublicAPIRunMulti(t *testing.T) {
 	tr, _ := buildSaxpy(128)
-	g := gem5aladdin.BuildGraph(tr)
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 	cfg := gem5aladdin.DefaultConfig()
-	multi, err := gem5aladdin.RunMulti([]*gem5aladdin.Graph{g, g},
+	multi, err := gem5aladdin.RunMulti([]*gem5aladdin.Kernel{k, k},
 		[]gem5aladdin.Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
@@ -150,11 +150,11 @@ func TestPublicAPITraceRoundTrip(t *testing.T) {
 		t.Fatal("trace round trip lost nodes")
 	}
 	// The loaded trace simulates identically.
-	a, err := gem5aladdin.Run(tr, gem5aladdin.DefaultConfig())
+	a, err := gem5aladdin.RunTrace(tr, gem5aladdin.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := gem5aladdin.Run(got, gem5aladdin.DefaultConfig())
+	b, err := gem5aladdin.RunTrace(got, gem5aladdin.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -91,7 +91,7 @@ func graphFor(b *testing.B, name string) *ddg.Graph {
 
 func runOnce(b *testing.B, g *ddg.Graph, cfg soc.Config) *soc.RunResult {
 	b.Helper()
-	r, err := soc.Run(g, cfg)
+	r, err := soc.RunGraph(g, cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -322,7 +322,7 @@ func BenchmarkExtensionMultiAccel(b *testing.B) {
 		var us float64
 		for i := 0; i < b.N; i++ {
 			multi, err := soc.RunMulti(
-				[]*ddg.Graph{g1, g2},
+				[]*soc.Compiled{soc.Compile(g1), soc.Compile(g2)},
 				[]soc.Config{cfg, cfg})
 			if err != nil {
 				b.Fatal(err)
@@ -345,7 +345,7 @@ func BenchmarkExtensionRepeatedInvocation(b *testing.B) {
 			cfg.Mem = mem
 			var cold, steady float64
 			for i := 0; i < b.N; i++ {
-				rr, err := soc.RunRepeated(g, cfg, 4, true)
+				rr, err := soc.RunRepeated(soc.Compile(g), cfg, 4, true)
 				if err != nil {
 					b.Fatal(err)
 				}

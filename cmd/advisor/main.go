@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,11 +53,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	g := ddg.Build(tr)
+	kern := soc.Compile(ddg.Build(tr))
 
-	opt := dse.QuickOptions()
+	opt := dse.QuickAxes()
 	if *full {
-		opt = dse.FullOptions()
+		opt = dse.FullAxes()
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
@@ -70,7 +71,7 @@ func main() {
 	}
 
 	sweep := func(cfgs []soc.Config) dse.Space {
-		space, err := dse.Sweep(g, cfgs)
+		space, err := dse.Sweep(context.Background(), kern, cfgs, dse.SweepOptions{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -78,7 +78,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	g := ddg.Build(tr)
+	kern := soc.Compile(ddg.Build(tr))
 
 	cfg := soc.DefaultConfig()
 	switch *mem {
@@ -119,9 +119,10 @@ func main() {
 
 	if lg != nil {
 		lg.Info("run starting", "bench", name, "mem", cfg.Mem.String(),
-			"lanes", cfg.Lanes, "ops", g.NumNodes())
+			"lanes", cfg.Lanes, "ops", kern.NumNodes())
 	}
-	res, err := soc.Run(g, cfg)
+	var runner soc.Runner
+	res, err := runner.Run(kern, cfg)
 	if err != nil {
 		if lg != nil {
 			lg.Error("run failed", "bench", name, "err", err)
@@ -142,7 +143,7 @@ func main() {
 
 	rb.Report(res)
 	fmt.Printf("%s (%d dynamic ops, %d iterations) on %s, %d lanes\n\n",
-		name, g.NumNodes(), len(g.IterRange), cfg.Mem, cfg.Lanes)
+		name, kern.NumNodes(), len(kern.Graph().IterRange), cfg.Mem, cfg.Lanes)
 
 	tb := stats.NewTable("metric", "value")
 	tb.Row("runtime", fmt.Sprintf("%.2f us (%d cycles)", res.Seconds()*1e6, res.Cycles))
@@ -192,7 +193,7 @@ func main() {
 		// Re-run under the cycle-attribution profiler: the run is
 		// deterministic, so the re-simulation reproduces res exactly and
 		// the buckets sum to its cycle count.
-		pres, att, err := soc.ProfileRun(g, cfg)
+		pres, att, err := runner.ProfileRun(kern, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -61,11 +61,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	g := ddg.Build(tr)
+	kern := soc.Compile(ddg.Build(tr))
 
-	opt := dse.QuickOptions()
+	opt := dse.QuickAxes()
 	if *full {
-		opt = dse.FullOptions()
+		opt = dse.FullAxes()
 	}
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
@@ -127,7 +127,7 @@ func main() {
 			"points", len(cfgs), "workers", *jobs, "full", *full)
 	}
 	swept := time.Now()
-	space, err := dse.SweepCtx(ctx, g, cfgs, *jobs, onProgress)
+	space, err := dse.Sweep(ctx, kern, cfgs, dse.SweepOptions{Workers: *jobs, Progress: onProgress})
 	root.EndSpan()
 	if err != nil {
 		if lg != nil {
@@ -161,7 +161,7 @@ func main() {
 	if o := ob.Observer(); o != nil {
 		cfg := best.Cfg
 		cfg.Obs = o
-		if _, err := soc.Run(g, cfg); err != nil {
+		if _, err := soc.Run(kern, cfg); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -211,7 +211,7 @@ func main() {
 	}
 
 	if *profile || *folded != "" {
-		if err := profilePoints(g, space.ParetoFront(), *bench, *folded, *profile); err != nil {
+		if err := profilePoints(kern, space.ParetoFront(), *bench, *folded, *profile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -229,10 +229,11 @@ func pointLabel(cfg soc.Config) string {
 }
 
 // profilePoints re-simulates the Pareto-front points under the
-// cycle-attribution profiler. Every simulated cycle lands in exactly one
+// cycle-attribution profiler, recycling one Runner across the points the
+// way a sweep worker does. Every simulated cycle lands in exactly one
 // bucket, so the percentage rows sum to 100; the folded output feeds
 // flamegraph.pl (or speedscope) directly.
-func profilePoints(g *ddg.Graph, pts dse.Space, bench, foldedPath string, table bool) error {
+func profilePoints(k *soc.Compiled, pts dse.Space, bench, foldedPath string, table bool) error {
 	var fw io.Writer
 	if foldedPath != "" {
 		f, err := os.Create(foldedPath)
@@ -247,8 +248,9 @@ func profilePoints(g *ddg.Graph, pts dse.Space, bench, foldedPath string, table 
 		cols = append(cols, obs.Bucket(b).String())
 	}
 	tb := stats.NewTable(cols...)
+	var r soc.Runner
 	for _, p := range pts {
-		res, att, err := soc.ProfileRun(g, p.Cfg)
+		res, att, err := r.ProfileRun(k, p.Cfg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "dse: profiling %s: %v\n", pointLabel(p.Cfg), err)
 			continue

@@ -21,28 +21,40 @@ type DesignPoint = dse.Point
 // queries FastestUnderPower and LowestPowerWithin.
 type DesignSpace = dse.Space
 
-// Sweep evaluates every configuration over the prebuilt graph g, in
-// parallel across CPUs. Each run owns a private simulation engine, so the
-// results are deterministic regardless of goroutine scheduling. Impossible
-// design points are rejected up front with a *soc.ConfigError; filter
-// candidate lists with Config.Validate (as CacheConfigs does) when
-// enumerating aggressively.
-func Sweep(g *Graph, cfgs []Config) (DesignSpace, error) { return dse.Sweep(g, cfgs) }
+// SweepOptions tunes the sweep's worker pool: Workers sizes it (<= 0
+// selects GOMAXPROCS; each worker owns a reusable soc.Runner, recycling
+// simulation state between design points), and Progress (when non-nil)
+// receives (done, total) after each completed point. The zero value is the
+// default sweep.
+type SweepOptions = dse.SweepOptions
 
-// SweepN is Sweep with explicit worker-pool sizing and progress reporting:
-// workers <= 0 selects GOMAXPROCS, and progress (when non-nil) receives
-// (done, total) after each completed point. Each worker owns a reusable
-// soc.Runner, recycling simulation state between design points.
-func SweepN(g *Graph, cfgs []Config, workers int, progress func(done, total int)) (DesignSpace, error) {
-	return dse.SweepN(g, cfgs, workers, progress)
+// Sweep evaluates every configuration over the compiled kernel, in
+// parallel across the option pool; the artifact is shared read-only by
+// every worker. Each run owns a private simulation engine, so the results
+// are deterministic regardless of goroutine scheduling. Cancelling ctx (or
+// exceeding its deadline) stops the sweep at the next design-point
+// boundary and returns ctx.Err() with no partial space. Impossible design
+// points are rejected up front with a *soc.ConfigError; filter candidate
+// lists with Config.Validate (as CacheConfigs does) when enumerating
+// aggressively.
+func Sweep(ctx context.Context, k *Kernel, cfgs []Config, opts SweepOptions) (DesignSpace, error) {
+	return dse.Sweep(ctx, k, cfgs, opts)
 }
 
-// SweepCtx is SweepN under a context: cancellation or a deadline stops the
-// sweep at the next design-point boundary and returns ctx.Err() with no
-// partial space. Services and interactive tools use it to abandon sweeps
-// whose requester has gone away.
+// SweepN sweeps a prebuilt graph with explicit worker-pool sizing and
+// progress reporting, compiling the kernel internally.
+//
+// Deprecated: Compile once and call Sweep with SweepOptions{Workers,
+// Progress}.
+func SweepN(g *Graph, cfgs []Config, workers int, progress func(done, total int)) (DesignSpace, error) {
+	return dse.Sweep(context.Background(), Compile(g), cfgs, SweepOptions{Workers: workers, Progress: progress})
+}
+
+// SweepCtx is SweepN under a context, compiling the kernel internally.
+//
+// Deprecated: Compile once and call Sweep.
 func SweepCtx(ctx context.Context, g *Graph, cfgs []Config, workers int, progress func(done, total int)) (DesignSpace, error) {
-	return dse.SweepCtx(ctx, g, cfgs, workers, progress)
+	return dse.Sweep(ctx, Compile(g), cfgs, SweepOptions{Workers: workers, Progress: progress})
 }
 
 // ParetoFront returns the points of s not dominated in (runtime, power),
@@ -66,17 +78,27 @@ var ErrEmptySpace = dse.ErrEmptySpace
 // simulations of identical design points.
 func PointKey(kernel string, cfg Config) string { return dse.PointKey(kernel, cfg) }
 
-// SweepOptions sizes the sweep axes; see QuickSweepOptions and
-// FullSweepOptions.
-type SweepOptions = dse.SweepOptions
+// SweepAxes sizes the sweep axes; see QuickSweepAxes and FullSweepAxes.
+type SweepAxes = dse.SweepAxes
 
-// QuickSweepOptions returns pruned sweep axes for tests and fast
-// iteration: lanes and memory sizes are kept, line size and associativity
-// pin to their defaults.
-func QuickSweepOptions() SweepOptions { return dse.QuickOptions() }
+// QuickSweepAxes returns pruned sweep axes for tests and fast iteration:
+// lanes and memory sizes are kept, line size and associativity pin to
+// their defaults.
+func QuickSweepAxes() SweepAxes { return dse.QuickAxes() }
+
+// FullSweepAxes returns the complete Fig 3 parameter table.
+func FullSweepAxes() SweepAxes { return dse.FullAxes() }
+
+// QuickSweepOptions returns the pruned sweep axes.
+//
+// Deprecated: renamed to QuickSweepAxes; SweepOptions now names the
+// worker-pool options of Sweep.
+func QuickSweepOptions() SweepAxes { return dse.QuickAxes() }
 
 // FullSweepOptions returns the complete Fig 3 parameter table.
-func FullSweepOptions() SweepOptions { return dse.FullOptions() }
+//
+// Deprecated: renamed to FullSweepAxes.
+func FullSweepOptions() SweepAxes { return dse.FullAxes() }
 
 // SpadConfigs enumerates lanes x partitions design points for Isolated or
 // DMA memory systems over the given base configuration.

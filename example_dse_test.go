@@ -1,6 +1,7 @@
 package gem5aladdin_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -24,12 +25,13 @@ func ExampleSweep() {
 		b.BeginIter()
 		b.Store(y, i, b.FAdd(b.FMul(a, b.Load(x, i)), b.Load(y, i)))
 	}
-	g := gem5aladdin.BuildGraph(b.Finish())
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(b.Finish()))
 
 	// Enumerate the design space and evaluate every point in parallel.
 	cfgs := gem5aladdin.SpadConfigs(gem5aladdin.DefaultConfig(), gem5aladdin.DMA,
 		[]int{1, 2, 4}, []int{1, 2, 4})
-	space, err := gem5aladdin.Sweep(g, cfgs)
+	space, err := gem5aladdin.Sweep(context.Background(), k, cfgs,
+		gem5aladdin.SweepOptions{})
 	if err != nil {
 		panic(err)
 	}

@@ -18,7 +18,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	g := gem5aladdin.BuildGraph(tr)
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 
 	lanes := []int{1, 2, 4, 8, 16}
 	banks := []int{1, 2, 4, 8, 16}
@@ -34,7 +34,7 @@ func main() {
 				cfg.Mem = mem
 				cfg.Lanes = l
 				cfg.Partitions = p
-				res, err := gem5aladdin.RunGraph(g, cfg)
+				res, err := gem5aladdin.Run(k, cfg)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -60,7 +60,7 @@ func main() {
 	// Deploy the isolated winner in the real system and compare.
 	cfg := gem5aladdin.DefaultConfig()
 	cfg.Lanes, cfg.Partitions = isoBest.lanes, isoBest.banks
-	naive, err := gem5aladdin.RunGraph(g, cfg)
+	naive, err := gem5aladdin.Run(k, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

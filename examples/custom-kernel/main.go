@@ -56,13 +56,13 @@ func main() {
 	}
 	fmt.Printf("histogram of %d values into %d buckets traced: %d ops\n\n", n, buckets, tr.NumNodes())
 
-	g := gem5aladdin.BuildGraph(tr)
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 	fmt.Println("lanes sweep (DMA, all optimizations):")
 	var base float64
 	for _, lanes := range []int{1, 2, 4, 8, 16} {
 		cfg := gem5aladdin.DefaultConfig()
 		cfg.Lanes, cfg.Partitions = lanes, lanes
-		res, err := gem5aladdin.RunGraph(g, cfg)
+		res, err := gem5aladdin.Run(k, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

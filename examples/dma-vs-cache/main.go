@@ -22,11 +22,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		g := gem5aladdin.BuildGraph(tr)
+		k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 
 		dmaCfg := gem5aladdin.DefaultConfig()
 		dmaCfg.Lanes, dmaCfg.Partitions = 4, 4
-		dmaRes, err := gem5aladdin.RunGraph(g, dmaCfg)
+		dmaRes, err := gem5aladdin.Run(k, dmaCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -35,7 +35,7 @@ func main() {
 		cacheCfg.Mem = gem5aladdin.Cache
 		cacheCfg.Lanes = 4
 		cacheCfg.CacheKB = 8
-		cacheRes, err := gem5aladdin.RunGraph(g, cacheCfg)
+		cacheRes, err := gem5aladdin.Run(k, cacheCfg)
 		if err != nil {
 			log.Fatal(err)
 		}

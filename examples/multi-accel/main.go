@@ -22,14 +22,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	md := gem5aladdin.BuildGraph(mdTr)
-	fft := gem5aladdin.BuildGraph(fftTr)
+	md := gem5aladdin.Compile(gem5aladdin.BuildGraph(mdTr))
+	fft := gem5aladdin.Compile(gem5aladdin.BuildGraph(fftTr))
 
 	cfg := gem5aladdin.DefaultConfig()
 	cfg.Lanes, cfg.Partitions = 8, 8
 
-	solo := func(g *gem5aladdin.Graph) *gem5aladdin.RunResult {
-		r, err := gem5aladdin.RunGraph(g, cfg)
+	solo := func(k *gem5aladdin.Kernel) *gem5aladdin.RunResult {
+		r, err := gem5aladdin.Run(k, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,7 +38,7 @@ func main() {
 	mdSolo, fftSolo := solo(md), solo(fft)
 
 	multi, err := gem5aladdin.RunMulti(
-		[]*gem5aladdin.Graph{md, fft},
+		[]*gem5aladdin.Kernel{md, fft},
 		[]gem5aladdin.Config{cfg, cfg})
 	if err != nil {
 		log.Fatal(err)
@@ -57,7 +57,7 @@ func main() {
 	wide := cfg
 	wide.BusWidthBits = 64
 	multi64, err := gem5aladdin.RunMulti(
-		[]*gem5aladdin.Graph{md, fft},
+		[]*gem5aladdin.Kernel{md, fft},
 		[]gem5aladdin.Config{wide, wide})
 	if err != nil {
 		log.Fatal(err)
@@ -69,7 +69,7 @@ func main() {
 	// software flush entirely.
 	coh := cfg
 	coh.CoherentDMA = true
-	mdCoh, err := gem5aladdin.RunGraph(md, coh)
+	mdCoh, err := gem5aladdin.Run(md, coh)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,11 +40,11 @@ func main() {
 	fmt.Printf("dot product of %d elements = %.1f (%d traced ops)\n\n",
 		n, b.GetF64(out, 0), tr.NumNodes())
 
-	g := gem5aladdin.BuildGraph(tr)
+	k := gem5aladdin.Compile(gem5aladdin.BuildGraph(tr))
 	for _, mem := range []gem5aladdin.MemKind{gem5aladdin.Isolated, gem5aladdin.DMA, gem5aladdin.Cache} {
 		cfg := gem5aladdin.DefaultConfig()
 		cfg.Mem = mem
-		res, err := gem5aladdin.RunGraph(g, cfg)
+		res, err := gem5aladdin.Run(k, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -144,9 +144,11 @@ type Result struct {
 }
 
 // laneState tracks one lane's progress through its assigned iterations.
+// iters and waves alias the Program's shared lane layout — read-only here —
+// while cur/pc/pending/blocked are this run's private cursor.
 type laneState struct {
-	iters   []ddg.Range // iteration node ranges, in execution order
-	waves   []int       // wave index of each entry in iters
+	iters   []ddg.Range // iteration node ranges, in execution order (shared)
+	waves   []int       // wave index of each entry in iters (shared)
 	cur     int         // current index into iters
 	pc      int32       // next node within the current range
 	pending int32       // node awaiting an async memory completion
@@ -155,10 +157,11 @@ type laneState struct {
 
 // Datapath is one accelerator instance's scheduler.
 type Datapath struct {
-	cfg Config
-	eng *sim.Engine
-	g   *ddg.Graph
-	mem MemModel
+	cfg  Config
+	eng  *sim.Engine
+	prog *Program
+	g    *ddg.Graph // prog.Graph(), kept unwrapped for the memory-op path
+	mem  MemModel
 
 	indeg []int32
 	lanes []laneState
@@ -202,7 +205,7 @@ type Datapath struct {
 }
 
 // Scratch recycles one Datapath's buffers across runs: Build hands back the
-// same scheduler object with its slices resliced for the new graph and
+// same scheduler object with its slices resliced for the new program and
 // config, so a sweep worker stops paying the per-design-point allocation of
 // dependence counters, lane state, and the completion ring. The zero value
 // is ready to use. A Scratch serves one run at a time: the previously built
@@ -212,19 +215,29 @@ type Scratch struct {
 	dp *Datapath
 }
 
-// Build returns a Datapath over graph g, reusing the scratch's buffers.
-func (sc *Scratch) Build(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datapath {
+// Build returns a Datapath over compiled program p, reusing the scratch's
+// buffers.
+func (sc *Scratch) Build(eng *sim.Engine, p *Program, cfg Config, mem MemModel) *Datapath {
 	if sc.dp == nil {
 		sc.dp = &Datapath{}
 	}
-	sc.dp.reinit(eng, g, cfg, mem)
+	sc.dp.reinit(eng, p, cfg, mem)
 	return sc.dp
 }
 
-// NewDatapath builds a scheduler over graph g with the given memory model.
+// NewDatapath builds a scheduler over graph g with the given memory model,
+// compiling a private Program first. Callers evaluating many design points
+// over one kernel should CompileProgram once and use NewDatapathOver or
+// Scratch.Build.
 func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datapath {
+	return NewDatapathOver(eng, CompileProgram(g), cfg, mem)
+}
+
+// NewDatapathOver builds a scheduler over a compiled program, sharing its
+// flat node arrays and lane layouts instead of re-deriving them.
+func NewDatapathOver(eng *sim.Engine, p *Program, cfg Config, mem MemModel) *Datapath {
 	d := &Datapath{}
-	d.reinit(eng, g, cfg, mem)
+	d.reinit(eng, p, cfg, mem)
 	return d
 }
 
@@ -233,7 +246,7 @@ func NewDatapath(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) *Datap
 // it between invocations of one accelerator (RunRepeated rounds) in place of
 // building a fresh scheduler. The caller must ensure the previous run has
 // drained (no datapath event still queued on the engine).
-func (d *Datapath) Reset() { d.reinit(d.eng, d.g, d.cfg, d.mem) }
+func (d *Datapath) Reset() { d.reinit(d.eng, d.prog, d.cfg, d.mem) }
 
 // grow returns s resliced to n elements, reallocating only when capacity is
 // insufficient. Contents are unspecified; callers overwrite or zero.
@@ -246,32 +259,41 @@ func grow[T any](s []T, n int) []T {
 
 // reinit (re)initializes the datapath in place; see NewDatapath, Reset, and
 // Scratch.Build for the three entry points.
-func (d *Datapath) reinit(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemModel) {
+func (d *Datapath) reinit(eng *sim.Engine, p *Program, cfg Config, mem MemModel) {
 	if cfg.Lanes <= 0 {
 		panic("core: non-positive lane count")
 	}
 	if cfg.Clock.Period == 0 {
 		panic("core: zero clock period")
 	}
+	g := p.Graph()
 	n := g.NumNodes()
 	for _, lat := range cfg.Latencies {
 		if uint64(lat) >= completionWindow {
 			panic("core: functional-unit latency exceeds the completion window")
 		}
 	}
-	d.cfg, d.eng, d.g, d.mem = cfg, eng, g, mem
+	d.cfg, d.eng, d.prog, d.g, d.mem = cfg, eng, p, g, mem
 	d.indeg = grow(d.indeg, n)
 	copy(d.indeg, g.InDeg)
 	if d.tickEv == nil {
 		d.tickEv = sim.NewEvent(d.tick)
 	}
+	// Iteration-to-lane assignment comes precomputed from the program:
+	// prelude nodes run on lane 0 as wave 0, iteration k of the kernel loop
+	// is wave k/L + 1. The per-run state is just the cursors and a copy of
+	// the wave-counter template.
+	lay := p.layout(cfg.Lanes)
 	d.lanes = grow(d.lanes, cfg.Lanes)
 	for i := range d.lanes {
 		ln := &d.lanes[i]
-		ln.iters = ln.iters[:0]
-		ln.waves = ln.waves[:0]
+		ln.iters = lay.lanes[i].iters
+		ln.waves = lay.lanes[i].waves
 		ln.cur, ln.pc, ln.pending, ln.blocked = 0, -1, 0, false
 	}
+	d.waveRemaining = grow(d.waveRemaining, len(lay.waveRemaining))
+	copy(d.waveRemaining, lay.waveRemaining)
+	d.completeWave = -1
 	for len(d.completeFns) < cfg.Lanes {
 		lane := len(d.completeFns)
 		d.completeFns = append(d.completeFns, func() { d.asyncComplete(lane) })
@@ -294,25 +316,6 @@ func (d *Datapath) reinit(eng *sim.Engine, g *ddg.Graph, cfg Config, mem MemMode
 	d.intervals = d.intervals[:0]
 	d.lastActive, d.activeOpen = 0, false
 	d.probe = nil
-
-	// Assign iterations to lanes; prelude nodes run on lane 0 as wave 0,
-	// iteration k of the kernel loop is wave k/L + 1.
-	nWaves := 1 + (len(g.IterRange)+cfg.Lanes-1)/cfg.Lanes
-	d.waveRemaining = grow(d.waveRemaining, nWaves+1)
-	clear(d.waveRemaining)
-	d.completeWave = -1
-	if g.Prelude.Len() > 0 {
-		d.lanes[0].iters = append(d.lanes[0].iters, g.Prelude)
-		d.lanes[0].waves = append(d.lanes[0].waves, 0)
-		d.waveRemaining[0] += g.Prelude.Len()
-	}
-	for k, r := range g.IterRange {
-		lane := k % cfg.Lanes
-		wave := k/cfg.Lanes + 1
-		d.lanes[lane].iters = append(d.lanes[lane].iters, r)
-		d.lanes[lane].waves = append(d.lanes[lane].waves, wave)
-		d.waveRemaining[wave] += r.Len()
-	}
 }
 
 // AttachProbe wires an observability probe; the datapath fires one span per
@@ -465,7 +468,7 @@ func (d *Datapath) tick() {
 		if !ok {
 			continue
 		}
-		nd := &d.g.Trace.Nodes[id]
+		kind := d.prog.kinds[id]
 		// Wave barrier: a node may issue only when every prior wave is
 		// fully complete.
 		if !d.cfg.NoBarrier && ln.waves[ln.cur] > d.completeWave+1 {
@@ -478,29 +481,29 @@ func (d *Datapath) tick() {
 			anyStalledRetry = true
 			continue
 		}
-		if nd.Kind.IsMem() {
+		if kind.IsMem() {
 			// pending is set before the attempt so the lane's pre-bound
 			// callback resolves the right node; it is only consulted when
 			// the model answers IssueAsync (completion callbacks never
 			// fire synchronously inside Issue).
 			ln.pending = id
-			switch d.mem.Issue(id, nd, d.cycle, d.completeFns[li]) {
+			switch d.mem.Issue(id, &d.g.Trace.Nodes[id], d.cycle, d.completeFns[li]) {
 			case IssueRetry:
 				d.stats.MemStalls++
 				anyStalledRetry = true
 				continue
 			case IssueLocal:
-				d.issue(ln, li, id, 1)
+				d.issue(ln, li, id, kind, 1)
 			case IssueAsync:
-				d.issue(ln, li, id, 0)
+				d.issue(ln, li, id, kind, 0)
 				ln.blocked = true
 			}
 		} else {
-			lat := uint64(d.cfg.Latencies[nd.Kind])
+			lat := uint64(d.cfg.Latencies[kind])
 			if lat == 0 {
 				lat = 1
 			}
-			d.issue(ln, li, id, lat)
+			d.issue(ln, li, id, kind, lat)
 		}
 		anyIssued = true
 	}
@@ -548,9 +551,8 @@ func (d *Datapath) nextNode(ln *laneState) (int32, bool) {
 	return 0, false
 }
 
-func (d *Datapath) issue(ln *laneState, lane int, id int32, lat uint64) {
-	nd := &d.g.Trace.Nodes[id]
-	d.stats.OpsIssued[nd.Kind]++
+func (d *Datapath) issue(ln *laneState, lane int, id int32, kind trace.OpKind, lat uint64) {
+	d.stats.OpsIssued[kind]++
 	d.stats.LaneOps[lane]++
 	ln.pc = id + 1
 	d.inFlight++
@@ -576,7 +578,7 @@ func (d *Datapath) complete(id int32) {
 		d.sched[id].Complete = d.eng.Now()
 	}
 	if d.probe.Enabled() {
-		d.probe.Fire(obs.Event{Name: d.g.Trace.Nodes[id].Kind.String(),
+		d.probe.Fire(obs.Event{Name: d.prog.kinds[id].String(),
 			Start: uint64(d.sched[id].Issue), End: uint64(d.eng.Now()),
 			Lane: d.sched[id].Lane, Count: 1})
 	}
@@ -594,7 +596,7 @@ func (d *Datapath) complete(id int32) {
 }
 
 func (d *Datapath) waveOf(id int32) int {
-	it := d.g.Trace.Nodes[id].Iter
+	it := d.prog.iter[id]
 	if it < 0 {
 		return 0
 	}

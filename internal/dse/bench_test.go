@@ -9,6 +9,7 @@ package dse_test
 //
 //	go test ./internal/dse/ -bench . -benchmem
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -23,7 +24,7 @@ import (
 // kernel: the mixed workload a scenario study (Fig 9/10) runs per kernel.
 func sweepConfigs() []soc.Config {
 	base := soc.DefaultConfig()
-	opt := dse.QuickOptions()
+	opt := dse.QuickAxes()
 	cfgs := dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions)
 	cfgs = append(cfgs, dse.CacheConfigs(base, opt.Lanes, opt.CacheKB,
 		opt.CacheLines, opt.CachePorts, opt.CacheAssoc)...)
@@ -35,12 +36,12 @@ func sweepConfigs() []soc.Config {
 // parallel across CPUs. design-points/s is the metric that gates every
 // co-design study.
 func BenchmarkSweepQuick(b *testing.B) {
-	g := ddg.Build(machsuite.MustBuild("fft-transpose"))
+	k := soc.Compile(ddg.Build(machsuite.MustBuild("fft-transpose")))
 	cfgs := sweepConfigs()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		space, err := dse.Sweep(g, cfgs)
+		space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -55,12 +56,12 @@ func BenchmarkSweepQuick(b *testing.B) {
 // cost without parallel speedup, which isolates the effect of state reuse
 // from scheduling.
 func BenchmarkSweepQuickSerial(b *testing.B) {
-	g := ddg.Build(machsuite.MustBuild("fft-transpose"))
+	k := soc.Compile(ddg.Build(machsuite.MustBuild("fft-transpose")))
 	cfgs := sweepConfigs()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sweepSerial(g, cfgs); err != nil {
+		if _, err := sweepSerial(k, cfgs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -68,8 +69,8 @@ func BenchmarkSweepQuickSerial(b *testing.B) {
 }
 
 // sweepSerial evaluates every config on one pooled worker.
-func sweepSerial(g *ddg.Graph, cfgs []soc.Config) (dse.Space, error) {
-	return dse.SweepN(g, cfgs, 1, nil)
+func sweepSerial(k *soc.Compiled, cfgs []soc.Config) (dse.Space, error) {
+	return dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{Workers: 1})
 }
 
 // BenchmarkParetoFront measures frontier extraction at Fig 3 scale

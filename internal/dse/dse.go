@@ -37,33 +37,29 @@ type Point struct {
 // Space is a set of evaluated designs.
 type Space []Point
 
-// Sweep evaluates every config over g, in parallel across CPUs. Each run
-// owns a private simulation engine, so results are deterministic
+// SweepOptions tunes how Sweep runs its worker pool. The zero value is the
+// default sweep: GOMAXPROCS workers, no progress reporting.
+type SweepOptions struct {
+	// Workers sizes the pool; <= 0 selects GOMAXPROCS. Each worker owns a
+	// reusable soc.Runner, so the simulation state warmed up on one design
+	// point is recycled on the next — the fixed pool exists for that reuse,
+	// not just to bound concurrency (a goroutine per config would give
+	// every point a cold fabric).
+	Workers int
+	// Progress, when non-nil, is called after each completed point with
+	// (done, total); calls are serialized but may come from any worker.
+	Progress func(done, total int)
+}
+
+// Sweep evaluates every config over the compiled kernel k, in parallel
+// across the option pool. The artifact is shared read-only by every worker
+// — each run owns a private simulation engine, so results are deterministic
 // regardless of scheduling.
 //
-// A design point whose run the robustness layer aborted (watchdog stall,
-// sanitizer violation, fault-injection retry exhaustion — soc.ErrAborted)
-// is treated as poisoned and dropped from the space rather than failing the
-// whole sweep; any other error still aborts.
-func Sweep(g *ddg.Graph, cfgs []soc.Config) (Space, error) {
-	return SweepN(g, cfgs, 0, nil)
-}
-
-// SweepN is Sweep with explicit control over the worker pool and progress
-// reporting. workers <= 0 selects GOMAXPROCS. Each worker owns a reusable
-// soc.Runner, so the simulation state warmed up on one design point is
-// recycled on the next — the fixed pool exists for that reuse, not just to
-// bound concurrency (a goroutine per config would give every point a cold
-// fabric). progress, when non-nil, is called after each completed point
-// with (done, total); calls are serialized but may come from any worker.
-func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
-	return SweepCtx(context.Background(), g, cfgs, workers, progress)
-}
-
-// SweepCtx is SweepN under a context: cancellation (or a deadline) stops the
-// workers at the next design-point boundary and returns ctx.Err(). A single
-// design point is never interrupted mid-simulation — points run in the tens
-// of milliseconds, so the boundary check bounds the cancellation latency —
+// Cancellation (or a deadline) on ctx stops the workers at the next
+// design-point boundary and returns ctx.Err(). A single design point is
+// never interrupted mid-simulation — points run in the tens of
+// milliseconds, so the boundary check bounds the cancellation latency —
 // and a cancelled sweep returns no partial space. Long-running services use
 // this to release worker goroutines when a client goes away.
 //
@@ -71,7 +67,14 @@ func SweepN(g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, to
 // child span on a per-worker track, so a traced sweep renders one Perfetto
 // row per worker with its sequence of point simulations. An untraced
 // context costs one nil span check per point.
-func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int, progress func(done, total int)) (Space, error) {
+//
+// A design point whose run the robustness layer aborted (watchdog stall,
+// sanitizer violation, fault-injection retry exhaustion — soc.ErrAborted)
+// is treated as poisoned and dropped from the space rather than failing the
+// whole sweep; any other error still aborts.
+func Sweep(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOptions) (Space, error) {
+	workers := opts.Workers
+	progress := opts.Progress
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -97,7 +100,7 @@ func SweepCtx(ctx context.Context, g *ddg.Graph, cfgs []soc.Config, workers int,
 				ps := parent.ChildOn("point", track)
 				ps.SetAttr("index", i)
 				ps.SetAttr("lanes", cfgs[i].Lanes)
-				res, err := r.Run(g, cfgs[i])
+				res, err := r.Run(k, cfgs[i])
 				switch {
 				case err == nil:
 					out[i] = Point{Cfg: cfgs[i], Res: res}
@@ -324,9 +327,9 @@ func Scenarios() []Scenario {
 	}
 }
 
-// SweepOptions sizes a scenario sweep. Quick trims the cache cross-product
+// SweepAxes sizes a scenario sweep. Quick trims the cache cross-product
 // for test-speed; Full is the paper's Fig 3 table.
-type SweepOptions struct {
+type SweepAxes struct {
 	Lanes      []int
 	Partitions []int
 	CacheKB    []int
@@ -335,9 +338,9 @@ type SweepOptions struct {
 	CacheAssoc []int
 }
 
-// FullOptions is the complete Fig 3 sweep.
-func FullOptions() SweepOptions {
-	return SweepOptions{
+// FullAxes is the complete Fig 3 sweep.
+func FullAxes() SweepAxes {
+	return SweepAxes{
 		Lanes:      DefaultLanes(),
 		Partitions: DefaultPartitions(),
 		CacheKB:    DefaultCacheKB(),
@@ -347,11 +350,11 @@ func FullOptions() SweepOptions {
 	}
 }
 
-// QuickOptions is a pruned sweep for tests and fast iteration: the lane
+// QuickAxes is a pruned sweep for tests and fast iteration: the lane
 // and size axes are kept (they drive the co-design conclusions), line size
 // and associativity pin to their defaults.
-func QuickOptions() SweepOptions {
-	return SweepOptions{
+func QuickAxes() SweepAxes {
+	return SweepAxes{
 		Lanes:      []int{1, 4, 16},
 		Partitions: []int{1, 4, 16},
 		CacheKB:    []int{2, 8, 32},
@@ -362,7 +365,7 @@ func QuickOptions() SweepOptions {
 }
 
 // ScenarioConfigs builds the config list for one scenario.
-func ScenarioConfigs(sc Scenario, opt SweepOptions) []soc.Config {
+func ScenarioConfigs(sc Scenario, opt SweepAxes) []soc.Config {
 	base := soc.DefaultConfig()
 	base.BusWidthBits = sc.BusBits
 	switch sc.Mem {
@@ -420,9 +423,9 @@ type Improvement struct {
 
 // EDPImprovement runs the comparison for one scenario. isolatedOpt is the
 // EDP optimum of the isolated sweep.
-func EDPImprovement(g *ddg.Graph, isolatedOpt Point, sc Scenario, opt SweepOptions) (Improvement, error) {
+func EDPImprovement(k *soc.Compiled, isolatedOpt Point, sc Scenario, opt SweepAxes) (Improvement, error) {
 	cfgs := ScenarioConfigs(sc, opt)
-	space, err := Sweep(g, cfgs)
+	space, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		return Improvement{}, err
 	}
@@ -440,7 +443,7 @@ func EDPImprovement(g *ddg.Graph, isolatedOpt Point, sc Scenario, opt SweepOptio
 	if sc.Mem == soc.Cache {
 		// An isolated designer sizes the cache to hold the whole
 		// footprint and matches ports to the scratchpad bandwidth.
-		in, out := g.Trace.FootprintBytes()
+		in, out := k.FootprintBytes()
 		need := (in + out + 1023) / 1024
 		naive.CacheKB = 64
 		for _, kb := range DefaultCacheKB() {
@@ -459,7 +462,7 @@ func EDPImprovement(g *ddg.Graph, isolatedOpt Point, sc Scenario, opt SweepOptio
 		naive.CacheLineBytes = 32
 		naive.CacheAssoc = 4
 	}
-	naiveRes, err := soc.Run(g, naive)
+	naiveRes, err := soc.Run(k, naive)
 	if err != nil {
 		return Improvement{}, err
 	}

@@ -15,6 +15,7 @@ import (
 )
 
 var testGraphs = map[string]*ddg.Graph{}
+var testKernels = map[string]*soc.Compiled{}
 
 func graphOf(t testing.TB, name string) *ddg.Graph {
 	t.Helper()
@@ -26,14 +27,24 @@ func graphOf(t testing.TB, name string) *ddg.Graph {
 	return g
 }
 
+func kernelOf(t testing.TB, name string) *soc.Compiled {
+	t.Helper()
+	if k, ok := testKernels[name]; ok {
+		return k
+	}
+	k := soc.Compile(graphOf(t, name))
+	testKernels[name] = k
+	return k
+}
+
 func TestSweepParallelDeterministic(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
-	a, err := Sweep(g, cfgs)
+	a, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Sweep(g, cfgs)
+	b, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,9 +59,9 @@ func TestSweepParallelDeterministic(t *testing.T) {
 }
 
 func TestParetoFrontProperties(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, DefaultLanes(), []int{1, 4, 16})
-	space, err := Sweep(g, cfgs)
+	space, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +106,8 @@ func TestParetoFrontProperties(t *testing.T) {
 }
 
 func TestEDPOptimalIsMinimum(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
-	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4, 16}, []int{1, 16}))
+	k := kernelOf(t, "spmv-crs")
+	space, err := Sweep(context.Background(), k, SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4, 16}, []int{1, 16}), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +136,14 @@ func TestEDPOptimalEmptyReportsNotOK(t *testing.T) {
 // zero retries) legally empties the space through poisoned-point compaction,
 // and the ranking path must degrade to ok=false instead of panicking.
 func TestFaultHeavySweepEmptySpace(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
 	for i := range cfgs {
 		// A one-picosecond descriptor timeout with no retries aborts every
 		// transfer before its first bus transaction can complete.
 		cfgs[i].Faults = fault.Config{Seed: 1, DMATimeout: sim.Picosecond, DMARetries: 0}
 	}
-	space, err := Sweep(g, cfgs)
+	space, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		t.Fatalf("all-aborting sweep must skip points, not fail: %v", err)
 	}
@@ -154,24 +165,24 @@ func TestFaultHeavySweepEmptySpace(t *testing.T) {
 // cancelled context stops the workers at the next design-point boundary and
 // surfaces ctx.Err() with no partial space.
 func TestSweepCtxCancellation(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 2, 4, 8}, []int{1, 2, 4, 8})
 
 	// Already-cancelled context: nothing runs.
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := SweepCtx(ctx, g, cfgs, 2, nil); !errors.Is(err, context.Canceled) {
+	if _, err := Sweep(ctx, k, cfgs, SweepOptions{Workers: 2}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
 	}
 
 	// Cancel mid-flight from the progress callback.
 	ctx, cancel = context.WithCancel(context.Background())
 	defer cancel()
-	space, err := SweepCtx(ctx, g, cfgs, 2, func(done, total int) {
+	space, err := Sweep(ctx, k, cfgs, SweepOptions{Workers: 2, Progress: func(done, total int) {
 		if done == 2 {
 			cancel()
 		}
-	})
+	}})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("mid-flight cancel returned %v, want context.Canceled", err)
 	}
@@ -182,21 +193,21 @@ func TestSweepCtxCancellation(t *testing.T) {
 	// An expired deadline surfaces as DeadlineExceeded.
 	ctx, cancel = context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
 	defer cancel()
-	if _, err := SweepCtx(ctx, g, cfgs, 2, nil); !errors.Is(err, context.DeadlineExceeded) {
+	if _, err := Sweep(ctx, k, cfgs, SweepOptions{Workers: 2}); !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("expired sweep returned %v, want context.DeadlineExceeded", err)
 	}
 
-	// A background context is exactly SweepN.
-	a, err := SweepCtx(context.Background(), g, cfgs[:4], 2, nil)
+	// A background context with an explicit pool matches the default sweep.
+	a, err := Sweep(context.Background(), k, cfgs[:4], SweepOptions{Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := SweepN(g, cfgs[:4], 2, nil)
+	b, err := Sweep(context.Background(), k, cfgs[:4], SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(a, b) {
-		t.Fatal("SweepCtx(Background) differs from SweepN")
+		t.Fatal("two-worker sweep differs from default-pool sweep")
 	}
 }
 
@@ -212,7 +223,7 @@ func TestCacheConfigsSkipInvalid(t *testing.T) {
 }
 
 func TestScenarioConfigs(t *testing.T) {
-	opt := QuickOptions()
+	opt := QuickAxes()
 	for _, sc := range Scenarios() {
 		cfgs := ScenarioConfigs(sc, opt)
 		if len(cfgs) == 0 {
@@ -262,9 +273,9 @@ func TestPointMetrics(t *testing.T) {
 // isolated design deployed in-system has worse (or equal) EDP than the
 // co-designed optimum.
 func TestCoDesignShrinksDesigns(t *testing.T) {
-	g := graphOf(t, "stencil-stencil3d")
-	opt := QuickOptions()
-	isoSpace, err := Sweep(g, ScenarioConfigs(Scenarios()[0], opt))
+	k := kernelOf(t, "stencil-stencil3d")
+	opt := QuickAxes()
+	isoSpace, err := Sweep(context.Background(), k, ScenarioConfigs(Scenarios()[0], opt), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -273,7 +284,7 @@ func TestCoDesignShrinksDesigns(t *testing.T) {
 		t.Fatal("isolated sweep came back empty")
 	}
 
-	imp, err := EDPImprovement(g, isoBest, Scenarios()[1], opt)
+	imp, err := EDPImprovement(k, isoBest, Scenarios()[1], opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,9 +304,9 @@ func TestCoDesignShrinksDesigns(t *testing.T) {
 // lanes always look at least as fast, pushing the optimizer toward
 // aggressive designs.
 func TestIsolatedPrefersParallel(t *testing.T) {
-	g := graphOf(t, "stencil-stencil3d")
-	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.Isolated,
-		[]int{1, 16}, []int{16}))
+	k := kernelOf(t, "stencil-stencil3d")
+	space, err := Sweep(context.Background(), k, SpadConfigs(soc.DefaultConfig(),
+		soc.Isolated, []int{1, 16}, []int{16}), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,9 +324,9 @@ func TestIsolatedPrefersParallel(t *testing.T) {
 }
 
 func TestFastestUnderPower(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
-	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA,
-		DefaultLanes(), []int{1, 4, 16}))
+	k := kernelOf(t, "spmv-crs")
+	space, err := Sweep(context.Background(), k, SpadConfigs(soc.DefaultConfig(),
+		soc.DMA, DefaultLanes(), []int{1, 4, 16}), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,9 +358,9 @@ func TestFastestUnderPower(t *testing.T) {
 }
 
 func TestLowestPowerWithin(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
-	space, err := Sweep(g, SpadConfigs(soc.DefaultConfig(), soc.DMA,
-		DefaultLanes(), []int{1, 4, 16}))
+	k := kernelOf(t, "spmv-crs")
+	space, err := Sweep(context.Background(), k, SpadConfigs(soc.DefaultConfig(),
+		soc.DMA, DefaultLanes(), []int{1, 4, 16}), SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -376,7 +387,7 @@ func TestLowestPowerWithin(t *testing.T) {
 // dropped from the space instead of failing the whole sweep, while a
 // genuinely invalid config still fails it.
 func TestSweepSkipsPoisonedPoints(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4})
 	poisoned := 0
 	for i := range cfgs {
@@ -385,7 +396,7 @@ func TestSweepSkipsPoisonedPoints(t *testing.T) {
 			poisoned++
 		}
 	}
-	space, err := Sweep(g, cfgs)
+	space, err := Sweep(context.Background(), k, cfgs, SweepOptions{})
 	if err != nil {
 		t.Fatalf("sweep failed instead of skipping: %v", err)
 	}
@@ -410,7 +421,7 @@ func TestSweepSkipsPoisonedPoints(t *testing.T) {
 	// A config error is not a poisoned point: it must still fail the sweep.
 	bad := cfgs[:1]
 	bad[0].Lanes = 0
-	if _, err := Sweep(g, bad); err == nil {
+	if _, err := Sweep(context.Background(), k, bad, SweepOptions{}); err == nil {
 		t.Fatalf("sweep accepted an invalid config")
 	}
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"sync"
@@ -102,27 +103,27 @@ func TestParetoFrontDuplicatesSurvive(t *testing.T) {
 	}
 }
 
-// TestSweepNWorkerCountInvariant requires the same results — same order,
+// TestSweepWorkerCountInvariant requires the same results — same order,
 // same values — regardless of pool size, and a monotone progress stream
 // that ends at the full count.
-func TestSweepNWorkerCountInvariant(t *testing.T) {
-	g := graphOf(t, "spmv-crs")
+func TestSweepWorkerCountInvariant(t *testing.T) {
+	k := kernelOf(t, "spmv-crs")
 	cfgs := SpadConfigs(soc.DefaultConfig(), soc.DMA, []int{1, 4}, []int{1, 4, 16})
-	serial, err := SweepN(g, cfgs, 1, nil)
+	serial, err := Sweep(context.Background(), k, cfgs, SweepOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 4, 0} {
 		var mu sync.Mutex
 		var seen []int
-		parallel, err := SweepN(g, cfgs, workers, func(done, total int) {
+		parallel, err := Sweep(context.Background(), k, cfgs, SweepOptions{Workers: workers, Progress: func(done, total int) {
 			mu.Lock()
 			defer mu.Unlock()
 			if total != len(cfgs) {
 				t.Errorf("progress total = %d, want %d", total, len(cfgs))
 			}
 			seen = append(seen, done)
-		})
+		}})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -10,6 +10,7 @@
 package figures
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sync"
@@ -45,28 +46,39 @@ func Fig6Benchmarks() []string {
 }
 
 var (
-	graphMu    sync.Mutex
-	graphCache = map[string]*ddg.Graph{}
+	graphMu     sync.Mutex
+	kernelCache = map[string]*soc.Compiled{}
 )
+
+// Kernel builds, compiles, and memoizes the artifact for a benchmark. Every
+// figure draws from this one cache, so each benchmark is traced and
+// compiled exactly once per process no matter how many figures sweep it.
+func Kernel(name string) (*soc.Compiled, error) {
+	graphMu.Lock()
+	defer graphMu.Unlock()
+	if k, ok := kernelCache[name]; ok {
+		return k, nil
+	}
+	b, err := machsuite.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	k := soc.Compile(ddg.Build(tr))
+	kernelCache[name] = k
+	return k, nil
+}
 
 // Graph builds (and memoizes) the DDDG for a benchmark.
 func Graph(name string) (*ddg.Graph, error) {
-	graphMu.Lock()
-	defer graphMu.Unlock()
-	if g, ok := graphCache[name]; ok {
-		return g, nil
-	}
-	k, err := machsuite.ByName(name)
+	k, err := Kernel(name)
 	if err != nil {
 		return nil, err
 	}
-	tr, err := k.Build()
-	if err != nil {
-		return nil, err
-	}
-	g := ddg.Build(tr)
-	graphCache[name] = g
-	return g, nil
+	return k.Graph(), nil
 }
 
 func pctOf(part, whole sim.Tick) float64 {
@@ -76,25 +88,25 @@ func pctOf(part, whole sim.Tick) float64 {
 	return 100 * float64(part) / float64(whole)
 }
 
-func options(quick bool) dse.SweepOptions {
+func axes(quick bool) dse.SweepAxes {
 	if quick {
-		return dse.QuickOptions()
+		return dse.QuickAxes()
 	}
-	return dse.FullOptions()
+	return dse.FullAxes()
 }
 
 // Fig1 regenerates the motivating stencil3d design-space comparison:
 // isolated vs co-designed (DMA, 32-bit bus) scatter with EDP optima.
 func Fig1(w io.Writer, quick bool) error {
-	g, err := Graph("stencil-stencil3d")
+	k, err := Kernel("stencil-stencil3d")
 	if err != nil {
 		return err
 	}
-	opt := options(quick)
+	opt := axes(quick)
 	fmt.Fprintln(w, "Figure 1: stencil3d design space, isolated vs co-designed (DMA/32b)")
 	for _, mem := range []soc.MemKind{soc.Isolated, soc.DMA} {
 		cfgs := dse.SpadConfigs(soc.DefaultConfig(), mem, opt.Lanes, opt.Partitions)
-		space, err := dse.Sweep(g, cfgs)
+		space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{})
 		if err != nil {
 			return err
 		}
@@ -120,14 +132,14 @@ func Fig1(w io.Writer, quick bool) error {
 // Fig2a regenerates the md-knn execution timeline at 16 lanes under the
 // baseline DMA flow (the Zedboard measurement of Fig 2a).
 func Fig2a(w io.Writer) error {
-	g, err := Graph("md-knn")
+	k, err := Kernel("md-knn")
 	if err != nil {
 		return err
 	}
 	cfg := soc.DefaultConfig()
 	cfg.Lanes, cfg.Partitions = 16, 16
 	cfg.PipelinedDMA, cfg.DMATriggered = false, false
-	r, err := soc.Run(g, cfg)
+	r, err := soc.Run(k, cfg)
 	if err != nil {
 		return err
 	}
@@ -152,14 +164,14 @@ func Fig2b(w io.Writer) error {
 	fmt.Fprintln(w, "Figure 2b: flush/DMA/compute breakdown, baseline DMA, 16-way designs")
 	tb := stats.NewTable("benchmark", "flush%", "dma%", "compute%", "total(us)")
 	for _, name := range machsuite.Names() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
 		cfg := soc.DefaultConfig()
 		cfg.Lanes, cfg.Partitions = 16, 16
 		cfg.PipelinedDMA, cfg.DMATriggered = false, false
-		r, err := soc.Run(g, cfg)
+		r, err := soc.Run(k, cfg)
 		if err != nil {
 			return err
 		}
@@ -204,17 +216,17 @@ func Fig4(w io.Writer) error {
 	tb := stats.NewTable("benchmark", "flush err%", "dma err%", "compute err%", "total err%")
 	var totals []float64
 	for _, name := range golden.ValidationSuite() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
 		cfg := soc.DefaultConfig()
 		cfg.PipelinedDMA, cfg.DMATriggered = false, false
-		r, err := soc.Run(g, cfg)
+		r, err := soc.Run(k, cfg)
 		if err != nil {
 			return err
 		}
-		e := golden.Compare(r, golden.Predict(g, cfg))
+		e := golden.Compare(r, golden.Predict(k.Graph(), cfg))
 		tb.Row(name, e.FlushPct, e.DMAPct, e.ComputePct, e.TotalPct)
 		totals = append(totals, e.TotalPct)
 	}
@@ -229,7 +241,7 @@ func Fig4(w io.Writer) error {
 func Fig5(w io.Writer) error {
 	// One pass over 2048 doubles: out[i] = 2*in[i].
 	b := traceBuilderForFig5()
-	g := ddg.Build(b)
+	k := soc.Compile(ddg.Build(b))
 	fmt.Fprintln(w, "Figure 5: DMA latency reduction techniques (synthetic 16 KB stream)")
 	fmt.Fprintln(w, "(F flush-only, D dma-without-compute, O compute/dma overlap, C compute-only)")
 	type variant struct {
@@ -243,7 +255,7 @@ func Fig5(w io.Writer) error {
 	} {
 		cfg := soc.DefaultConfig()
 		cfg.PipelinedDMA, cfg.DMATriggered = v.pipe, v.trig
-		r, err := soc.Run(g, cfg)
+		r, err := soc.Run(k, cfg)
 		if err != nil {
 			return err
 		}
@@ -285,7 +297,7 @@ func Fig6a(w io.Writer) error {
 		{"+triggered", true, true},
 	}
 	for _, name := range Fig6Benchmarks() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
@@ -293,7 +305,7 @@ func Fig6a(w io.Writer) error {
 			cfg := soc.DefaultConfig()
 			cfg.Lanes, cfg.Partitions = 4, 4
 			cfg.PipelinedDMA, cfg.DMATriggered = v.pipe, v.trig
-			r, err := soc.Run(g, cfg)
+			r, err := soc.Run(k, cfg)
 			if err != nil {
 				return err
 			}
@@ -317,7 +329,7 @@ func Fig6b(w io.Writer, quick bool) error {
 	tb := stats.NewTable("benchmark", "lanes", "movement-only(us)", "compute/dma(us)",
 		"compute-only(us)", "total(us)", "speedup")
 	for _, name := range Fig6Benchmarks() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
@@ -325,7 +337,7 @@ func Fig6b(w io.Writer, quick bool) error {
 		for _, l := range lanes {
 			cfg := soc.DefaultConfig()
 			cfg.Lanes, cfg.Partitions = l, l
-			r, err := soc.Run(g, cfg)
+			r, err := soc.Run(k, cfg)
 			if err != nil {
 				return err
 			}
@@ -345,7 +357,7 @@ func Fig6b(w io.Writer, quick bool) error {
 // fig7CacheSize finds the smallest cache size at which performance
 // saturates for the benchmark (within 2% of the largest size), per the
 // Fig 7 protocol.
-func fig7CacheSize(g *ddg.Graph, lanes int) (int, error) {
+func fig7CacheSize(k *soc.Compiled, lanes int) (int, error) {
 	sizes := dse.DefaultCacheKB()
 	var runtimes []sim.Tick
 	for _, kb := range sizes {
@@ -353,7 +365,7 @@ func fig7CacheSize(g *ddg.Graph, lanes int) (int, error) {
 		cfg.Mem = soc.Cache
 		cfg.Lanes = lanes
 		cfg.CacheKB = kb
-		r, err := soc.Run(g, cfg)
+		r, err := soc.Run(k, cfg)
 		if err != nil {
 			return 0, err
 		}
@@ -382,11 +394,11 @@ func Fig7(w io.Writer, quick bool) error {
 	tb := stats.NewTable("benchmark", "cacheKB", "lanes", "processing(us)",
 		"latency(us)", "bandwidth(us)", "total(us)")
 	for _, name := range benches {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
-		kb, err := fig7CacheSize(g, 4)
+		kb, err := fig7CacheSize(k, 4)
 		if err != nil {
 			return err
 		}
@@ -408,7 +420,7 @@ func Fig7(w io.Writer, quick bool) error {
 			// Processing: ideal single-cycle memory.
 			ideal := mk()
 			ideal.Mem = soc.Ideal
-			r1, err := soc.Run(g, ideal)
+			r1, err := soc.Run(k, ideal)
 			if err != nil {
 				return err
 			}
@@ -416,12 +428,12 @@ func Fig7(w io.Writer, quick bool) error {
 			unbw := mk()
 			unbw.BusWidthBits = 4096
 			unbw.DRAM.BytesPerNs = 1e6
-			r2, err := soc.Run(g, unbw)
+			r2, err := soc.Run(k, unbw)
 			if err != nil {
 				return err
 			}
 			// Bandwidth: the fully constrained system.
-			r3, err := soc.Run(g, mk())
+			r3, err := soc.Run(k, mk())
 			if err != nil {
 				return err
 			}
@@ -445,11 +457,11 @@ func Fig7(w io.Writer, quick bool) error {
 // cache-based designs with EDP optima marked.
 func Fig8(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "Figure 8: power-performance Pareto curves, DMA vs cache")
-	opt := options(quick)
+	opt := axes(quick)
 	tb := stats.NewTable("benchmark", "memsys", "lanes", "local", "time(us)",
 		"power(mW)", "EDP(nJ*s)", "")
 	for _, name := range Fig8Benchmarks() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
@@ -461,7 +473,7 @@ func Fig8(w io.Writer, quick bool) error {
 				cfgs = dse.CacheConfigs(soc.DefaultConfig(), opt.Lanes, opt.CacheKB,
 					opt.CacheLines, opt.CachePorts, opt.CacheAssoc)
 			}
-			space, err := dse.Sweep(g, cfgs)
+			space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{})
 			if err != nil {
 				return err
 			}
@@ -500,7 +512,7 @@ var (
 // scenarioOptima computes, per benchmark, the EDP-optimal point of each
 // design scenario (shared by Figs 9 and 10; memoized per benchmark+sweep
 // granularity since the sweeps are the expensive part).
-func scenarioOptima(name string, opt dse.SweepOptions) (map[string]dse.Point, map[string]dse.Improvement, error) {
+func scenarioOptima(name string, opt dse.SweepAxes) (map[string]dse.Point, map[string]dse.Improvement, error) {
 	key := fmt.Sprintf("%s/%d-%d-%d", name, len(opt.Lanes), len(opt.CacheKB), len(opt.CachePorts))
 	scenarioMu.Lock()
 	if c, ok := scenarioCache[key]; ok {
@@ -508,12 +520,12 @@ func scenarioOptima(name string, opt dse.SweepOptions) (map[string]dse.Point, ma
 		return c.optima, c.imps, nil
 	}
 	scenarioMu.Unlock()
-	g, err := Graph(name)
+	k, err := Kernel(name)
 	if err != nil {
 		return nil, nil, err
 	}
 	scs := dse.Scenarios()
-	isoSpace, err := dse.Sweep(g, dse.ScenarioConfigs(scs[0], opt))
+	isoSpace, err := dse.Sweep(context.Background(), k, dse.ScenarioConfigs(scs[0], opt), dse.SweepOptions{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -524,7 +536,7 @@ func scenarioOptima(name string, opt dse.SweepOptions) (map[string]dse.Point, ma
 	optima := map[string]dse.Point{scs[0].Name: isoBest}
 	imps := map[string]dse.Improvement{}
 	for _, sc := range scs[1:] {
-		imp, err := dse.EDPImprovement(g, isoBest, sc, opt)
+		imp, err := dse.EDPImprovement(k, isoBest, sc, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -542,7 +554,7 @@ func scenarioOptima(name string, opt dse.SweepOptions) (map[string]dse.Point, ma
 func Fig9(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "Figure 9: EDP-optimal microarchitecture parameters by scenario")
 	fmt.Fprintln(w, "(normalized to the isolated design)")
-	opt := options(quick)
+	opt := axes(quick)
 	tb := stats.NewTable("benchmark", "scenario", "lanes", "sramKB", "localBW(B/cyc)",
 		"lanes/iso", "sram/iso", "bw/iso")
 	for _, name := range Fig8Benchmarks() {
@@ -571,20 +583,20 @@ func Summary(w io.Writer, quick bool) error {
 	// Validation average.
 	var errs []float64
 	for _, name := range golden.ValidationSuite() {
-		g, err := Graph(name)
+		k, err := Kernel(name)
 		if err != nil {
 			return err
 		}
 		cfg := soc.DefaultConfig()
 		cfg.PipelinedDMA, cfg.DMATriggered = false, false
-		r, err := soc.Run(g, cfg)
+		r, err := soc.Run(k, cfg)
 		if err != nil {
 			return err
 		}
-		errs = append(errs, golden.Compare(r, golden.Predict(g, cfg)).TotalPct)
+		errs = append(errs, golden.Compare(r, golden.Predict(k.Graph(), cfg)).TotalPct)
 	}
 
-	opt := options(quick)
+	opt := axes(quick)
 	ratios := map[string][]float64{}
 	var maxRatio float64
 	var maxAt string
@@ -617,7 +629,7 @@ func Summary(w io.Writer, quick bool) error {
 // deployed naively in each system scenario vs co-designed optima.
 func Fig10(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "Figure 10: EDP improvement of co-designed over isolated designs")
-	opt := options(quick)
+	opt := axes(quick)
 	scs := dse.Scenarios()[1:]
 	tb := stats.NewTable("benchmark", scs[0].Name, scs[1].Name, scs[2].Name)
 	ratios := map[string][]float64{}

@@ -308,7 +308,7 @@ func maxTrack(tracks map[int]bool) int {
 type spanCtxKey struct{}
 
 // WithSpan returns a context carrying s; SpanFromContext recovers it.
-// Layers that cannot grow their signatures (dse.SweepCtx) receive their
+// Layers that cannot grow their signatures (dse.Sweep) receive their
 // parent span this way.
 func WithSpan(ctx context.Context, s *Span) context.Context {
 	if s == nil {

@@ -25,7 +25,7 @@ var errAbandoned = errors.New("serve: design point abandoned before simulation")
 // so readers need no lock (channel close is the happens-before edge).
 type entry struct {
 	key string
-	g   *ddg.Graph
+	k   *soc.Compiled
 	cfg soc.Config
 
 	done chan struct{}
@@ -116,7 +116,7 @@ func (s *Server) worker() {
 		e.qspan.EndSpan()
 		sim := e.span.Child("simulate")
 		started := time.Now()
-		res, err := r.Run(e.g, e.cfg)
+		res, err := r.Run(e.k, e.cfg)
 		elapsed := time.Since(started)
 
 		s.mu.Lock()
@@ -171,7 +171,7 @@ func (s *Server) finished(key string) {
 // (already complete, or joined in flight). On a miss the creating request's
 // span (nil when untraced) parents the point's simulation spans, laid out on
 // the given track; joiners share the creator's spans singleflight-style.
-func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config, parent *obs.Span, track int) (e *entry, join, hit bool) {
+func (s *Server) acquire(key string, k *soc.Compiled, cfg soc.Config, parent *obs.Span, track int) (e *entry, join, hit bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.cache[key]; ok {
@@ -186,7 +186,7 @@ func (s *Server) acquire(key string, g *ddg.Graph, cfg soc.Config, parent *obs.S
 			return e, true, true
 		}
 	}
-	e = &entry{key: key, g: g, cfg: cfg, done: make(chan struct{}), waiters: 1}
+	e = &entry{key: key, k: k, cfg: cfg, done: make(chan struct{}), waiters: 1}
 	if parent != nil {
 		e.span = parent.ChildOn("point", track)
 		e.span.SetAttr("key", shortKey(key))
@@ -219,10 +219,12 @@ func (s *Server) release(entries []*entry) {
 	s.mu.Unlock()
 }
 
-// graphFor resolves a kernel name to its (cached) DDDG. Building a trace is
-// expensive — the kernel executes functionally while tracing — so graphs are
-// built once per kernel per server, concurrency-safe via sync.Once.
-func (s *Server) graphFor(kernel string) (*ddg.Graph, error) {
+// kernelFor resolves a kernel name to its (cached) compiled artifact.
+// Building a trace is expensive — the kernel executes functionally while
+// tracing — and compiling derives the shared scheduling products, so both
+// happen once per kernel per server, concurrency-safe via sync.Once; every
+// queued design point then shares the one read-only artifact.
+func (s *Server) kernelFor(kernel string) (*soc.Compiled, error) {
 	s.gmu.Lock()
 	ge, ok := s.graphs[kernel]
 	if !ok {
@@ -236,13 +238,13 @@ func (s *Server) graphFor(kernel string) (*ddg.Graph, error) {
 			ge.err = err
 			return
 		}
-		ge.g = ddg.Build(tr)
+		ge.k = soc.Compile(ddg.Build(tr))
 	})
-	return ge.g, ge.err
+	return ge.k, ge.err
 }
 
 type graphEntry struct {
 	once sync.Once
-	g    *ddg.Graph
+	k    *soc.Compiled
 	err  error
 }

@@ -47,7 +47,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/machsuite"
 	"gem5aladdin/internal/obs"
@@ -344,9 +343,9 @@ func (req SweepRequest) Configs() ([]soc.Config, error) {
 	if err := base.Validate(); err != nil {
 		return nil, err
 	}
-	opt := dse.QuickOptions()
+	opt := dse.QuickAxes()
 	if req.Full {
-		opt = dse.FullOptions()
+		opt = dse.FullAxes()
 	}
 	if len(req.Lanes) > 0 {
 		opt.Lanes = req.Lanes
@@ -494,8 +493,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	ctx = obs.WithSpan(ctx, span)
 
-	build := span.Child("build-graph")
-	g, err := s.graphFor(req.Kernel)
+	build := span.Child("build-kernel")
+	k, err := s.kernelFor(req.Kernel)
 	build.EndSpan()
 	if err != nil {
 		code := http.StatusInternalServerError
@@ -507,7 +506,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	started := time.Now()
-	resp, code, err := s.sweep(ctx, req, g, cfgs)
+	resp, code, err := s.sweep(ctx, req, k, cfgs)
 	if err != nil {
 		fail(code, err.Error())
 		return
@@ -541,7 +540,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // sweep resolves every grid point through the cache/singleflight layer,
 // waits for the outstanding ones, and assembles the response in request
 // order with aborted points compacted out — the dse.Sweep contract.
-func (s *Server) sweep(ctx context.Context, req SweepRequest, g *ddg.Graph, cfgs []soc.Config) (*SweepResponse, int, error) {
+func (s *Server) sweep(ctx context.Context, req SweepRequest, k *soc.Compiled, cfgs []soc.Config) (*SweepResponse, int, error) {
 	span := obs.SpanFromContext(ctx)
 	entries := make([]*entry, len(cfgs))
 	byKey := make(map[string]*entry, len(cfgs))
@@ -556,7 +555,7 @@ func (s *Server) sweep(ctx context.Context, req SweepRequest, g *ddg.Graph, cfgs
 		}
 		// Track i+1 gives each design point its own Perfetto row; track 0
 		// carries the request phases.
-		e, join, hit := s.acquire(key, g, cfg, span, i+1)
+		e, join, hit := s.acquire(key, k, cfg, span, i+1)
 		entries[i] = e
 		byKey[key] = e
 		uniq = append(uniq, e)

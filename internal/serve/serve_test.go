@@ -89,8 +89,8 @@ func directSweep(t *testing.T, req serve.SweepRequest) (space, pareto []report.R
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := ddg.Build(machsuite.MustBuild(req.Kernel))
-	sp, err := dse.Sweep(g, cfgs)
+	k := soc.Compile(ddg.Build(machsuite.MustBuild(req.Kernel)))
+	sp, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

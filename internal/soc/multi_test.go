@@ -3,18 +3,17 @@ package soc
 import (
 	"testing"
 
-	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/sim"
 )
 
 func TestRunMultiSingleMatchesRun(t *testing.T) {
 	g := streamKernel(256)
 	cfg := DefaultConfig()
-	solo, err := Run(g, cfg)
+	solo, err := RunGraph(g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	multi, err := RunMulti([]*ddg.Graph{g}, []Config{cfg})
+	multi, err := RunMulti([]*Compiled{Compile(g)}, []Config{cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,13 +32,13 @@ func TestRunMultiSingleMatchesRun(t *testing.T) {
 func TestRunMultiContention(t *testing.T) {
 	g := streamKernel(2048)
 	cfg := DefaultConfig()
-	solo, err := Run(g, cfg)
+	solo, err := RunGraph(g, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Two identical DMA accelerators sharing the bus must each run
 	// slower than alone, and combined DMA bytes must double.
-	multi, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg})
+	multi, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +65,7 @@ func TestRunMultiMixedMemorySystems(t *testing.T) {
 	dmaCfg := DefaultConfig()
 	cacheCfg := DefaultConfig()
 	cacheCfg.Mem = Cache
-	multi, err := RunMulti([]*ddg.Graph{g1, g2}, []Config{dmaCfg, cacheCfg})
+	multi, err := RunMulti([]*Compiled{Compile(g1), Compile(g2)}, []Config{dmaCfg, cacheCfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +85,7 @@ func TestRunMultiTwoCaches(t *testing.T) {
 	g := streamKernel(512)
 	cfg := DefaultConfig()
 	cfg.Mem = Cache
-	multi, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg})
+	multi, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,11 +104,11 @@ func TestRunMultiTwoCaches(t *testing.T) {
 func TestRunMultiDeterministic(t *testing.T) {
 	g := streamKernel(512)
 	cfg := DefaultConfig()
-	a, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg})
+	a, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg})
+	b, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,12 +124,12 @@ func TestRunMultiValidation(t *testing.T) {
 	if _, err := RunMulti(nil, nil); err == nil {
 		t.Fatal("empty RunMulti accepted")
 	}
-	if _, err := RunMulti([]*ddg.Graph{g}, []Config{DefaultConfig(), DefaultConfig()}); err == nil {
+	if _, err := RunMulti([]*Compiled{Compile(g)}, []Config{DefaultConfig(), DefaultConfig()}); err == nil {
 		t.Fatal("mismatched lengths accepted")
 	}
 	bad := DefaultConfig()
 	bad.Lanes = 0
-	if _, err := RunMulti([]*ddg.Graph{g}, []Config{bad}); err == nil {
+	if _, err := RunMulti([]*Compiled{Compile(g)}, []Config{bad}); err == nil {
 		t.Fatal("invalid config accepted")
 	}
 }
@@ -139,12 +138,12 @@ func TestRunMultiWithBackgroundTraffic(t *testing.T) {
 	g := streamKernel(512)
 	cfg := DefaultConfig()
 	cfg.Traffic = &TrafficConfig{Period: 500 * sim.Nanosecond, Bytes: 128}
-	multi, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg})
+	multi, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
 	quietCfg := DefaultConfig()
-	quiet, err := RunMulti([]*ddg.Graph{g, g}, []Config{quietCfg, quietCfg})
+	quiet, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{quietCfg, quietCfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,13 +155,13 @@ func TestRunMultiWithBackgroundTraffic(t *testing.T) {
 func TestCoherentDMAEndToEnd(t *testing.T) {
 	g := streamKernel(2048)
 	sw := DefaultConfig()
-	swRes, err := Run(g, sw)
+	swRes, err := RunGraph(g, sw)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hw := DefaultConfig()
 	hw.CoherentDMA = true
-	hwRes, err := Run(g, hw)
+	hwRes, err := RunGraph(g, hw)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +183,7 @@ func TestRunRepeatedCacheAmortizes(t *testing.T) {
 	cfg.Mem = Cache
 	// Inputs reused (resident coefficient table scenario): later rounds
 	// must be much faster than the cold first round.
-	reuse, err := RunRepeated(g, cfg, 4, true)
+	reuse, err := RunRepeated(Compile(g), cfg, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +201,7 @@ func TestRunRepeatedCacheAmortizes(t *testing.T) {
 
 	// Fresh inputs every round: the CPU re-dirties its lines, so every
 	// round pays coherent refills and stays near the cold cost.
-	fresh, err := RunRepeated(g, cfg, 4, false)
+	fresh, err := RunRepeated(Compile(g), cfg, 4, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +219,7 @@ func TestRunRepeatedCacheAmortizes(t *testing.T) {
 func TestRunRepeatedDMAConstant(t *testing.T) {
 	g := streamKernel(1024)
 	cfg := DefaultConfig()
-	rr, err := RunRepeated(g, cfg, 3, true)
+	rr, err := RunRepeated(Compile(g), cfg, 3, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +237,7 @@ func TestRunRepeatedDMAConstant(t *testing.T) {
 
 func TestRunRepeatedValidation(t *testing.T) {
 	g := streamKernel(64)
-	if _, err := RunRepeated(g, DefaultConfig(), 0, false); err == nil {
+	if _, err := RunRepeated(Compile(g), DefaultConfig(), 0, false); err == nil {
 		t.Fatal("zero invocations accepted")
 	}
 }

@@ -6,7 +6,6 @@ import (
 	"strings"
 	"testing"
 
-	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/obs"
 )
 
@@ -17,7 +16,7 @@ func observedRun(t *testing.T, cfg Config) (text, jsonDump, trace []byte) {
 	g := streamKernel(512)
 	o := obs.New(true)
 	cfg.Obs = o
-	if _, err := Run(g, cfg); err != nil {
+	if _, err := RunGraph(g, cfg); err != nil {
 		t.Fatal(err)
 	}
 	var tb, jb, trb bytes.Buffer
@@ -132,7 +131,7 @@ func TestMultiAcceleratorObservability(t *testing.T) {
 	cfg := DefaultConfig()
 	o := obs.New(true)
 	cfg.Obs = o
-	if _, err := RunMulti([]*ddg.Graph{g, g}, []Config{cfg, cfg}); err != nil {
+	if _, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{cfg, cfg}); err != nil {
 		t.Fatal(err)
 	}
 	var tb bytes.Buffer

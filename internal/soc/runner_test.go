@@ -2,6 +2,7 @@ package soc
 
 import (
 	"reflect"
+	"sync"
 	"testing"
 
 	"gem5aladdin/internal/fault"
@@ -35,12 +36,14 @@ func runnerConfigs() map[string]Config {
 	}
 }
 
-// TestRunnerBitIdentical drives one pooled Runner through every MachSuite
-// kernel under DMA and cache memory systems (faults off and seeded on) and
-// requires every result — cycles, energy, EDP, per-block stats, fault log —
-// to be bit-identical to a fresh soc.Run of the same design point. This is
-// the reuse contract: recycled engine, coherence, and datapath state must
-// never leak between runs.
+// TestRunnerBitIdentical drives one pooled Runner and one shared Compiled
+// artifact through every MachSuite kernel under DMA and cache memory systems
+// (faults off and seeded on) and requires every result — cycles, energy,
+// EDP, per-block stats, fault log — to be bit-identical to a fresh
+// per-point RunGraph (compile-per-run) of the same design point. This is
+// both reuse contracts at once: recycled engine, coherence, and datapath
+// state must never leak between runs, and nothing in the shared artifact
+// may be mutated by a run.
 func TestRunnerBitIdentical(t *testing.T) {
 	kernels := machsuite.Names()
 	if testing.Short() {
@@ -49,10 +52,11 @@ func TestRunnerBitIdentical(t *testing.T) {
 	var r Runner
 	for _, name := range kernels {
 		g := kernelGraph(t, name)
+		k := Compile(g)
 		for label, cfg := range runnerConfigs() {
 			t.Run(name+"/"+label, func(t *testing.T) {
-				pooled, errP := r.Run(g, cfg)
-				fresh, errF := Run(g, cfg)
+				pooled, errP := r.Run(k, cfg)
+				fresh, errF := RunGraph(g, cfg)
 				if (errP == nil) != (errF == nil) {
 					t.Fatalf("error mismatch: pooled %v, fresh %v", errP, errF)
 				}
@@ -63,7 +67,7 @@ func TestRunnerBitIdentical(t *testing.T) {
 					return
 				}
 				if !reflect.DeepEqual(pooled, fresh) {
-					t.Fatalf("pooled Runner result diverged from fresh Run:\npooled: %+v\nfresh:  %+v", pooled, fresh)
+					t.Fatalf("pooled Runner result diverged from fresh RunGraph:\npooled: %+v\nfresh:  %+v", pooled, fresh)
 				}
 			})
 		}
@@ -71,19 +75,19 @@ func TestRunnerBitIdentical(t *testing.T) {
 }
 
 // TestRunnerSurvivesMemKindSwitch reuses one Runner across alternating
-// memory systems and graph shapes, the pattern a mixed DMA+cache sweep
+// memory systems and kernel shapes, the pattern a mixed DMA+cache sweep
 // produces on each worker.
 func TestRunnerSurvivesMemKindSwitch(t *testing.T) {
 	var r Runner
 	cfgs := runnerConfigs()
 	for _, name := range []string{"fft-transpose", "spmv-crs"} {
-		g := kernelGraph(t, name)
+		k := Compile(kernelGraph(t, name))
 		for _, label := range []string{"dma", "cache", "dma", "cache-faults", "dma-faults", "cache"} {
-			pooled, err := r.Run(g, cfgs[label])
+			pooled, err := r.Run(k, cfgs[label])
 			if err != nil {
 				t.Fatalf("%s/%s: %v", name, label, err)
 			}
-			fresh, err := Run(g, cfgs[label])
+			fresh, err := Run(k, cfgs[label])
 			if err != nil {
 				t.Fatalf("%s/%s fresh: %v", name, label, err)
 			}
@@ -91,5 +95,88 @@ func TestRunnerSurvivesMemKindSwitch(t *testing.T) {
 				t.Fatalf("%s/%s: interleaved Runner result diverged from fresh Run", name, label)
 			}
 		}
+	}
+}
+
+// TestCompiledSharedAcrossWorkers runs 8 goroutines, each with its own
+// Runner, all scheduling the SAME Compiled artifact concurrently across the
+// DMA/cache × faults-off/on matrix. Every worker's results must match the
+// serial reference bit-exactly. Under -race this also proves the artifact
+// (flat op arrays, lane layouts, DMA manifest, shared spans) is genuinely
+// read-only during simulation.
+func TestCompiledSharedAcrossWorkers(t *testing.T) {
+	k := Compile(kernelGraph(t, "fft-transpose"))
+	cfgs := runnerConfigs()
+	labels := []string{"dma", "cache", "dma-faults", "cache-faults"}
+
+	want := make(map[string]*RunResult, len(labels))
+	for _, label := range labels {
+		res, err := Run(k, cfgs[label])
+		if err != nil {
+			t.Fatalf("reference %s: %v", label, err)
+		}
+		want[label] = res
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var r Runner
+			// Stagger the label order per worker so concurrent runs hit
+			// different lane layouts and memory systems at the same time.
+			for i := 0; i < 2*len(labels); i++ {
+				label := labels[(w+i)%len(labels)]
+				res, err := r.Run(k, cfgs[label])
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if !reflect.DeepEqual(res, want[label]) {
+					t.Errorf("worker %d: %s diverged from serial reference", w, label)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}
+
+// TestRunnerPerPointAllocs pins the per-point setup cost of a recycled
+// Runner over a shared artifact. The compile-once split moved the graph
+// walks (lane layout, transfer manifest, op-class scan) out of the
+// per-point path; this gate keeps them out. The ceiling has headroom over
+// the measured count (~0.5k) but is far below the compile-per-point cost
+// (tens of thousands of allocations for this kernel).
+func TestRunnerPerPointAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc gate needs steady-state averaging")
+	}
+	k := Compile(kernelGraph(t, "fft-transpose"))
+	cfg := DefaultConfig()
+	cfg.Mem = DMA
+	var r Runner
+	// Warm the runner and the artifact's lane-layout cache.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Run(k, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const ceiling = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := r.Run(k, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > ceiling {
+		t.Fatalf("per-point allocations %.0f exceed ceiling %d", avg, ceiling)
 	}
 }

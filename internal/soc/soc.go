@@ -4,9 +4,10 @@
 // Config, runs one accelerator invocation end to end, and reports runtime,
 // the flush/DMA/compute breakdown, energy, and EDP.
 //
-// This is the experiment entry point: every figure harness and the design
-// space explorer call soc.Run with different Configs over a shared DDDG.
-// RunMulti places several accelerators (the ACCEL0/ACCEL1 arrangement of
+// This is the experiment entry point: callers Compile a DDDG once into an
+// immutable per-kernel artifact, then every figure harness and the design
+// space explorer call soc.Run with different Configs over that shared
+// Compiled. RunMulti places several accelerators (the ACCEL0/ACCEL1 arrangement of
 // the paper's Fig 3 SoC diagram) on one shared bus and memory to study
 // shared-resource contention between accelerators.
 package soc
@@ -369,8 +370,9 @@ func (f *fabric) observe(o *obs.Observer) {
 type instance struct {
 	f       *fabric
 	cfg     Config
-	g       *ddg.Graph
-	addrOff uint64 // physical window for this accelerator's arrays
+	k       *Compiled
+	g       *ddg.Graph // k.Graph(), kept unwrapped for the hot paths
+	addrOff uint64     // physical window for this accelerator's arrays
 
 	sp     *spad.Spad
 	cch    *cache.Cache
@@ -393,11 +395,12 @@ const instanceWindow = 1 << 28
 
 // attach wires one accelerator into the fabric. idx selects its physical
 // address window.
-func (f *fabric) attach(g *ddg.Graph, cfg Config, idx int) (*instance, error) {
+func (f *fabric) attach(k *Compiled, cfg Config, idx int) (*instance, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	inst := &instance{f: f, cfg: cfg, g: g, addrOff: uint64(idx) * instanceWindow}
+	g := k.Graph()
+	inst := &instance{f: f, cfg: cfg, k: k, g: g, addrOff: uint64(idx) * instanceWindow}
 	accelClock := sim.NewClockHz(cfg.AccelHz)
 	arrays := g.Trace.Arrays
 	inst.sp = spad.New(spad.Config{Partitions: cfg.Partitions, Ports: cfg.SpadPorts}, arrays)
@@ -532,19 +535,17 @@ func (inst *instance) observe(o *obs.Observer, idx int) {
 // dirtyCPULines marks every shared line Modified in the host CPU's cache:
 // the host program produced the inputs and initialized the output buffers,
 // so the accelerator pulls them through coherence. Called before each
-// invocation unless the inputs are being reused untouched.
+// invocation unless the inputs are being reused untouched. The non-Local
+// array spans come precomputed from the artifact.
 func (inst *instance) dirtyCPULines() {
 	cm, ok := inst.mem.(*core.CacheMem)
 	if !ok {
 		return
 	}
 	line := uint64(inst.cfg.CacheLineBytes)
-	for i, a := range inst.g.Trace.Arrays {
-		if a.Dir == trace.Local {
-			continue
-		}
-		base := cm.Translate(inst.g.Bases[i])
-		for off := uint64(0); off < uint64(a.Bytes()); off += line {
+	for _, sp := range inst.k.shared {
+		base := cm.Translate(sp.base)
+		for off := uint64(0); off < sp.bytes; off += line {
 			inst.f.coh.Write(inst.f.cpuPeer, (base+off)&^(line-1))
 		}
 	}
@@ -560,9 +561,9 @@ func (inst *instance) newRound() {
 	case inst.dp != nil:
 		inst.dp.Reset()
 	case inst.f.dpScratch != nil:
-		inst.dp = inst.f.dpScratch.Build(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+		inst.dp = inst.f.dpScratch.Build(inst.f.eng, inst.k.prog, inst.dpCfg, inst.mem)
 	default:
-		inst.dp = core.NewDatapath(inst.f.eng, inst.g, inst.dpCfg, inst.mem)
+		inst.dp = core.NewDatapathOver(inst.f.eng, inst.k.prog, inst.dpCfg, inst.mem)
 	}
 	if inst.dpProbe != nil {
 		inst.dp.AttachProbe(inst.dpProbe)
@@ -577,20 +578,18 @@ func (inst *instance) newRound() {
 	inst.dpResult = nil
 }
 
-// transfers builds the DMA descriptor list for the instance's arrays.
+// transfers returns the DMA descriptor list for the instance's arrays. The
+// single-accelerator case (window 0) shares the artifact's manifest directly
+// — the DMA engine only reads Transfer fields, so concurrent runs over one
+// artifact are safe; later windows take an offset copy.
 func (inst *instance) transfers() []dma.Transfer {
-	var out []dma.Transfer
-	for i, a := range inst.g.Trace.Arrays {
-		if a.Dir.IsIn() {
-			out = append(out, dma.Transfer{
-				Arr: int16(i), Base: inst.g.Bases[i] + inst.addrOff,
-				Bytes: a.Bytes(), Load: true})
-		}
-		if a.Dir.IsOut() {
-			out = append(out, dma.Transfer{
-				Arr: int16(i), Base: inst.g.Bases[i] + inst.addrOff,
-				Bytes: a.Bytes(), Load: false})
-		}
+	if inst.addrOff == 0 {
+		return inst.k.manifest
+	}
+	out := make([]dma.Transfer, len(inst.k.manifest))
+	copy(out, inst.k.manifest)
+	for i := range out {
+		out[i].Base += inst.addrOff
 	}
 	return out
 }
@@ -705,9 +704,10 @@ type Runner struct {
 // for symmetry with the rest of the package.
 func NewRunner() *Runner { return &Runner{} }
 
-// Run executes one invocation of the kernel captured in g under cfg,
-// recycling the runner's state.
-func (r *Runner) Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
+// Run executes one invocation of the compiled kernel k under cfg, recycling
+// the runner's state. The artifact is read-only here: any number of Runners
+// (one per goroutine) may share one Compiled.
+func (r *Runner) Run(k *Compiled, cfg Config) (*RunResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -720,7 +720,7 @@ func (r *Runner) Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 	}
 	f := newFabricOn(r.eng, r.coh, cfg)
 	f.dpScratch = &r.dpScratch
-	inst, err := f.attach(g, cfg, 0)
+	inst, err := f.attach(k, cfg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -739,14 +739,6 @@ func (r *Runner) Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 	return inst.collect(pm)
 }
 
-// Run executes one invocation of the kernel captured in g under cfg. It is
-// a one-shot Runner; sweeps evaluating many points should hold a Runner per
-// worker instead.
-func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
-	var r Runner
-	return r.Run(g, cfg)
-}
-
 // ProfileRun executes one invocation with the cycle-attribution profiler
 // subscribed to every component probe (datapath lanes, DMA, CPU flush,
 // cache misses, bus, DRAM) and returns the run result together with the
@@ -755,15 +747,37 @@ func Run(g *ddg.Graph, cfg Config) (*RunResult, error) {
 // needs its own probe wiring, and stat registration paths may not repeat
 // within a shared registry. The attribution's bucket ticks sum to
 // res.Runtime bit-exactly (the MachSuite regression gate asserts this for
-// every kernel).
-func ProfileRun(g *ddg.Graph, cfg Config) (*RunResult, obs.Attribution, error) {
+// every kernel). Profiled sweeps get the same state recycling as plain
+// Run — only the observer is per-invocation.
+func (r *Runner) ProfileRun(k *Compiled, cfg Config) (*RunResult, obs.Attribution, error) {
 	prof := obs.NewProfile()
 	cfg.Obs = &obs.Observer{Registry: obs.NewRegistry(), Profile: prof}
-	res, err := Run(g, cfg)
+	res, err := r.Run(k, cfg)
 	if err != nil {
 		return nil, obs.Attribution{}, err
 	}
 	return res, prof.Attribute(uint64(res.Runtime)), nil
+}
+
+// Run executes one invocation of the compiled kernel k under cfg. It is a
+// one-shot Runner; sweeps evaluating many points should hold a Runner per
+// worker instead.
+func Run(k *Compiled, cfg Config) (*RunResult, error) {
+	var r Runner
+	return r.Run(k, cfg)
+}
+
+// RunGraph compiles g and executes one invocation under cfg — the
+// pre-artifact path. Callers evaluating more than one design point should
+// Compile once and pass the artifact to Run.
+func RunGraph(g *ddg.Graph, cfg Config) (*RunResult, error) {
+	return Run(Compile(g), cfg)
+}
+
+// ProfileRun is the one-shot form of Runner.ProfileRun.
+func ProfileRun(k *Compiled, cfg Config) (*RunResult, obs.Attribution, error) {
+	var r Runner
+	return r.ProfileRun(k, cfg)
 }
 
 // MultiResult is the outcome of a multi-accelerator run.
@@ -779,10 +793,10 @@ type MultiResult struct {
 // shared bus, DRAM, and coherence fabric — the ACCEL0/ACCEL1 arrangement
 // of the paper's Fig 3 SoC. System-level parameters (bus, DRAM, host CPU,
 // background traffic) come from the first config.
-func RunMulti(gs []*ddg.Graph, cfgs []Config) (*MultiResult, error) {
-	if len(gs) == 0 || len(gs) != len(cfgs) {
-		return nil, fmt.Errorf("soc: RunMulti needs matching graphs and configs, got %d/%d",
-			len(gs), len(cfgs))
+func RunMulti(ks []*Compiled, cfgs []Config) (*MultiResult, error) {
+	if len(ks) == 0 || len(ks) != len(cfgs) {
+		return nil, fmt.Errorf("soc: RunMulti needs matching kernels and configs, got %d/%d",
+			len(ks), len(cfgs))
 	}
 	for i := range cfgs {
 		if err := cfgs[i].Validate(); err != nil {
@@ -790,9 +804,9 @@ func RunMulti(gs []*ddg.Graph, cfgs []Config) (*MultiResult, error) {
 		}
 	}
 	f := newFabric(cfgs[0])
-	insts := make([]*instance, len(gs))
-	for i := range gs {
-		inst, err := f.attach(gs[i], cfgs[i], i)
+	insts := make([]*instance, len(ks))
+	for i := range ks {
+		inst, err := f.attach(ks[i], cfgs[i], i)
 		if err != nil {
 			return nil, fmt.Errorf("soc: accelerator %d: %w", i, err)
 		}
@@ -850,7 +864,7 @@ func (r *RepeatResult) SteadyState() sim.Tick { return r.Rounds[len(r.Rounds)-1]
 // with reuseInputs=true the inputs stay resident (weights, coefficient
 // tables), which is where a cache interface amortizes its cold misses
 // while DMA pays the full transfer every time.
-func RunRepeated(g *ddg.Graph, cfg Config, invocations int, reuseInputs bool) (*RepeatResult, error) {
+func RunRepeated(k *Compiled, cfg Config, invocations int, reuseInputs bool) (*RepeatResult, error) {
 	if invocations <= 0 {
 		return nil, fmt.Errorf("soc: non-positive invocation count %d", invocations)
 	}
@@ -858,7 +872,7 @@ func RunRepeated(g *ddg.Graph, cfg Config, invocations int, reuseInputs bool) (*
 		return nil, err
 	}
 	f := newFabric(cfg)
-	inst, err := f.attach(g, cfg, 0)
+	inst, err := f.attach(k, cfg, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -1003,8 +1017,9 @@ func computeArea(pm *power.Model, cfg Config, g *ddg.Graph, sp *spad.Spad) float
 	return area
 }
 
-// RunTrace is a convenience wrapper building the DDDG first. Prefer Build +
-// Run when sweeping many configs over one kernel.
+// RunTrace is a convenience wrapper building the DDDG and compiling it
+// first. Prefer Build + Compile + Run when sweeping many configs over one
+// kernel.
 func RunTrace(tr *trace.Trace, cfg Config) (*RunResult, error) {
-	return Run(ddg.Build(tr), cfg)
+	return RunGraph(ddg.Build(tr), cfg)
 }

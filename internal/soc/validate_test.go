@@ -5,7 +5,6 @@ import (
 	"math"
 	"testing"
 
-	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/sim"
 )
@@ -116,16 +115,16 @@ func TestRunRejectsImpossibleConfig(t *testing.T) {
 	} {
 		cfg := DefaultConfig()
 		breakIt(&cfg)
-		_, err := Run(g, cfg)
+		_, err := RunGraph(g, cfg)
 		var ce *ConfigError
 		if !errors.As(err, &ce) {
 			t.Fatalf("Run(%+v) = %v, want *ConfigError", cfg, err)
 		}
 	}
-	if _, err := RunRepeated(g, Config{}, 2, false); err == nil {
+	if _, err := RunRepeated(Compile(g), Config{}, 2, false); err == nil {
 		t.Fatal("RunRepeated accepted the zero Config")
 	}
-	if _, err := RunMulti([]*ddg.Graph{g, g}, []Config{DefaultConfig(), {}}); err == nil {
+	if _, err := RunMulti([]*Compiled{Compile(g), Compile(g)}, []Config{DefaultConfig(), {}}); err == nil {
 		t.Fatal("RunMulti accepted a zero Config in position 1")
 	}
 }
