@@ -23,6 +23,7 @@ import (
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/stats"
+	"gem5aladdin/internal/store"
 )
 
 func main() {
@@ -38,6 +39,7 @@ func main() {
 		profile = flag.Bool("profile", false, "re-run the Pareto-front points with the cycle-attribution profiler and print a per-point breakdown")
 		folded  = flag.String("profile-folded", "", "write the profiled points' folded stacks (flamegraph input) to this file (implies -profile work)")
 		spanOut = flag.String("span-out", "", "write the sweep's wall-clock spans (one per design point) as JSON lines to this file")
+		storeD  = flag.String("store", "", "durable result store directory: points already simulated (by any run or by cmd/serve) are replayed from disk")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
@@ -122,12 +124,34 @@ func main() {
 		ctx = obs.WithSpan(ctx, root)
 	}
 
+	// -store makes the sweep crash-safe and incremental: every simulated
+	// point is written through to an append-only segment log keyed by its
+	// content address, and points already on disk — from an earlier run, an
+	// interrupted run, or a cmd/serve instance sharing the directory — are
+	// replayed instead of re-simulated.
+	swOpts := dse.SweepOptions{Workers: *jobs, Progress: onProgress}
+	if *storeD != "" {
+		st, err := store.Open(*storeD, store.Options{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "closing store:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "dse: result store %s: %d records on disk\n",
+			*storeD, st.Len())
+		swOpts.Cache = &dse.StoreCache{Kernel: *bench, Store: st}
+	}
+
 	if lg != nil {
 		lg.Info("sweep starting", "bench", *bench, "mem", *mem,
 			"points", len(cfgs), "workers", *jobs, "full", *full)
 	}
 	swept := time.Now()
-	space, err := dse.Sweep(ctx, kern, cfgs, dse.SweepOptions{Workers: *jobs, Progress: onProgress})
+	space, err := dse.Sweep(ctx, kern, cfgs, swOpts)
 	root.EndSpan()
 	if err != nil {
 		if lg != nil {

@@ -2,11 +2,19 @@
 // design-space explorer with a content-addressed result cache, so repeated
 // and concurrent sweeps of the same design points simulate once.
 //
-//	go run ./cmd/serve -addr localhost:8347
+//	go run ./cmd/serve -addr localhost:8347 -store /var/lib/sweeps
 //	curl -s localhost:8347/sweep -d '{"kernel":"spmv-crs","mem":"dma","lanes":[1,2],"partitions":[1,2]}'
+//	curl -s localhost:8347/jobs  -d '{"kernel":"spmv-crs","full":true}'   # long-running job, 202 + job_id
+//	curl -s localhost:8347/jobs/<job-id>              # poll progress
+//	curl -sN localhost:8347/jobs/<job-id>/results     # NDJSON stream, tails a running job
 //	curl -s localhost:8347/statsz
 //	curl -s localhost:8347/metrics            # Prometheus exposition
 //	curl -s localhost:8347/trace/<trace-id>   # Perfetto JSON (with -spans)
+//
+// With -store, every simulated point and every job manifest is persisted to
+// an append-only segment log: a restarted server warm-starts its cache from
+// disk and resumes any job that was still running when the process died —
+// kill -9 included.
 //
 // Observability is opt-in: -log enables structured slog records, -spans
 // turns every request into a wall-clock trace fetchable by ID, -span-out
@@ -34,6 +42,8 @@ import (
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
 	"gem5aladdin/internal/serve"
+	"gem5aladdin/internal/sim"
+	"gem5aladdin/internal/store"
 )
 
 func main() {
@@ -48,6 +58,12 @@ func main() {
 		spanOut   = flag.String("span-out", "", "append every finished span as one JSON line to this file (implies -spans)")
 		slowPoint = flag.Duration("slow-point", 2*time.Second, "log a warning when one design point simulates longer than this (needs -log)")
 		debug     = flag.Bool("pprof", false, "expose net/http/pprof and Go runtime metrics under /debug/")
+
+		storeDir     = flag.String("store", "", "durable result store directory: sweep results survive restarts, interrupted jobs resume")
+		pointTimeout = flag.Duration("point-timeout", 0, "per-point no-progress watchdog budget in VIRTUAL time (0 = off); a stalled point fails alone")
+		pointRetries = flag.Int("point-retries", 2, "retries per point for fault-injection aborts (stalls and sanitizer hits never retry)")
+		retryBackoff = flag.Duration("retry-backoff", 10*time.Millisecond, "base backoff between point retries (doubles per attempt, capped at 1s)")
+		maxJobs      = flag.Int("max-jobs", 0, "concurrent running jobs before 429 (0 = default 16)")
 	)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -79,6 +95,22 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{})
+		if err != nil {
+			log.Fatalf("opening result store: %v", err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				log.Printf("closing store: %v", err)
+			}
+		}()
+		stats := st.Stats()
+		log.Printf("result store %s: %d records (%d bad, %d B torn tail dropped)",
+			*storeDir, stats.Records, stats.BadRecords, stats.TornBytes)
+	}
+
 	s := serve.New(serve.Options{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -87,6 +119,15 @@ func main() {
 		Logger:         lg,
 		Spans:          tracer,
 		SlowPoint:      *slowPoint,
+		Store:          st,
+		// The point budget is virtual time: -point-timeout 1ms arms each
+		// point's watchdog with 1 ms of SIMULATED time, so the same config
+		// stalls identically on any host — the property that keeps resumed
+		// jobs bit-identical.
+		PointBudget:       sim.Tick((*pointTimeout).Nanoseconds()) * sim.Nanosecond,
+		MaxPointRetries:   *pointRetries,
+		PointRetryBackoff: *retryBackoff,
+		MaxJobs:           *maxJobs,
 	})
 
 	mux := http.NewServeMux()
@@ -106,7 +147,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("sweep service on http://%s (POST /sweep; GET /kernels /statsz /metrics /trace/{id})", *addr)
+	log.Printf("sweep service on http://%s (POST /sweep /jobs; GET /jobs/{id} /kernels /statsz /metrics /trace/{id})", *addr)
 	if lg != nil {
 		lg.Info("listening", "addr", *addr, "pprof", *debug, "spans", tracer != nil)
 	}

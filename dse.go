@@ -57,6 +57,25 @@ func SweepCtx(ctx context.Context, g *Graph, cfgs []Config, workers int, progres
 	return dse.Sweep(ctx, Compile(g), cfgs, SweepOptions{Workers: workers, Progress: progress})
 }
 
+// PointFailure describes one design point a fault-isolated sweep could not
+// evaluate: the config, the failure class, and the attempts spent.
+type PointFailure = dse.PointFailure
+
+// RetryPolicy bounds how a sweep retries an aborted design point before
+// recording it as failed; only fault-injection aborts are retried (stalls
+// and sanitizer violations are deterministic properties of the config).
+type RetryPolicy = dse.RetryPolicy
+
+// SweepIsolated evaluates every configuration like Sweep, but degrades any
+// per-point failure — robustness-layer aborts and genuine simulation errors
+// alike — to a PointFailure record instead of dropping it silently or
+// failing the whole sweep: the space holds the survivors, the failure list
+// enumerates the rest, and only a context cancellation fails the call. This
+// is the engine behind the sweep service's resumable jobs.
+func SweepIsolated(ctx context.Context, k *Kernel, cfgs []Config, opts SweepOptions) (DesignSpace, []PointFailure, error) {
+	return dse.SweepIsolated(ctx, k, cfgs, opts)
+}
+
 // ParetoFront returns the points of s not dominated in (runtime, power),
 // sorted by runtime: the frontier the paper's Fig 8 plots.
 func ParetoFront(s DesignSpace) DesignSpace { return s.ParetoFront() }

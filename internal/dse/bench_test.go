@@ -10,6 +10,7 @@ package dse_test
 //	go test ./internal/dse/ -bench . -benchmem
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -18,6 +19,7 @@ import (
 	"gem5aladdin/internal/machsuite"
 	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/store"
 )
 
 // sweepConfigs builds the quick-mode DMA + cache design points for one
@@ -71,6 +73,63 @@ func BenchmarkSweepQuickSerial(b *testing.B) {
 // sweepSerial evaluates every config on one pooled worker.
 func sweepSerial(k *soc.Compiled, cfgs []soc.Config) (dse.Space, error) {
 	return dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{Workers: 1})
+}
+
+// BenchmarkSweepQuickPersist is BenchmarkSweepQuick with the durable result
+// store writing through: the persistence-overhead gate (target <= 5% vs the
+// in-memory baseline). Each iteration sweeps under a distinct kernel label so
+// every point is a store miss — the benchmark measures encode+append cost,
+// not warm replay.
+func BenchmarkSweepQuickPersist(b *testing.B) {
+	k := soc.Compile(ddg.Build(machsuite.MustBuild("fft-transpose")))
+	cfgs := sweepConfigs()
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := &dse.StoreCache{Kernel: fmt.Sprintf("fft-transpose/%d", i), Store: st}
+		space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(space) != len(cfgs) {
+			b.Fatalf("sweep dropped points: %d of %d", len(space), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepQuickPersistWarm replays the whole sweep from disk: the
+// restart path. Every point is a store hit, so this bounds how fast a
+// crashed or restarted sweep catches back up to where it died.
+func BenchmarkSweepQuickPersistWarm(b *testing.B) {
+	k := soc.Compile(ddg.Build(machsuite.MustBuild("fft-transpose")))
+	cfgs := sweepConfigs()
+	st, err := store.Open(b.TempDir(), store.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	cache := &dse.StoreCache{Kernel: "fft-transpose", Store: st}
+	if _, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(space) != len(cfgs) {
+			b.Fatalf("sweep dropped points: %d of %d", len(space), len(cfgs))
+		}
+	}
+	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // BenchmarkParetoFront measures frontier extraction at Fig 3 scale

@@ -38,7 +38,8 @@ type Point struct {
 type Space []Point
 
 // SweepOptions tunes how Sweep runs its worker pool. The zero value is the
-// default sweep: GOMAXPROCS workers, no progress reporting.
+// default sweep: GOMAXPROCS workers, no progress reporting, no persistence,
+// no retries.
 type SweepOptions struct {
 	// Workers sizes the pool; <= 0 selects GOMAXPROCS. Each worker owns a
 	// reusable soc.Runner, so the simulation state warmed up on one design
@@ -49,6 +50,14 @@ type SweepOptions struct {
 	// Progress, when non-nil, is called after each completed point with
 	// (done, total); calls are serialized but may come from any worker.
 	Progress func(done, total int)
+	// Cache, when non-nil, serves previously stored point outcomes and
+	// writes fresh ones through to the result store, making the sweep
+	// restartable: a rerun against the same store directory re-simulates
+	// only the points the interrupted run never finished.
+	Cache *StoreCache
+	// Retry bounds per-point retries of fault-injection aborts before the
+	// point is recorded as failed. The zero value never retries.
+	Retry RetryPolicy
 }
 
 // Sweep evaluates every config over the compiled kernel k, in parallel
@@ -73,6 +82,15 @@ type SweepOptions struct {
 // is treated as poisoned and dropped from the space rather than failing the
 // whole sweep; any other error still aborts.
 func Sweep(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOptions) (Space, error) {
+	space, _, err := sweepCore(ctx, k, cfgs, opts, false)
+	return space, err
+}
+
+// sweepCore is the shared sweep engine. In isolated mode every per-point
+// failure becomes a PointFailure record; otherwise aborts are compacted away
+// and a genuine simulation error fails the whole sweep (the historical Sweep
+// contract).
+func sweepCore(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOptions, isolate bool) (Space, []PointFailure, error) {
 	workers := opts.Workers
 	progress := opts.Progress
 	if workers <= 0 {
@@ -83,6 +101,7 @@ func Sweep(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOp
 	}
 	parent := obs.SpanFromContext(ctx)
 	out := make(Space, len(cfgs))
+	fails := make([]*PointFailure, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var next, done atomic.Int64
 	var mu sync.Mutex // serializes progress callbacks
@@ -100,16 +119,64 @@ func Sweep(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOp
 				ps := parent.ChildOn("point", track)
 				ps.SetAttr("index", i)
 				ps.SetAttr("lanes", cfgs[i].Lanes)
-				res, err := r.Run(k, cfgs[i])
+
+				// Serve the point from the durable store when possible —
+				// stored failures replay as cheaply as stored successes.
+				var res *soc.RunResult
+				var err error
+				var cachedKind string
+				attempts := 0
+				cached := false
+				if opts.Cache != nil {
+					if cp, ok, gerr := opts.Cache.Get(cfgs[i]); gerr == nil && ok {
+						cached = true
+						ps.SetAttr("cached", true)
+						if cp.Aborted {
+							// Replay the stored failure; the typed error
+							// chain is gone, so the classified kind rides
+							// alongside.
+							err = fmt.Errorf("%s: %w", cp.Err, soc.ErrAborted)
+							cachedKind = cp.Kind
+							attempts = cp.Attempts
+						} else {
+							res = cp.Result
+						}
+					}
+				}
+				if !cached {
+					res, attempts, err = runPoint(ctx, &r, k, cfgs[i], opts.Retry)
+				}
+
 				switch {
 				case err == nil:
 					out[i] = Point{Cfg: cfgs[i], Res: res}
 					ps.SetAttr("cycles", res.Cycles)
-				case !errors.Is(err, soc.ErrAborted):
+					if !cached && opts.Cache != nil {
+						opts.Cache.Put(cfgs[i], &CachedPoint{Result: res})
+					}
+				case errors.Is(err, soc.ErrAborted):
+					kind := cachedKind
+					if kind == "" {
+						kind = soc.AbortKind(err)
+					}
+					ps.SetAttr("aborted", true)
+					ps.SetAttr("kind", kind)
+					fails[i] = &PointFailure{Index: i, Cfg: cfgs[i], Kind: kind,
+						Err: err.Error(), Attempts: attempts}
+					if !cached && opts.Cache != nil {
+						opts.Cache.Put(cfgs[i], &CachedPoint{Aborted: true, Kind: kind,
+							Err: err.Error(), Attempts: attempts})
+					}
+				case isolate:
+					// A genuine simulation error isolates to this point but
+					// is never persisted: it may be environmental, and a
+					// future run deserves a fresh attempt.
+					ps.SetAttr("error", err.Error())
+					fails[i] = &PointFailure{Index: i, Cfg: cfgs[i], Kind: "error",
+						Err: err.Error(), Attempts: attempts}
+				default:
 					errs[i] = fmt.Errorf("dse: config %d: %w", i, err)
 					ps.SetAttr("error", err.Error())
-				default:
-					ps.SetAttr("aborted", true)
 				}
 				ps.EndSpan()
 				if progress != nil {
@@ -122,21 +189,27 @@ func Sweep(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts SweepOp
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	// Compact away poisoned points (nil Res).
+	var failures []PointFailure
+	for _, f := range fails {
+		if f != nil {
+			failures = append(failures, *f)
+		}
+	}
+	// Compact away failed points (nil Res).
 	kept := out[:0]
 	for _, p := range out {
 		if p.Res != nil {
 			kept = append(kept, p)
 		}
 	}
-	return kept, nil
+	return kept, failures, nil
 }
 
 // ParetoFront returns the points not dominated in (runtime, power): a

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/dse"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/soc"
 )
@@ -33,14 +34,21 @@ type entry struct {
 	// Result fields, final once done is closed. Exactly one of res,
 	// aborted, err is meaningful: res for a completed simulation, aborted
 	// for a point the robustness layer poisoned (soc.ErrAborted — the
-	// sweep-compaction case), err for a genuine failure.
-	res     *soc.RunResult
-	aborted bool
-	err     error
+	// sweep-compaction case), err for a genuine failure. An aborted entry
+	// carries its classification (failKind is a soc.Abort* label), its
+	// abort message, and the attempts the retry policy spent.
+	res      *soc.RunResult
+	aborted  bool
+	err      error
+	failKind string
+	failErr  string
+	attempts int
+	// warm marks an entry materialized from the durable store rather than
+	// simulated by this process.
+	warm bool
 
 	// Guarded by Server.mu until done closes.
-	waiters int  // requests currently waiting on this point
-	started bool // a worker has claimed it
+	waiters int // requests currently waiting on this point
 
 	// span is the creating request's per-point span; qspan times the wait
 	// from enqueue to worker claim. Both are the nil no-op span when the
@@ -110,29 +118,57 @@ func (s *Server) worker() {
 			e.span.EndSpan()
 			continue
 		}
-		e.started = true
 		s.mu.Unlock()
 
 		e.qspan.EndSpan()
-		sim := e.span.Child("simulate")
+		span := e.span.Child("simulate")
 		started := time.Now()
-		res, err := r.Run(e.k, e.cfg)
+		res, attempts, err := s.simulatePoint(&r, e)
 		elapsed := time.Since(started)
+
+		// Persist the outcome BEFORE announcing completion: once a waiter
+		// observes done, the result is durable (modulo the store's fsync
+		// batching — a SIGKILL never loses it, only an OS crash can lose
+		// the unsynced tail).
+		if s.opt.Store != nil {
+			var cp *dse.CachedPoint
+			switch {
+			case err == nil:
+				cp = &dse.CachedPoint{Result: res}
+			case errors.Is(err, soc.ErrAborted):
+				cp = &dse.CachedPoint{Aborted: true, Kind: soc.AbortKind(err),
+					Err: err.Error(), Attempts: attempts}
+			}
+			if cp != nil {
+				if data, eerr := dse.EncodePoint(cp); eerr == nil {
+					if perr := s.opt.Store.Put(e.key, data); perr != nil {
+						if lg := s.opt.Logger; lg != nil {
+							lg.Warn("store write failed",
+								"key", shortKey(e.key), "err", perr.Error())
+						}
+					}
+				}
+			}
+		}
 
 		s.mu.Lock()
 		switch {
 		case err == nil:
 			e.res = res
-			sim.SetAttr("cycles", res.Cycles)
+			span.SetAttr("cycles", res.Cycles)
 		case errors.Is(err, soc.ErrAborted):
 			e.aborted = true
+			e.failKind = soc.AbortKind(err)
+			e.failErr = err.Error()
+			e.attempts = attempts
 			s.pointsAborted.Add(1)
-			sim.SetAttr("aborted", true)
+			span.SetAttr("aborted", true)
+			span.SetAttr("kind", e.failKind)
 		default:
 			e.err = err
 			// Failures are not cached: the next request retries.
 			delete(s.cache, e.key)
-			sim.SetAttr("error", err.Error())
+			span.SetAttr("error", err.Error())
 		}
 		if e.err == nil {
 			s.finished(e.key)
@@ -140,7 +176,7 @@ func (s *Server) worker() {
 		close(e.done)
 		s.mu.Unlock()
 		s.pointsSimulated.Add(1)
-		sim.EndSpan()
+		span.EndSpan()
 		e.span.EndSpan()
 
 		if lg := s.opt.Logger; lg != nil &&
@@ -150,6 +186,36 @@ func (s *Server) worker() {
 				slog.Int64("elapsed_ms", elapsed.Milliseconds()),
 				slog.Int("lanes", e.cfg.Lanes),
 				slog.String("mem", e.cfg.Mem.String()))
+		}
+	}
+}
+
+// simulatePoint runs one design point under the per-point watchdog budget
+// and the bounded retry policy. The budget is applied to a local config copy
+// — the entry's config (and therefore its content-addressed key) stays
+// exactly what the client asked for, so keys match cmd/dse's. Only
+// fault-injection aborts retry; stalls and sanitizer violations are
+// deterministic properties of the config and fail on the first attempt.
+func (s *Server) simulatePoint(r *soc.Runner, e *entry) (*soc.RunResult, int, error) {
+	cfg := e.cfg
+	if s.opt.PointBudget > 0 && cfg.WatchdogTicks == 0 {
+		cfg.WatchdogTicks = s.opt.PointBudget
+	}
+	attempts := 0
+	backoff := s.opt.PointRetryBackoff
+	for {
+		attempts++
+		res, err := r.Run(e.k, cfg)
+		if err == nil {
+			return res, attempts, nil
+		}
+		if soc.AbortKind(err) != soc.AbortFault || attempts > s.opt.MaxPointRetries {
+			return nil, attempts, err
+		}
+		s.pointRetries.Add(1)
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
 		}
 	}
 }
@@ -184,6 +250,32 @@ func (s *Server) acquire(key string, k *soc.Compiled, cfg soc.Config, parent *ob
 			e.waiters++
 			s.cacheHits.Add(1)
 			return e, true, true
+		}
+	}
+	// Memory miss: consult the durable store before simulating. A stored
+	// outcome — success or classified failure — materializes as an
+	// already-complete entry, so a restarted server warm-starts instead of
+	// re-simulating its history.
+	if s.opt.Store != nil {
+		if data, ok, _ := s.opt.Store.Get(key); ok {
+			if cp, decoded, _ := dse.DecodePoint(data); decoded {
+				e = &entry{key: key, k: k, cfg: cfg,
+					done: make(chan struct{}), warm: true}
+				if cp.Aborted {
+					e.aborted = true
+					e.failKind = cp.Kind
+					e.failErr = cp.Err
+					e.attempts = cp.Attempts
+				} else {
+					e.res = cp.Result
+				}
+				close(e.done)
+				s.cache[key] = e
+				s.finished(key)
+				s.cacheHits.Add(1)
+				s.warmHits.Add(1)
+				return e, false, true
+			}
 		}
 	}
 	e = &entry{key: key, k: k, cfg: cfg, done: make(chan struct{}), waiters: 1}

@@ -1,0 +1,269 @@
+package serve_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"gem5aladdin/internal/serve"
+)
+
+// recoveryReq is the kill-window grid: big enough (about 200 cache points on
+// one worker) that a SIGKILL reliably lands while the job is part-done, small
+// enough that the whole harness stays in CI-smoke territory.
+func recoveryReq() serve.SweepRequest {
+	return serve.SweepRequest{
+		Kernel:     "spmv-crs",
+		Mem:        "cache",
+		Lanes:      []int{1, 2, 4, 8},
+		CacheKB:    []int{2, 4, 8, 16, 32, 64},
+		CacheLines: []int{32, 64},
+		CachePorts: []int{1, 2},
+		CacheAssoc: []int{2, 4},
+	}
+}
+
+// serveChild manages one cmd/serve process for the crash-recovery harness.
+type serveChild struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startServeChild launches the prebuilt cmd/serve binary against the given
+// store directory and waits for /healthz.
+func startServeChild(t *testing.T, bin, storeDir string, port int) *serveChild {
+	t.Helper()
+	addr := "127.0.0.1:" + strconv.Itoa(port)
+	cmd := exec.Command(bin,
+		"-addr", addr,
+		"-store", storeDir,
+		"-workers", "1",
+		"-drain", "5s")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting serve child: %v", err)
+	}
+	c := &serveChild{cmd: cmd, base: "http://" + addr}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(c.base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return c
+			}
+		}
+		if time.Now().After(deadline) {
+			c.kill()
+			t.Fatalf("serve child never became healthy on %s", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the child — no drain, no fsync, the crash we are testing.
+func (c *serveChild) kill() {
+	if c.cmd.Process != nil {
+		_ = c.cmd.Process.Signal(syscall.SIGKILL)
+	}
+	_, _ = c.cmd.Process.Wait()
+}
+
+// metricCounter scrapes one integer counter from the child's /metrics page
+// (Prometheus exposition: "name value" lines, comments start with '#').
+func metricCounter(t *testing.T, base, name string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	for _, line := range strings.Split(string(body), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == name {
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("parsing %s from metrics: %v (%q)", name, err, line)
+			}
+			return v
+		}
+	}
+	t.Fatalf("counter %s not in metrics:\n%s", name, body)
+	return 0
+}
+
+// TestKillRestartRecovery is the crash-recovery acceptance test. It runs the
+// real cmd/serve binary, SIGKILLs it mid-job, restarts it over the same
+// store directory, and demands that (a) the server warm-starts from the
+// surviving segments, (b) the interrupted job resumes automatically under
+// its original ID, and (c) the resumed job's NDJSON result stream is
+// byte-identical to an uninterrupted in-process run of the same request.
+func TestKillRestartRecovery(t *testing.T) {
+	// Deliberately not gated on testing.Short(): this IS the CI smoke test.
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "serve.bin")
+	build := exec.Command("go", "build", "-o", bin, "gem5aladdin/cmd/serve")
+	build.Dir = "../.." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/serve: %v\n%s", err, out)
+	}
+
+	// Uninterrupted reference: the same request through an in-process
+	// server (identical code path, no store) defines the ground truth
+	// stream the resumed job must reproduce byte for byte.
+	req := recoveryReq()
+	_, refTS := newTestServer(t, serve.Options{Workers: 2})
+	refID := submitJob(t, refTS.URL, req)
+	if st := waitJob(t, refTS.URL, refID); st.State != "completed" {
+		t.Fatalf("reference job state %q", st.State)
+	}
+	refRaw, _, _ := streamJob(t, refTS.URL, refID)
+
+	// Pick a port for the children. The tiny window between closing the
+	// probe listener and the child binding is an accepted race.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+
+	storeDir := filepath.Join(dir, "results")
+	child := startServeChild(t, bin, storeDir, port)
+	defer child.kill()
+
+	// Submit the job and SIGKILL the server once it is provably mid-grid.
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(child.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submitting job to child: %v", err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("child job submission: %d: %s", resp.StatusCode, ack)
+	}
+	var sub struct {
+		JobID  string `json:"job_id"`
+		Points int    `json:"points"`
+	}
+	if err := json.Unmarshal(ack, &sub); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	killed := false
+	for !killed {
+		if time.Now().After(deadline) {
+			t.Fatal("job never entered the kill window")
+		}
+		r, err := http.Get(child.base + "/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatalf("polling child: %v", err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case st.State != "running":
+			t.Fatalf("job reached %q before the kill; grow the grid or slow the worker", st.State)
+		case st.Completed >= 3 && st.Pending >= 3:
+			child.kill() // mid-grid: at least 3 done, at least 3 to go
+			killed = true
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Restart over the same store directory. Boot must replay the segment
+	// log (tolerating the torn tail the SIGKILL may have left), resume the
+	// manifest that was still "running", and finish the job.
+	child2 := startServeChild(t, bin, storeDir, port)
+	defer child2.kill()
+
+	if resumed := metricCounter(t, child2.base, "serve_jobs_resumed"); resumed != 1 {
+		t.Fatalf("serve_jobs_resumed = %d, want 1", resumed)
+	}
+
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(child2.base + "/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatalf("polling restarted child: %v", err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "completed" {
+			if !st.Resumed {
+				t.Fatalf("restarted job not marked resumed: %+v", st)
+			}
+			break
+		}
+		if st.State != "running" {
+			t.Fatalf("resumed job state %q (error %q)", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never completed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Warm start: the restarted server must have served the first run's
+	// surviving points from disk instead of re-simulating them.
+	warm := metricCounter(t, child2.base, "serve_cache_warm_hits")
+	if warm == 0 {
+		t.Fatal("restarted server re-simulated everything: zero warm hits")
+	}
+	simulated := metricCounter(t, child2.base, "serve_points_simulated")
+	if simulated == 0 {
+		t.Fatal("restart simulated nothing: the kill window closed after completion?")
+	}
+	t.Logf("resume split: %d points warm from disk, %d simulated after restart", warm, simulated)
+
+	// The acceptance bar: byte-identical NDJSON against the uninterrupted
+	// reference run.
+	r, err := http.Get(child2.base + "/jobs/" + sub.JobID + "/results")
+	if err != nil {
+		t.Fatalf("streaming resumed job: %v", err)
+	}
+	resumedRaw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedRaw, refRaw) {
+		t.Fatalf("resumed stream diverges from the uninterrupted run:\nresumed %d bytes, reference %d bytes\nfirst diff near byte %d",
+			len(resumedRaw), len(refRaw), firstDiff(resumedRaw, refRaw))
+	}
+}
+
+func firstDiff(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

@@ -48,10 +48,13 @@ import (
 	"time"
 
 	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/fault"
 	"gem5aladdin/internal/machsuite"
 	"gem5aladdin/internal/obs"
 	"gem5aladdin/internal/report"
+	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/soc"
+	"gem5aladdin/internal/store"
 	"gem5aladdin/internal/trace"
 )
 
@@ -81,6 +84,32 @@ type Options struct {
 	// the MachSuite registry; tests inject cheap synthetic kernels here.
 	BuildKernel func(name string) (*trace.Trace, error)
 
+	// Store, when non-nil, is the durable result store: every finished
+	// design point (success or classified failure) is written through to it
+	// before its waiters are released, warm-starting the in-memory cache
+	// across restarts, and job manifests checkpoint into it so interrupted
+	// jobs resume on the next boot. The server owns neither Open nor Close.
+	Store *store.Store
+	// PointBudget is the per-point no-progress watchdog budget in simulated
+	// ticks, applied to every point whose config does not set its own
+	// WatchdogTicks. A livelocked point aborts with a structured
+	// *sim.StallError instead of burning its worker until the request
+	// timeout. Zero disables the budget. The budget is deliberately
+	// virtual-time, not wall-clock: the same config fails (or passes)
+	// identically on every run, which keeps resumed jobs bit-identical.
+	PointBudget sim.Tick
+	// MaxPointRetries bounds how many times a worker retries a
+	// fault-injection abort before recording the point as failed (stalls
+	// and sanitizer violations never retry — they are deterministic).
+	// Defaults to 2; negative disables retrying.
+	MaxPointRetries int
+	// PointRetryBackoff is the delay before the first retry, doubling per
+	// attempt (capped at 1s). Defaults to 10ms.
+	PointRetryBackoff time.Duration
+	// MaxJobs bounds concurrently running jobs (POST /jobs answers 429
+	// beyond it). Defaults to 16.
+	MaxJobs int
+
 	// Logger receives structured request, slow-point, and lifecycle
 	// records. Nil disables logging entirely (no formatting work happens).
 	Logger *slog.Logger
@@ -109,6 +138,18 @@ func (o *Options) setDefaults() {
 	}
 	if o.RetryAfter <= 0 {
 		o.RetryAfter = time.Second
+	}
+	if o.MaxPointRetries == 0 {
+		o.MaxPointRetries = 2
+	}
+	if o.MaxPointRetries < 0 {
+		o.MaxPointRetries = 0
+	}
+	if o.PointRetryBackoff <= 0 {
+		o.PointRetryBackoff = 10 * time.Millisecond
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 16
 	}
 	if o.BuildKernel == nil {
 		o.BuildKernel = func(name string) (*trace.Trace, error) {
@@ -145,8 +186,13 @@ type Server struct {
 	gmu    sync.Mutex
 	graphs map[string]*graphEntry
 
+	// jmu guards the job table and per-job mutable state.
+	jmu  sync.Mutex
+	jobs map[string]*job
+
 	wgReq     sync.WaitGroup
 	wgWorkers sync.WaitGroup
+	wgJobs    sync.WaitGroup
 
 	start time.Time
 
@@ -154,10 +200,19 @@ type Server struct {
 	rejected        atomic.Uint64
 	cacheHits       atomic.Uint64
 	cacheMisses     atomic.Uint64
+	warmHits        atomic.Uint64
 	pointsSimulated atomic.Uint64
 	pointsAborted   atomic.Uint64
 	pointsAbandoned atomic.Uint64
+	pointRetries    atomic.Uint64
 	activeRequests  atomic.Int64
+
+	jobsSubmitted atomic.Uint64
+	jobsCompleted atomic.Uint64
+	jobsFailed    atomic.Uint64
+	jobsCancelled atomic.Uint64
+	jobsResumed   atomic.Uint64
+	activeJobs    atomic.Int64
 
 	// statsMu serializes latency-histogram observations against registry
 	// dumps; it is the locker handed to obs.Handler, so stat closures must
@@ -177,6 +232,7 @@ func New(opt Options) *Server {
 		admit:  make(chan struct{}, opt.QueueDepth),
 		cache:  make(map[string]*entry),
 		graphs: make(map[string]*graphEntry),
+		jobs:   make(map[string]*job),
 		start:  time.Now(),
 	}
 	s.cond = sync.NewCond(&s.mu)
@@ -186,13 +242,18 @@ func New(opt Options) *Server {
 	for i := 0; i < opt.Workers; i++ {
 		go s.worker()
 	}
+	// Resume any jobs a previous process left running in the store. This
+	// happens after the workers start, so resumed points begin simulating
+	// immediately; already-finished points come back from the store.
+	s.resumeJobs()
 	if lg := s.opt.Logger; lg != nil {
 		lg.Info("sweep service started",
 			"workers", opt.Workers,
 			"queue_depth", opt.QueueDepth,
 			"cache_entries", opt.CacheEntries,
 			"request_timeout", opt.RequestTimeout.String(),
-			"tracing", opt.Spans != nil)
+			"tracing", opt.Spans != nil,
+			"durable", opt.Store != nil)
 	}
 	return s
 }
@@ -218,9 +279,22 @@ func (s *Server) registerStats() {
 		defer s.mu.Unlock()
 		return float64(len(s.cache))
 	})
+	r.CounterFunc("serve.cache.warm_hits", "design points served from the durable store at first touch", s.warmHits.Load)
 	r.CounterFunc("serve.points.simulated", "design points actually simulated", s.pointsSimulated.Load)
 	r.CounterFunc("serve.points.aborted", "simulated points poisoned by the robustness layer", s.pointsAborted.Load)
 	r.CounterFunc("serve.points.abandoned", "queued points skipped after every requester cancelled", s.pointsAbandoned.Load)
+	r.CounterFunc("serve.points.retries", "fault-abort retries spent by workers", s.pointRetries.Load)
+	r.CounterFunc("serve.jobs.submitted", "sweep jobs accepted via POST /jobs", s.jobsSubmitted.Load)
+	r.CounterFunc("serve.jobs.completed", "jobs that reached completion", s.jobsCompleted.Load)
+	r.CounterFunc("serve.jobs.failed", "jobs that failed terminally", s.jobsFailed.Load)
+	r.CounterFunc("serve.jobs.cancelled", "jobs cancelled by clients", s.jobsCancelled.Load)
+	r.CounterFunc("serve.jobs.resumed", "interrupted jobs resumed from the store at boot", s.jobsResumed.Load)
+	r.GaugeFunc("serve.jobs.active", "jobs currently running", func() float64 {
+		return float64(s.activeJobs.Load())
+	})
+	if s.opt.Store != nil {
+		s.opt.Store.RegisterStats(r, "store")
+	}
 	r.GaugeFunc("serve.queue.points", "design points queued awaiting a worker", func() float64 {
 		s.mu.Lock()
 		defer s.mu.Unlock()
@@ -245,6 +319,8 @@ func (s *Server) registerStats() {
 
 func (s *Server) routes() {
 	s.mux.HandleFunc("/sweep", s.handleSweep)
+	s.mux.HandleFunc("/jobs", s.handleJobs)
+	s.mux.HandleFunc("/jobs/", s.handleJob)
 	s.mux.HandleFunc("/kernels", s.handleKernels)
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, "ok")
@@ -312,6 +388,16 @@ type SweepRequest struct {
 	CachePorts []int `json:"cache_ports,omitempty"`
 	CacheAssoc []int `json:"cache_assoc,omitempty"`
 
+	// Faults enables deterministic seeded fault injection for every point
+	// in the grid. Outcomes are still per-point: whether a design point
+	// survives depends on its own traffic under the shared seed, which is
+	// exactly the heterogeneity the job API's failure isolation reports.
+	Faults *FaultSpec `json:"faults,omitempty"`
+	// WatchdogTicks arms each point's no-progress watchdog with an
+	// explicit budget in picoseconds of virtual time. Zero leaves points
+	// on the server's point-budget default (Options.PointBudget).
+	WatchdogTicks uint64 `json:"watchdog_ticks,omitempty"`
+
 	// Full defaults unspecified axes to the full sweep grid instead of the
 	// pruned quick grid.
 	Full bool `json:"full,omitempty"`
@@ -319,6 +405,38 @@ type SweepRequest struct {
 	IncludeSpace bool `json:"include_space,omitempty"`
 	// TimeoutMS tightens (never extends) the server's request timeout.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// FaultSpec is the wire form of a fault-injection configuration: the same
+// knobs as fault.Config with JSON names and nanosecond durations (the
+// internal config counts picosecond ticks).
+type FaultSpec struct {
+	Seed          uint64  `json:"seed"`
+	DRAMBitProb   float64 `json:"dram_bit_prob,omitempty"`
+	SpadBitProb   float64 `json:"spad_bit_prob,omitempty"`
+	CacheBitProb  float64 `json:"cache_bit_prob,omitempty"`
+	DoubleBitFrac float64 `json:"double_bit_frac,omitempty"`
+	BusNackProb   float64 `json:"bus_nack_prob,omitempty"`
+	BusRetryLimit int     `json:"bus_retry_limit,omitempty"`
+	BusBackoffNS  uint64  `json:"bus_backoff_ns,omitempty"`
+	DMATimeoutNS  uint64  `json:"dma_timeout_ns,omitempty"`
+	DMARetries    int     `json:"dma_retries,omitempty"`
+}
+
+// Config converts the wire spec to the simulator's fault configuration.
+func (f FaultSpec) Config() fault.Config {
+	return fault.Config{
+		Seed:          f.Seed,
+		DRAMBitProb:   f.DRAMBitProb,
+		SpadBitProb:   f.SpadBitProb,
+		CacheBitProb:  f.CacheBitProb,
+		DoubleBitFrac: f.DoubleBitFrac,
+		BusNackProb:   f.BusNackProb,
+		BusRetryLimit: f.BusRetryLimit,
+		BusBackoff:    sim.Tick(f.BusBackoffNS) * sim.Nanosecond,
+		DMATimeout:    sim.Tick(f.DMATimeoutNS) * sim.Nanosecond,
+		DMARetries:    f.DMARetries,
+	}
 }
 
 // Configs expands the request into its design-point grid, exactly as
@@ -339,6 +457,12 @@ func (req SweepRequest) Configs() ([]soc.Config, error) {
 	base := soc.DefaultConfig()
 	if req.BusBits != 0 {
 		base.BusWidthBits = req.BusBits
+	}
+	if req.Faults != nil {
+		base.Faults = req.Faults.Config()
+	}
+	if req.WatchdogTicks != 0 {
+		base.WatchdogTicks = sim.Tick(req.WatchdogTicks)
 	}
 	if err := base.Validate(); err != nil {
 		return nil, err
@@ -651,8 +775,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.closed = true
 	s.mu.Unlock()
 
+	// Interrupt running jobs first: their goroutines release point claims,
+	// so workers skip the queued backlog via the abandon path instead of
+	// simulating it during drain. Job manifests stay "running" in the store
+	// — the resume signal for the next boot. Client-facing requests still
+	// drain normally below.
+	s.interruptJobs()
+
 	drained := make(chan struct{})
 	go func() {
+		s.wgJobs.Wait()
 		s.wgReq.Wait()
 		close(drained)
 	}()
@@ -686,9 +818,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // programmatic health checks.
 type Snapshot struct {
 	Requests, Rejected                              uint64
-	CacheHits, CacheMisses                          uint64
+	CacheHits, CacheMisses, WarmHits                uint64
 	PointsSimulated, PointsAborted, PointsAbandoned uint64
-	ActiveRequests                                  int64
+	PointRetries                                    uint64
+	JobsSubmitted, JobsCompleted, JobsResumed       uint64
+	JobsFailed, JobsCancelled                       uint64
+	ActiveRequests, ActiveJobs                      int64
 	QueuedPoints, CacheEntries                      int
 }
 
@@ -702,10 +837,18 @@ func (s *Server) Snapshot() Snapshot {
 		Rejected:        s.rejected.Load(),
 		CacheHits:       s.cacheHits.Load(),
 		CacheMisses:     s.cacheMisses.Load(),
+		WarmHits:        s.warmHits.Load(),
 		PointsSimulated: s.pointsSimulated.Load(),
 		PointsAborted:   s.pointsAborted.Load(),
 		PointsAbandoned: s.pointsAbandoned.Load(),
+		PointRetries:    s.pointRetries.Load(),
+		JobsSubmitted:   s.jobsSubmitted.Load(),
+		JobsCompleted:   s.jobsCompleted.Load(),
+		JobsResumed:     s.jobsResumed.Load(),
+		JobsFailed:      s.jobsFailed.Load(),
+		JobsCancelled:   s.jobsCancelled.Load(),
 		ActiveRequests:  s.activeRequests.Load(),
+		ActiveJobs:      s.activeJobs.Load(),
 		QueuedPoints:    queued,
 		CacheEntries:    entries,
 	}

@@ -1,0 +1,49 @@
+package soc
+
+import (
+	"errors"
+
+	"gem5aladdin/internal/sanitize"
+	"gem5aladdin/internal/sim"
+)
+
+// Abort-kind labels returned by AbortKind. They are part of the service API
+// (job results carry them) and of the retry policy: a stall is deterministic
+// under the same config and never worth retrying, a sanitizer violation is a
+// simulator-correctness red flag that must surface immediately, while a fault
+// abort is the seeded injector exhausting its retries — rerunning the point
+// replays the identical fault sequence, so "transient" here means transient
+// at the operational layer (a future config/seed may pass), not
+// nondeterministic.
+const (
+	AbortStall    = "stall"    // watchdog no-progress detection (*sim.StallError)
+	AbortSanitize = "sanitize" // MOESI invariant violation (*sanitize.Violation)
+	AbortFault    = "fault"    // fault-injection retry exhaustion (DMA/bus give-up)
+)
+
+// AbortKind classifies an ErrAborted-wrapped run failure into one of the
+// Abort* labels. It returns "" when err is nil or not an abort.
+func AbortKind(err error) string {
+	if err == nil || !errors.Is(err, ErrAborted) {
+		return ""
+	}
+	var stall *sim.StallError
+	if errors.As(err, &stall) {
+		return AbortStall
+	}
+	var viol *sanitize.Violation
+	if errors.As(err, &viol) {
+		return AbortSanitize
+	}
+	return AbortFault
+}
+
+// StallOf extracts the watchdog diagnostic from an aborted run, or nil when
+// the failure was not a stall.
+func StallOf(err error) *sim.StallError {
+	var stall *sim.StallError
+	if errors.As(err, &stall) {
+		return stall
+	}
+	return nil
+}

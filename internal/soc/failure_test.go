@@ -1,0 +1,58 @@
+package soc
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"gem5aladdin/internal/ddg"
+	"gem5aladdin/internal/fault"
+	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/sim"
+)
+
+// TestAbortKindClassification pins the failure taxonomy the service and the
+// retry policy depend on: watchdog stalls, sanitizer violations, and
+// fault-injection give-ups each map to their own label, and non-abort errors
+// map to none.
+func TestAbortKindClassification(t *testing.T) {
+	k := Compile(ddg.Build(machsuite.MustBuild("spmv-crs")))
+
+	stallCfg := DefaultConfig()
+	stallCfg.Mem = DMA
+	stallCfg.WatchdogTicks = 10 // ten picoseconds: guaranteed budget stall
+	_, err := Run(k, stallCfg)
+	if err == nil {
+		t.Fatal("expected a stall abort")
+	}
+	if got := AbortKind(err); got != AbortStall {
+		t.Fatalf("AbortKind(stall) = %q, want %q", got, AbortStall)
+	}
+	if StallOf(err) == nil {
+		t.Fatal("StallOf lost the watchdog diagnostic")
+	}
+
+	faultCfg := DefaultConfig()
+	faultCfg.Mem = DMA
+	faultCfg.Faults = fault.Config{Seed: 1, DMATimeout: sim.Picosecond, DMARetries: 0}
+	_, err = Run(k, faultCfg)
+	if err == nil {
+		t.Fatal("expected a fault abort")
+	}
+	if got := AbortKind(err); got != AbortFault {
+		t.Fatalf("AbortKind(fault) = %q, want %q", got, AbortFault)
+	}
+	if StallOf(err) != nil {
+		t.Fatal("StallOf fabricated a stall from a fault abort")
+	}
+
+	if got := AbortKind(nil); got != "" {
+		t.Fatalf("AbortKind(nil) = %q", got)
+	}
+	if got := AbortKind(fmt.Errorf("plain error")); got != "" {
+		t.Fatalf("AbortKind(non-abort) = %q", got)
+	}
+	if got := AbortKind(fmt.Errorf("wrapped: %w", errors.New("also plain"))); got != "" {
+		t.Fatalf("AbortKind(wrapped non-abort) = %q", got)
+	}
+}

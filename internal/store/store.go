@@ -1,0 +1,741 @@
+// Package store is the durability substrate of the DSE stack: a disk-backed,
+// content-addressed key/value store that survives SIGKILL. The sweep service
+// writes every simulated design point through it (keyed by dse.PointKey) and
+// checkpoints job manifests into it, so a restarted server warm-starts its
+// cache and resumes unfinished jobs instead of re-simulating from zero.
+//
+// # Format
+//
+// A store is a directory of append-only segment files. The active segment is
+// seg-NNNNNNNN.open; when it reaches Options.SegmentBytes it is synced and
+// atomically renamed to seg-NNNNNNNN.log (sealed, immutable from then on) and
+// the next segment opens. Each record is:
+//
+//	[0:4)   crc32 (Castagnoli) over bytes [4:end)
+//	[4:5)   type: 1 = put, 2 = tombstone
+//	[5:9)   key length  (little endian)
+//	[9:13)  value length (little endian)
+//	[13:)   key bytes, then value bytes
+//
+// Within one key the latest record wins, so an overwrite is just an append
+// and a delete is a tombstone. An in-memory index maps every live key to its
+// newest record; Get re-reads the record from disk and re-verifies the
+// checksum, so a corrupted byte can never be returned as data.
+//
+// # Recovery
+//
+// Open replays every segment in sequence order. A record whose header parses
+// but whose checksum fails is skipped (counted in Stats.BadRecords) and the
+// replay continues at the next record boundary. A record whose header is
+// implausible — lengths past the segment end, an unknown type — marks the
+// rest of the segment as a torn tail: in the active segment the file is
+// truncated at the last good record (the normal crash case — an interrupted
+// append), in a sealed segment the tail bytes are counted and left for
+// compaction to discard. Recovery never fails the open; in the worst case the
+// store comes back empty with everything counted as lost.
+//
+// # Compaction
+//
+// Appends accumulate dead bytes (overwritten records, torn tails). When dead
+// bytes exceed both Options.CompactMinBytes and Options.CompactWasteFrac of
+// the store, the next Put triggers a compaction: every live record (and every
+// tombstone — dropping a tombstone while an older segment might survive a
+// crash could resurrect the deleted key) is rewritten into fresh sealed
+// segments, then the old segments are deleted. A crash anywhere during
+// compaction is safe: new segments appear atomically (written as .tmp, then
+// renamed), and until the old files are removed replay just sees duplicate
+// records whose newest copy wins.
+//
+// A Store is safe for concurrent use within one process. It is a
+// single-process store: two processes must not open the same directory.
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"gem5aladdin/internal/obs"
+)
+
+// Record types.
+const (
+	recPut  = 1
+	recTomb = 2
+)
+
+const (
+	headerSize = 13
+	maxKeyLen  = 1 << 16 // 64 KiB
+	maxValLen  = 1 << 28 // 256 MiB
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Options tunes a Store. The zero value is usable: every field has a default.
+type Options struct {
+	// SegmentBytes is the seal threshold: the active segment is sealed
+	// (synced + renamed immutable) once it grows past this. Default 8 MiB.
+	SegmentBytes int64
+	// CompactMinBytes is the minimum dead-byte volume before a compaction
+	// is considered. Default 1 MiB.
+	CompactMinBytes int64
+	// CompactWasteFrac is the dead/total byte fraction that, together with
+	// CompactMinBytes, triggers compaction on the next Put. Default 0.5.
+	CompactWasteFrac float64
+	// SyncOnPut fsyncs after every append. Off by default: the write-through
+	// cache batches durability at segment seals and Close/Sync calls, which
+	// is what keeps persistence overhead low. Process death (SIGKILL) never
+	// loses unsynced appends — only the records an OS crash would lose.
+	SyncOnPut bool
+}
+
+func (o *Options) setDefaults() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.CompactMinBytes <= 0 {
+		o.CompactMinBytes = 1 << 20
+	}
+	if o.CompactWasteFrac <= 0 {
+		o.CompactWasteFrac = 0.5
+	}
+}
+
+// ref locates one live record: the segment it lives in, the record's start
+// offset, and its key/value lengths.
+type ref struct {
+	seg  int
+	off  int64
+	klen uint32
+	vlen uint32
+}
+
+func (r ref) size() int64 { return headerSize + int64(r.klen) + int64(r.vlen) }
+
+type segment struct {
+	id     int
+	f      *os.File
+	size   int64
+	sealed bool
+}
+
+// Stats is a point-in-time snapshot of store health counters.
+type Stats struct {
+	// Records is the number of live keys.
+	Records int
+	// Segments is the number of on-disk segment files.
+	Segments int
+	// TotalBytes and DeadBytes describe the on-disk footprint; dead bytes
+	// are superseded records and unreadable tails awaiting compaction.
+	TotalBytes int64
+	DeadBytes  int64
+
+	Puts    uint64
+	Gets    uint64
+	Hits    uint64
+	Deletes uint64
+
+	// BadRecords counts checksum-failed records skipped during recovery.
+	BadRecords uint64
+	// TornBytes counts unreadable tail bytes found during recovery
+	// (truncated from the active segment, left-for-compaction in sealed
+	// ones).
+	TornBytes uint64
+	// Seals and Compactions count lifecycle events.
+	Seals       uint64
+	Compactions uint64
+}
+
+// Store is a disk-backed content-addressed key/value store. Open one per
+// directory; use from any number of goroutines; Close when done.
+type Store struct {
+	dir string
+	opt Options
+
+	mu      sync.RWMutex
+	index   map[string]ref
+	tombs   map[string]struct{} // deleted keys whose tombstones must survive compaction
+	segs    map[int]*segment
+	active  *segment
+	nextID  int
+	total   int64 // bytes across all segments
+	dead    int64 // bytes of superseded records + unreadable tails
+	scratch []byte
+	closed  bool
+
+	// gets and hits are atomic because Get mutates them under the read
+	// lock; the rest only change under the write lock.
+	gets, hits                      atomic.Uint64
+	puts, deletes                   uint64
+	badRecords, tornBytes           uint64
+	seals, compactions, autoCompact uint64
+}
+
+// Open opens (creating if needed) the store in dir and replays its segments.
+// Recovery is tolerant: torn tails are truncated, checksum-failed records are
+// skipped and counted, and the store always opens.
+func Open(dir string, opt Options) (*Store, error) {
+	opt.setDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:   dir,
+		opt:   opt,
+		index: make(map[string]ref),
+		tombs: make(map[string]struct{}),
+		segs:  make(map[int]*segment),
+	}
+	if err := s.recover(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// segPath names a segment file; sealed segments end in .log, the active one
+// in .open.
+func (s *Store) segPath(id int, sealed bool) string {
+	ext := ".open"
+	if sealed {
+		ext = ".log"
+	}
+	return filepath.Join(s.dir, fmt.Sprintf("seg-%08d%s", id, ext))
+}
+
+// recover scans dir, replays every segment in id order, reuses the
+// highest-id .open file as the active segment (after truncating any torn
+// tail), and seals stray .open files left by an interrupted seal sequence.
+func (s *Store) recover() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	type found struct {
+		id     int
+		sealed bool
+	}
+	var files []found
+	for _, de := range entries {
+		name := de.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// Interrupted compaction output: never made visible, discard.
+			os.Remove(filepath.Join(s.dir, name))
+			continue
+		}
+		var id int
+		switch {
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".log"):
+			if _, err := fmt.Sscanf(name, "seg-%08d.log", &id); err == nil {
+				files = append(files, found{id, true})
+			}
+		case strings.HasPrefix(name, "seg-") && strings.HasSuffix(name, ".open"):
+			if _, err := fmt.Sscanf(name, "seg-%08d.open", &id); err == nil {
+				files = append(files, found{id, false})
+			}
+		}
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].id < files[j].id })
+
+	for i, fe := range files {
+		last := i == len(files)-1
+		path := s.segPath(fe.id, fe.sealed)
+		f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		seg := &segment{id: fe.id, f: f, sealed: fe.sealed}
+		good, torn := s.replay(seg)
+		seg.size = good + torn
+		switch {
+		case !fe.sealed && last:
+			// The normal active segment: drop the torn tail and keep
+			// appending where the last good record ended.
+			if torn > 0 {
+				if err := f.Truncate(good); err != nil {
+					return fmt.Errorf("store: truncating torn tail: %w", err)
+				}
+				seg.size = good
+			}
+			s.active = seg
+		case !fe.sealed:
+			// A stray .open below a higher id (interrupted seal sequence):
+			// seal it now so exactly one segment accepts appends.
+			if torn > 0 {
+				if err := f.Truncate(good); err != nil {
+					return fmt.Errorf("store: truncating torn tail: %w", err)
+				}
+				seg.size = good
+			}
+			if err := s.seal(seg); err != nil {
+				return err
+			}
+		default:
+			// Sealed segments are immutable: a torn tail is counted dead
+			// and discarded at the next compaction.
+			s.dead += torn
+		}
+		s.segs[fe.id] = seg
+		s.total += seg.size
+		if fe.id >= s.nextID {
+			s.nextID = fe.id + 1
+		}
+	}
+	if s.active == nil {
+		if err := s.openActive(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replay scans one segment from the start, applying records to the index.
+// It returns the offset of the end of the last good record and how many
+// trailing bytes were unreadable (torn tail). Mid-segment checksum failures
+// are skipped with BadRecords counted; their bytes are dead.
+func (s *Store) replay(seg *segment) (good, torn int64) {
+	info, err := seg.f.Stat()
+	if err != nil {
+		return 0, 0
+	}
+	size := info.Size()
+	var hdr [headerSize]byte
+	off := int64(0)
+	for off+headerSize <= size {
+		if _, err := seg.f.ReadAt(hdr[:], off); err != nil {
+			break
+		}
+		typ := hdr[4]
+		klen := binary.LittleEndian.Uint32(hdr[5:9])
+		vlen := binary.LittleEndian.Uint32(hdr[9:13])
+		if (typ != recPut && typ != recTomb) || klen == 0 || klen > maxKeyLen || vlen > maxValLen ||
+			off+headerSize+int64(klen)+int64(vlen) > size {
+			// Implausible header: everything from here is a torn tail.
+			break
+		}
+		rlen := headerSize + int64(klen) + int64(vlen)
+		body := make([]byte, rlen-4)
+		if _, err := seg.f.ReadAt(body, off+4); err != nil {
+			break
+		}
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(hdr[0:4]) {
+			// Framed but corrupt: skip this record, keep replaying.
+			s.badRecords++
+			s.dead += rlen
+			off += rlen
+			good = off
+			continue
+		}
+		key := string(body[9 : 9+klen])
+		s.apply(key, typ, ref{seg: seg.id, off: off, klen: klen, vlen: vlen})
+		off += rlen
+		good = off
+	}
+	torn = size - good
+	if torn > 0 {
+		s.tornBytes += uint64(torn)
+	}
+	return good, torn
+}
+
+// apply folds one replayed or appended record into the index (latest wins).
+func (s *Store) apply(key string, typ byte, r ref) {
+	if old, ok := s.index[key]; ok {
+		s.dead += old.size()
+	}
+	switch typ {
+	case recPut:
+		s.index[key] = r
+		if _, ok := s.tombs[key]; ok {
+			delete(s.tombs, key)
+			// The superseded tombstone record is now dead weight; its size
+			// is unknown here, approximated by a header+key record.
+			s.dead += headerSize + int64(len(key))
+		}
+	case recTomb:
+		delete(s.index, key)
+		s.tombs[key] = struct{}{}
+		// The tombstone itself stays live (it must survive compaction), but
+		// it carries no value.
+	}
+}
+
+// openActive creates the next active segment.
+func (s *Store) openActive() error {
+	id := s.nextID
+	s.nextID++
+	f, err := os.OpenFile(s.segPath(id, false), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	seg := &segment{id: id, f: f}
+	s.segs[id] = seg
+	s.active = seg
+	return nil
+}
+
+// seal makes the segment immutable: sync, atomic rename .open -> .log.
+func (s *Store) seal(seg *segment) error {
+	if seg.sealed {
+		return nil
+	}
+	if err := seg.f.Sync(); err != nil {
+		return fmt.Errorf("store: sealing segment %d: %w", seg.id, err)
+	}
+	if err := os.Rename(s.segPath(seg.id, false), s.segPath(seg.id, true)); err != nil {
+		return fmt.Errorf("store: sealing segment %d: %w", seg.id, err)
+	}
+	seg.sealed = true
+	s.seals++
+	s.syncDir()
+	return nil
+}
+
+// syncDir fsyncs the directory so renames and creates are durable.
+// Best-effort: some filesystems reject directory fsync.
+func (s *Store) syncDir() {
+	if d, err := os.Open(s.dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+// encode assembles one record into the reusable scratch buffer.
+func (s *Store) encode(typ byte, key string, val []byte) []byte {
+	rlen := headerSize + len(key) + len(val)
+	if cap(s.scratch) < rlen {
+		s.scratch = make([]byte, 0, rlen+rlen/2)
+	}
+	b := s.scratch[:rlen]
+	b[4] = typ
+	binary.LittleEndian.PutUint32(b[5:9], uint32(len(key)))
+	binary.LittleEndian.PutUint32(b[9:13], uint32(len(val)))
+	copy(b[headerSize:], key)
+	copy(b[headerSize+len(key):], val)
+	binary.LittleEndian.PutUint32(b[0:4], crc32.Checksum(b[4:], crcTable))
+	return b
+}
+
+// append writes one record to the active segment and indexes it.
+func (s *Store) append(typ byte, key string, val []byte) error {
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("store: key length %d out of range", len(key))
+	}
+	if len(val) > maxValLen {
+		return fmt.Errorf("store: value length %d exceeds %d", len(val), maxValLen)
+	}
+	rec := s.encode(typ, key, val)
+	off := s.active.size
+	if _, err := s.active.f.WriteAt(rec, off); err != nil {
+		return fmt.Errorf("store: append: %w", err)
+	}
+	if s.opt.SyncOnPut {
+		if err := s.active.f.Sync(); err != nil {
+			return fmt.Errorf("store: sync: %w", err)
+		}
+	}
+	s.active.size += int64(len(rec))
+	s.total += int64(len(rec))
+	s.apply(key, typ, ref{seg: s.active.id, off: off, klen: uint32(len(key)), vlen: uint32(len(val))})
+	if s.active.size >= s.opt.SegmentBytes {
+		if err := s.seal(s.active); err != nil {
+			return err
+		}
+		if err := s.openActive(); err != nil {
+			return err
+		}
+	}
+	if s.dead >= s.opt.CompactMinBytes && s.total > 0 &&
+		float64(s.dead) >= s.opt.CompactWasteFrac*float64(s.total) {
+		s.autoCompact++
+		return s.compactLocked()
+	}
+	return nil
+}
+
+// Put stores val under key, superseding any previous value.
+func (s *Store) Put(key string, val []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	return s.append(recPut, key, val)
+}
+
+// Delete removes key by appending a tombstone. Deleting an absent key is a
+// no-op.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.index[key]; !ok {
+		return nil
+	}
+	s.deletes++
+	return s.append(recTomb, key, nil)
+}
+
+// Get returns the value stored under key. The record is re-read from disk
+// and its checksum re-verified, so a Get can never return corrupted bytes:
+// corruption surfaces as an error instead.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.gets.Add(1)
+	r, ok := s.index[key]
+	if !ok {
+		return nil, false, nil
+	}
+	seg := s.segs[r.seg]
+	buf := make([]byte, r.size())
+	if _, err := seg.f.ReadAt(buf, r.off); err != nil {
+		return nil, false, fmt.Errorf("store: reading %q: %w", key, err)
+	}
+	if crc32.Checksum(buf[4:], crcTable) != binary.LittleEndian.Uint32(buf[0:4]) {
+		return nil, false, fmt.Errorf("store: record %q failed checksum", key)
+	}
+	s.hits.Add(1)
+	return buf[headerSize+int64(r.klen):], true, nil
+}
+
+// Has reports whether key is live, without reading its value.
+func (s *Store) Has(key string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.index[key]
+	return ok
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Keys returns every live key with the given prefix, sorted. An empty prefix
+// returns every key.
+func (s *Store) Keys(prefix string) []string {
+	s.mu.RLock()
+	var out []string
+	for k := range s.index {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Sync forces the active segment to disk.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.active == nil {
+		return nil
+	}
+	return s.active.f.Sync()
+}
+
+// Compact rewrites every live record (and every tombstone) into fresh sealed
+// segments and deletes the old files, reclaiming dead bytes. Compaction also
+// runs automatically when the dead-byte thresholds are exceeded.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	return s.compactLocked()
+}
+
+// compactLocked is the compaction core; callers hold s.mu.
+//
+// Bounded: one pass over the live set, writing at most live+tombstone bytes.
+// Crash-safe: output is written as .tmp and renamed into place before any
+// old segment is removed, so replay always sees either the old records, or
+// both (newest wins), or only the new.
+func (s *Store) compactLocked() error {
+	oldSegs := make([]*segment, 0, len(s.segs))
+	for _, seg := range s.segs {
+		oldSegs = append(oldSegs, seg)
+	}
+
+	// Stable iteration order keeps compaction deterministic for tests.
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	newIndex := make(map[string]ref, len(s.index))
+	var outSegs []*segment
+	var out *segment
+	var outSize, newTotal int64
+
+	openOut := func() error {
+		id := s.nextID
+		s.nextID++
+		f, err := os.OpenFile(filepath.Join(s.dir, fmt.Sprintf("seg-%08d.tmp", id)),
+			os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: compaction: %w", err)
+		}
+		out = &segment{id: id, f: f, sealed: true}
+		outSegs = append(outSegs, out)
+		outSize = 0
+		return nil
+	}
+	if err := openOut(); err != nil {
+		return err
+	}
+	write := func(typ byte, key string, val []byte) error {
+		rec := s.encode(typ, key, val)
+		if _, err := out.f.WriteAt(rec, outSize); err != nil {
+			return fmt.Errorf("store: compaction: %w", err)
+		}
+		if typ == recPut {
+			newIndex[key] = ref{seg: out.id, off: outSize,
+				klen: uint32(len(key)), vlen: uint32(len(val))}
+		}
+		outSize += int64(len(rec))
+		out.size = outSize
+		newTotal += int64(len(rec))
+		if outSize >= s.opt.SegmentBytes {
+			return openOut()
+		}
+		return nil
+	}
+
+	for _, key := range keys {
+		r := s.index[key]
+		seg := s.segs[r.seg]
+		buf := make([]byte, r.size())
+		if _, err := seg.f.ReadAt(buf, r.off); err != nil {
+			return fmt.Errorf("store: compaction read: %w", err)
+		}
+		if crc32.Checksum(buf[4:], crcTable) != binary.LittleEndian.Uint32(buf[0:4]) {
+			// A record that rotted since recovery: drop it rather than
+			// propagate corruption.
+			s.badRecords++
+			continue
+		}
+		if err := write(recPut, key, buf[headerSize+int64(r.klen):]); err != nil {
+			return err
+		}
+	}
+	for key := range s.tombs {
+		if err := write(recTomb, key, nil); err != nil {
+			return err
+		}
+	}
+
+	// Make the new segments visible (sync + rename), then retire the old.
+	for _, seg := range outSegs {
+		if err := seg.f.Sync(); err != nil {
+			return fmt.Errorf("store: compaction: %w", err)
+		}
+		tmp := filepath.Join(s.dir, fmt.Sprintf("seg-%08d.tmp", seg.id))
+		if err := os.Rename(tmp, s.segPath(seg.id, true)); err != nil {
+			return fmt.Errorf("store: compaction: %w", err)
+		}
+	}
+	s.syncDir()
+	for _, seg := range oldSegs {
+		seg.f.Close()
+		os.Remove(s.segPath(seg.id, seg.sealed))
+	}
+	s.syncDir()
+
+	s.segs = make(map[int]*segment, len(outSegs)+1)
+	for _, seg := range outSegs {
+		s.segs[seg.id] = seg
+	}
+	s.index = newIndex
+	s.total = newTotal
+	s.dead = 0
+	s.active = nil
+	s.compactions++
+	return s.openActive()
+}
+
+// Close syncs and closes every segment. The store is unusable afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if s.active != nil {
+		if err := s.active.f.Sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	for _, seg := range s.segs {
+		if err := seg.f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Stats snapshots the health counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Records:     len(s.index),
+		Segments:    len(s.segs),
+		TotalBytes:  s.total,
+		DeadBytes:   s.dead,
+		Puts:        s.puts,
+		Gets:        s.gets.Load(),
+		Hits:        s.hits.Load(),
+		Deletes:     s.deletes,
+		BadRecords:  s.badRecords,
+		TornBytes:   s.tornBytes,
+		Seals:       s.seals,
+		Compactions: s.compactions,
+	}
+}
+
+// RegisterStats exposes the store's counters in an obs registry under the
+// given path prefix (e.g. "store").
+func (s *Store) RegisterStats(reg *obs.Registry, prefix string) {
+	p := func(name string) string { return prefix + "." + name }
+	u := func(f func(Stats) uint64) func() uint64 {
+		return func() uint64 { return f(s.Stats()) }
+	}
+	reg.GaugeFunc(p("records"), "live keys in the result store", func() float64 {
+		return float64(s.Len())
+	})
+	reg.GaugeFunc(p("segments"), "on-disk segment files", func() float64 {
+		return float64(s.Stats().Segments)
+	})
+	reg.GaugeFunc(p("bytes"), "on-disk bytes across segments", func() float64 {
+		return float64(s.Stats().TotalBytes)
+	})
+	reg.GaugeFunc(p("dead_bytes"), "bytes awaiting compaction", func() float64 {
+		return float64(s.Stats().DeadBytes)
+	})
+	reg.CounterFunc(p("puts"), "records appended", u(func(st Stats) uint64 { return st.Puts }))
+	reg.CounterFunc(p("gets"), "lookups", u(func(st Stats) uint64 { return st.Gets }))
+	reg.CounterFunc(p("hits"), "lookups that found a live record", u(func(st Stats) uint64 { return st.Hits }))
+	reg.CounterFunc(p("bad_records"), "checksum-failed records skipped in recovery",
+		u(func(st Stats) uint64 { return st.BadRecords }))
+	reg.CounterFunc(p("torn_bytes"), "unreadable tail bytes found in recovery",
+		u(func(st Stats) uint64 { return st.TornBytes }))
+	reg.CounterFunc(p("seals"), "segments sealed", u(func(st Stats) uint64 { return st.Seals }))
+	reg.CounterFunc(p("compactions"), "compaction passes", u(func(st Stats) uint64 { return st.Compactions }))
+}

@@ -1,0 +1,421 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string, opt Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opt)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	want := map[string][]byte{
+		"a":          []byte("alpha"),
+		"b":          {},
+		"long/key-0": bytes.Repeat([]byte{0xAB}, 4096),
+	}
+	for k, v := range want {
+		if err := s.Put(k, v); err != nil {
+			t.Fatalf("Put(%q): %v", k, err)
+		}
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%q) = ok=%v err=%v", k, ok, err)
+		}
+		if !bytes.Equal(got, v) {
+			t.Fatalf("Get(%q) = %q, want %q", k, got, v)
+		}
+	}
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Fatal("Get(missing) reported ok")
+	}
+}
+
+func TestOverwriteAndDelete(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s.Get("k")
+	if err != nil || !ok || string(got) != "v2" {
+		t.Fatalf("after overwrite: %q ok=%v err=%v", got, ok, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has("k") {
+		t.Fatal("Has after Delete")
+	}
+	if err := s.Delete("k"); err != nil { // deleting absent key is a no-op
+		t.Fatal(err)
+	}
+}
+
+func TestReopenRecoversEverything(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 256}) // force many seals
+	want := map[string]string{}
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		v := strings.Repeat("x", i%40)
+		want[k] = v
+		if err := s.Put(k, []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites and deletes must replay latest-wins.
+	want["key-007"] = "rewritten"
+	if err := s.Put("key-007", []byte("rewritten")); err != nil {
+		t.Fatal(err)
+	}
+	delete(want, "key-100")
+	if err := s.Delete("key-100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{SegmentBytes: 256})
+	if r.Len() != len(want) {
+		t.Fatalf("reopened Len = %d, want %d", r.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok, err := r.Get(k)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("reopened Get(%q) = %q ok=%v err=%v, want %q", k, got, ok, err, v)
+		}
+	}
+	if r.Has("key-100") {
+		t.Fatal("tombstoned key resurrected on reopen")
+	}
+	st := r.Stats()
+	if st.BadRecords != 0 || st.TornBytes != 0 {
+		t.Fatalf("clean reopen reported corruption: %+v", st)
+	}
+}
+
+func TestTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("value")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Simulate a crash mid-append: chop half a record off the active file.
+	active := activeSegment(t, dir)
+	info, err := os.Stat(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(active, info.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	if r.Len() != 9 {
+		t.Fatalf("after torn tail: Len = %d, want 9", r.Len())
+	}
+	if r.Has("k9") {
+		t.Fatal("torn record survived")
+	}
+	if st := r.Stats(); st.TornBytes == 0 {
+		t.Fatalf("torn tail not counted: %+v", st)
+	}
+	// The store must keep working — new appends land where the tail was cut.
+	if err := r.Put("k9", []byte("again")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok, _ := r.Get("k9"); !ok || string(got) != "again" {
+		t.Fatalf("append after truncation: %q ok=%v", got, ok)
+	}
+}
+
+func TestBadRecordSkippedWithCounter(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	keys := []string{"aa", "bb", "cc"}
+	for _, k := range keys {
+		if err := s.Put(k, []byte("payload-"+k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Flip one byte inside the middle record's value: the header still
+	// frames correctly, so recovery must skip just that record.
+	active := activeSegment(t, dir)
+	data, err := os.ReadFile(active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recLen := headerSize + 2 + len("payload-aa")
+	data[recLen+headerSize+2+3] ^= 0xFF // a value byte of record "bb"
+	if err := os.WriteFile(active, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{})
+	if st := r.Stats(); st.BadRecords != 1 {
+		t.Fatalf("BadRecords = %d, want 1 (%+v)", st.BadRecords, st)
+	}
+	if r.Has("bb") {
+		t.Fatal("corrupted record served")
+	}
+	for _, k := range []string{"aa", "cc"} {
+		got, ok, err := r.Get(k)
+		if err != nil || !ok || string(got) != "payload-"+k {
+			t.Fatalf("Get(%q) after corruption = %q ok=%v err=%v", k, got, ok, err)
+		}
+	}
+}
+
+func TestGetDetectsPostOpenCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	if err := s.Put("k", []byte("pristine")); err != nil {
+		t.Fatal(err)
+	}
+	// Rot the value bytes behind the store's back.
+	active := activeSegment(t, dir)
+	f, err := os.OpenFile(active, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, headerSize+1); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, ok, err := s.Get("k"); err == nil || ok {
+		t.Fatalf("Get on rotted record: ok=%v err=%v, want checksum error", ok, err)
+	}
+}
+
+func TestCompactionReclaimsAndPreservesTombstones(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 1 << 20, CompactMinBytes: 1 << 30})
+	big := bytes.Repeat([]byte{1}, 1024)
+	for i := 0; i < 50; i++ {
+		if err := s.Put("churn", big); err != nil { // 49 dead copies
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put("keep", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("gone", []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("gone"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.DeadBytes == 0 {
+		t.Fatal("expected dead bytes before compaction")
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats()
+	if after.DeadBytes != 0 {
+		t.Fatalf("DeadBytes after compaction = %d", after.DeadBytes)
+	}
+	if after.TotalBytes >= before.TotalBytes {
+		t.Fatalf("compaction did not shrink: %d -> %d", before.TotalBytes, after.TotalBytes)
+	}
+	if got, ok, _ := s.Get("keep"); !ok || string(got) != "kept" {
+		t.Fatalf("keep lost in compaction: %q ok=%v", got, ok)
+	}
+	if got, ok, _ := s.Get("churn"); !ok || !bytes.Equal(got, big) {
+		t.Fatalf("churn lost in compaction: len=%d ok=%v", len(got), ok)
+	}
+	s.Close()
+
+	// Tombstones must survive compaction and the following reopen.
+	r := mustOpen(t, dir, Options{})
+	if r.Has("gone") {
+		t.Fatal("tombstone dropped by compaction; deleted key resurrected")
+	}
+	if got, ok, _ := r.Get("keep"); !ok || string(got) != "kept" {
+		t.Fatalf("keep lost after compaction+reopen: %q ok=%v", got, ok)
+	}
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{CompactMinBytes: 4096, CompactWasteFrac: 0.5})
+	big := bytes.Repeat([]byte{2}, 512)
+	for i := 0; i < 64; i++ {
+		if err := s.Put("hot", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Compactions == 0 {
+		t.Fatalf("auto-compaction never fired: %+v", st)
+	}
+	if got, ok, _ := s.Get("hot"); !ok || !bytes.Equal(got, big) {
+		t.Fatal("value lost across auto-compaction")
+	}
+}
+
+func TestInterruptedSealRecovered(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{SegmentBytes: 128})
+	for i := 0; i < 20; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{3}, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	// Fake an interrupted seal: demote a sealed segment back to .open so two
+	// .open files coexist. Recovery must seal the stray and keep one active.
+	logs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("no sealed segments (err=%v)", err)
+	}
+	demoted := strings.TrimSuffix(logs[0], ".log") + ".open"
+	if err := os.Rename(logs[0], demoted); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{SegmentBytes: 128})
+	if r.Len() != 20 {
+		t.Fatalf("Len after stray-open recovery = %d, want 20", r.Len())
+	}
+	opens, _ := filepath.Glob(filepath.Join(dir, "seg-*.open"))
+	if len(opens) != 1 {
+		t.Fatalf("expected exactly one active segment, found %d: %v", len(opens), opens)
+	}
+}
+
+func TestTmpFilesDiscardedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	// A crashed compaction leaves .tmp output that was never made visible.
+	if err := os.WriteFile(filepath.Join(dir, "seg-00000042.tmp"), []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustOpen(t, dir, Options{})
+	if s.Len() != 0 {
+		t.Fatalf("tmp file leaked records: Len=%d", s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "seg-00000042.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("tmp file not removed: %v", err)
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	for _, k := range []string{"job/b", "job/a", "point/x"} {
+		if err := s.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Keys("job/")
+	if len(got) != 2 || got[0] != "job/a" || got[1] != "job/b" {
+		t.Fatalf("Keys(job/) = %v", got)
+	}
+	if all := s.Keys(""); len(all) != 3 {
+		t.Fatalf("Keys(\"\") = %v", all)
+	}
+}
+
+func TestKeyValidation(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty key accepted")
+	}
+	if err := s.Put(strings.Repeat("k", maxKeyLen+1), nil); err == nil {
+		t.Fatal("oversized key accepted")
+	}
+}
+
+func TestClosedStoreRejectsWrites(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Put("k2", []byte("v")); err == nil {
+		t.Fatal("Put after Close succeeded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{SegmentBytes: 4096})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				k := fmt.Sprintf("w%d-i%d", w, i)
+				if err := s.Put(k, []byte(k)); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if got, ok, err := s.Get(k); err != nil || !ok || string(got) != k {
+					t.Errorf("Get(%q) = %q ok=%v err=%v", k, got, ok, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", s.Len())
+	}
+}
+
+// activeSegment returns the single .open segment file in dir.
+func activeSegment(t *testing.T, dir string) string {
+	t.Helper()
+	opens, err := filepath.Glob(filepath.Join(dir, "seg-*.open"))
+	if err != nil || len(opens) != 1 {
+		t.Fatalf("expected one .open segment, got %v (err=%v)", opens, err)
+	}
+	return opens[0]
+}
+
+// TestRecordEncodingStable pins the on-disk framing so a format change is a
+// conscious decision, not an accident.
+func TestRecordEncodingStable(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	rec := s.encode(recPut, "ab", []byte("xyz"))
+	if len(rec) != headerSize+2+3 {
+		t.Fatalf("record length = %d", len(rec))
+	}
+	if rec[4] != recPut {
+		t.Fatalf("type byte = %d", rec[4])
+	}
+	if binary.LittleEndian.Uint32(rec[5:9]) != 2 || binary.LittleEndian.Uint32(rec[9:13]) != 3 {
+		t.Fatal("length fields wrong")
+	}
+	if string(rec[13:15]) != "ab" || string(rec[15:18]) != "xyz" {
+		t.Fatal("payload layout wrong")
+	}
+}
