@@ -5,6 +5,15 @@
 //
 //	go run ./cmd/dse -bench stencil-stencil3d -mem dma
 //	go run ./cmd/dse -bench spmv-crs -mem cache -bus-bits 64 -full
+//	go run ./cmd/dse -bench spmv-crs -mem cache -search -budget 400 -seed 7
+//
+// -search replaces the exhaustive grid with the adaptive Pareto-guided
+// search (dse.Search) over the default large axes for the chosen memory
+// system (~10^5 points for caches — far beyond what a grid can touch):
+// only the recovered front is printed. With -store, the search checkpoints
+// its frontier after every round and a rerun of the same command resumes
+// where the interrupted run stopped, replaying stored points instead of
+// re-simulating them.
 package main
 
 import (
@@ -12,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"time"
@@ -35,7 +45,10 @@ func main() {
 		front   = flag.Bool("pareto-only", false, "print only the Pareto frontier")
 		format  = flag.String("format", "table", "output format: table, json, csv")
 		jobs    = flag.Int("j", 0, "sweep worker count (0 = GOMAXPROCS)")
-		every   = flag.Int("progress", 0, "print a progress line every N completed points (0 = off)")
+		every   = flag.Int("progress", 0, "print a round/front-size/simulated progress line every N points (grid) or every round (-search); 0 = off")
+		adapt   = flag.Bool("search", false, "adaptive Pareto-guided search over the default large axes instead of an exhaustive grid")
+		budget  = flag.Int("budget", 512, "max design points the search evaluates (-search)")
+		seed    = flag.Uint64("seed", 1, "search RNG seed: same seed over the same space yields a bit-identical front (-search)")
 		profile = flag.Bool("profile", false, "re-run the Pareto-front points with the cycle-attribution profiler and print a per-point breakdown")
 		folded  = flag.String("profile-folded", "", "write the profiled points' folded stacks (flamegraph input) to this file (implies -profile work)")
 		spanOut = flag.String("span-out", "", "write the sweep's wall-clock spans (one per design point) as JSON lines to this file")
@@ -80,35 +93,39 @@ func main() {
 		os.Exit(2)
 	}
 
-	var cfgs []soc.Config
-	switch *mem {
-	case "isolated":
-		cfgs = dse.SpadConfigs(base, soc.Isolated, opt.Lanes, opt.Partitions)
-	case "dma":
-		cfgs = dse.SpadConfigs(base, soc.DMA, opt.Lanes, opt.Partitions)
-	case "cache":
-		cfgs = dse.CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
-			opt.CachePorts, opt.CacheAssoc)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -mem %q\n", *mem)
+	kind, err := memKindOf(*mem)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-
-	var onProgress func(done, total int)
-	if *every > 0 {
-		onProgress = func(done, total int) {
-			if done%*every == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "dse: %d/%d design points evaluated\n", done, total)
-			}
+	var cfgs []soc.Config
+	var sspace dse.SearchSpace
+	if *adapt {
+		sbase := base
+		sbase.Mem = kind
+		sspace = dse.SearchSpace{Base: sbase, Axes: dse.DefaultSearchAxes(kind)}
+		if err := sspace.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		switch kind {
+		case soc.Isolated, soc.DMA:
+			cfgs = dse.SpadConfigs(base, kind, opt.Lanes, opt.Partitions)
+		case soc.Cache:
+			cfgs = dse.CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
+				opt.CachePorts, opt.CacheAssoc)
 		}
 	}
+
 	// Ctrl-C abandons the sweep at the next design-point boundary instead of
 	// leaving workers mid-grid.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
 	// -span-out threads a root span through the sweep context: every design
-	// point becomes one JSON line with its worker track and wall-clock cost.
+	// point (and, under -search, every round) becomes one JSON line with its
+	// worker track and wall-clock cost.
 	var root *obs.Span
 	if *spanOut != "" {
 		sf, err := os.Create(*spanOut)
@@ -120,7 +137,12 @@ func main() {
 		root = obs.NewSpanTracer(sf, 0).StartTrace("dse-sweep")
 		root.SetAttr("bench", *bench)
 		root.SetAttr("mem", *mem)
-		root.SetAttr("points", len(cfgs))
+		if *adapt {
+			root.SetAttr("space", sspace.Size())
+			root.SetAttr("budget", *budget)
+		} else {
+			root.SetAttr("points", len(cfgs))
+		}
 		ctx = obs.WithSpan(ctx, root)
 	}
 
@@ -128,10 +150,11 @@ func main() {
 	// point is written through to an append-only segment log keyed by its
 	// content address, and points already on disk — from an earlier run, an
 	// interrupted run, or a cmd/serve instance sharing the directory — are
-	// replayed instead of re-simulated.
-	swOpts := dse.SweepOptions{Workers: *jobs, Progress: onProgress}
+	// replayed instead of re-simulated. Under -search it also holds the
+	// per-round frontier checkpoint that lets a killed search resume.
+	var st *store.Store
 	if *storeD != "" {
-		st, err := store.Open(*storeD, store.Options{})
+		st, err = store.Open(*storeD, store.Options{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -143,15 +166,16 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "dse: result store %s: %d records on disk\n",
 			*storeD, st.Len())
-		swOpts.Cache = &dse.StoreCache{Kernel: *bench, Store: st}
 	}
 
-	if lg != nil {
-		lg.Info("sweep starting", "bench", *bench, "mem", *mem,
-			"points", len(cfgs), "workers", *jobs, "full", *full)
+	var space dse.Space
+	if *adapt {
+		space, err = runSearch(ctx, kern, sspace, st, lg,
+			*bench, *mem, *seed, *budget, *jobs, *every)
+	} else {
+		space, err = runGrid(ctx, kern, cfgs, st, lg,
+			*bench, *mem, *full, *jobs, *every)
 	}
-	swept := time.Now()
-	space, err := dse.Sweep(ctx, kern, cfgs, swOpts)
 	root.EndSpan()
 	if err != nil {
 		if lg != nil {
@@ -159,15 +183,6 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
-	}
-	skipped := len(cfgs) - len(space)
-	if skipped > 0 {
-		fmt.Fprintf(os.Stderr, "dse: skipped %d of %d design points that aborted under fault injection\n",
-			skipped, len(cfgs))
-	}
-	if lg != nil {
-		lg.Info("sweep complete", "evaluated", len(space), "skipped", skipped,
-			"elapsed_ms", time.Since(swept).Milliseconds())
 	}
 	best, ok := space.EDPOptimal()
 	if !ok {
@@ -240,6 +255,123 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// memKindOf resolves the -mem flag.
+func memKindOf(name string) (soc.MemKind, error) {
+	switch name {
+	case "isolated":
+		return soc.Isolated, nil
+	case "dma":
+		return soc.DMA, nil
+	case "cache":
+		return soc.Cache, nil
+	}
+	return 0, fmt.Errorf("unknown -mem %q", name)
+}
+
+// progressLine is the shared -progress format for the grid and search
+// paths: one line per round with the Pareto-front size so far and how many
+// points were actually simulated (as opposed to replayed from -store).
+func progressLine(round, evaluated, total, frontSize, simulated int, replayed bool) {
+	suffix := ""
+	if replayed {
+		suffix = " (replayed)"
+	}
+	fmt.Fprintf(os.Stderr, "dse: round %d: %d/%d points evaluated, front size %d, %d simulated%s\n",
+		round, evaluated, total, frontSize, simulated, suffix)
+}
+
+// runGrid runs the exhaustive sweep. With -progress N the grid is swept in
+// rounds of N points so the progress stream matches the search path's:
+// front size is computed over everything evaluated so far, and simulated
+// counts new store records (every point, when no store is attached).
+func runGrid(ctx context.Context, kern *soc.Compiled, cfgs []soc.Config, st *store.Store, lg *slog.Logger, bench, mem string, full bool, jobs, every int) (dse.Space, error) {
+	swOpts := dse.SweepOptions{Workers: jobs}
+	if st != nil {
+		swOpts.Cache = &dse.StoreCache{Kernel: bench, Store: st}
+	}
+	if lg != nil {
+		lg.Info("sweep starting", "bench", bench, "mem", mem,
+			"points", len(cfgs), "workers", jobs, "full", full)
+	}
+	swept := time.Now()
+	var space dse.Space
+	var err error
+	if every <= 0 {
+		space, err = dse.Sweep(ctx, kern, cfgs, swOpts)
+	} else {
+		stored := 0
+		if st != nil {
+			stored = st.Len()
+		}
+		for off, round := 0, 0; off < len(cfgs); off, round = off+every, round+1 {
+			end := off + every
+			if end > len(cfgs) {
+				end = len(cfgs)
+			}
+			var part dse.Space
+			part, err = dse.Sweep(ctx, kern, cfgs[off:end], swOpts)
+			if err != nil {
+				break
+			}
+			space = append(space, part...)
+			simulated := end
+			if st != nil {
+				simulated = st.Len() - stored
+			}
+			progressLine(round, end, len(cfgs), len(space.ParetoFront()), simulated, false)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if skipped := len(cfgs) - len(space); skipped > 0 {
+		fmt.Fprintf(os.Stderr, "dse: skipped %d of %d design points that aborted under fault injection\n",
+			skipped, len(cfgs))
+	}
+	if lg != nil {
+		lg.Info("sweep complete", "evaluated", len(space),
+			"skipped", len(cfgs)-len(space),
+			"elapsed_ms", time.Since(swept).Milliseconds())
+	}
+	return space, nil
+}
+
+// runSearch runs the adaptive Pareto-guided search and returns its
+// recovered front. With -store, points replay from disk and the frontier
+// checkpoints under a key derived from the bench and memory system, so
+// rerunning the same command resumes an interrupted search (a changed seed
+// or space fingerprints differently and starts fresh).
+func runSearch(ctx context.Context, kern *soc.Compiled, sspace dse.SearchSpace, st *store.Store, lg *slog.Logger, bench, mem string, seed uint64, budget, jobs, every int) (dse.Space, error) {
+	sopts := dse.SearchOptions{Seed: seed, Budget: budget, Workers: jobs}
+	if st != nil {
+		sopts.Cache = &dse.StoreCache{Kernel: bench, Store: st}
+		sopts.CheckpointKey = "search/cli-" + bench + "-" + mem
+	}
+	if every > 0 {
+		sopts.Progress = func(p dse.SearchProgress) {
+			progressLine(p.Round, p.Evaluated, budget, p.FrontSize, p.Simulated, p.Replayed)
+		}
+	}
+	if lg != nil {
+		lg.Info("search starting", "bench", bench, "mem", mem,
+			"space", sspace.Size(), "budget", budget, "seed", seed, "workers", jobs)
+	}
+	started := time.Now()
+	res, err := dse.Search(ctx, kern, sspace, sopts)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "dse: search over %d-point space: %d rounds, %d evaluated (budget %d), %d simulated, converged=%v\n",
+		res.SpaceSize, res.Rounds, res.Evaluated, budget, res.Simulated, res.Converged)
+	if lg != nil {
+		lg.Info("search complete", "rounds", res.Rounds,
+			"evaluated", res.Evaluated, "simulated", res.Simulated,
+			"front", len(res.Front), "converged", res.Converged,
+			"elapsed_ms", time.Since(started).Milliseconds())
+	}
+	return res.Front, nil
 }
 
 // pointLabel compactly names one design point for folded stacks (no spaces

@@ -5,6 +5,7 @@
 //	go run ./cmd/serve -addr localhost:8347 -store /var/lib/sweeps
 //	curl -s localhost:8347/sweep -d '{"kernel":"spmv-crs","mem":"dma","lanes":[1,2],"partitions":[1,2]}'
 //	curl -s localhost:8347/jobs  -d '{"kernel":"spmv-crs","full":true}'   # long-running job, 202 + job_id
+//	curl -s localhost:8347/jobs  -d '{"kernel":"spmv-crs","mem":"cache","search":{"seed":7,"budget":200}}'  # adaptive search job
 //	curl -s localhost:8347/jobs/<job-id>              # poll progress
 //	curl -sN localhost:8347/jobs/<job-id>/results     # NDJSON stream, tails a running job
 //	curl -s localhost:8347/statsz
@@ -64,6 +65,7 @@ func main() {
 		pointRetries = flag.Int("point-retries", 2, "retries per point for fault-injection aborts (stalls and sanitizer hits never retry)")
 		retryBackoff = flag.Duration("retry-backoff", 10*time.Millisecond, "base backoff between point retries (doubles per attempt, capped at 1s)")
 		maxJobs      = flag.Int("max-jobs", 0, "concurrent running jobs before 429 (0 = default 16)")
+		maxSearch    = flag.Int("max-search-budget", 0, "cap on evaluated points per adaptive-search job (0 = default 400)")
 	)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
@@ -128,6 +130,7 @@ func main() {
 		MaxPointRetries:   *pointRetries,
 		PointRetryBackoff: *retryBackoff,
 		MaxJobs:           *maxJobs,
+		MaxSearchBudget:   *maxSearch,
 	})
 
 	mux := http.NewServeMux()

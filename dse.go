@@ -136,3 +136,52 @@ func CacheConfigs(base Config, lanes, sizesKB, lines, ports, assocs []int) []Con
 // point) reports for an impossible design point; it names the offending
 // field. Recover it with errors.As.
 type ConfigError = soc.ConfigError
+
+// SearchAxis is one named dimension of a SearchSpace: a design parameter
+// (by registered name — "lanes", "cache_kb", "dma_chunk", ...) and the
+// ordered values it may take.
+type SearchAxis = dse.SearchAxis
+
+// SearchSpace describes a design space for adaptive search: a base config
+// plus the axes the search varies. It is a superset of SweepAxes — its
+// cross product routinely reaches 10^5-10^6 points, far beyond what Sweep
+// can enumerate — with a stable point codec (Rank/Unrank) and a content
+// fingerprint that keys resume checkpoints.
+type SearchSpace = dse.SearchSpace
+
+// SearchOptions tunes Search: the RNG seed (same seed, same space ⇒
+// bit-identical evaluation sequence and front), the evaluation budget, the
+// round sizes, the worker pool, and — for durable, resumable searches — a
+// point cache and a checkpoint key in its store.
+type SearchOptions = dse.SearchOptions
+
+// SearchProgress is the per-round progress report Search delivers to the
+// Progress callback: round number, points evaluated and actually simulated,
+// and the front so far. Replayed rounds (restored from a checkpoint) are
+// marked.
+type SearchProgress = dse.SearchProgress
+
+// SearchPoint is one evaluated candidate in a search: its axis-value
+// indices and its objectives.
+type SearchPoint = dse.SearchPoint
+
+// SearchResult is the outcome of a Search: the recovered Pareto front as a
+// materialized DesignSpace, the full evaluation archive, and the search's
+// deterministic totals.
+type SearchResult = dse.SearchResult
+
+// DefaultSearchAxes returns the default large search axes for a memory
+// kind: the full Fig 3 table plus system-interface parameters (bus width,
+// clock, MSHRs, DMA behavior) — ~10^5 points for cache systems.
+func DefaultSearchAxes(mem MemKind) []SearchAxis { return dse.DefaultSearchAxes(mem) }
+
+// Search runs the adaptive Pareto-guided search over the space: a coarse
+// seeded sample, then GA-style refinement that mutates configs near the
+// current front, deduplicating candidates by PointKey so no point is ever
+// simulated twice. The search is deterministic (seeded splitmix64) and,
+// with SearchOptions.Cache and CheckpointKey set, resumable: a killed
+// search rerun against the same store replays its rounds from disk and
+// converges to the identical front. See DESIGN.md "Adaptive search".
+func Search(ctx context.Context, k *Kernel, space SearchSpace, opts SearchOptions) (*SearchResult, error) {
+	return dse.Search(ctx, k, space, opts)
+}

@@ -132,6 +132,73 @@ func BenchmarkSweepQuickPersistWarm(b *testing.B) {
 	b.ReportMetric(float64(len(cfgs))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
+// searchBenchSpace is the fully-enumerable 900-point DMA space the
+// search-vs-grid comparison runs over (mirrors the search test space).
+func searchBenchSpace() dse.SearchSpace {
+	base := soc.DefaultConfig()
+	base.Mem = soc.DMA
+	return dse.SearchSpace{
+		Base: base,
+		Axes: []dse.SearchAxis{
+			{Name: "lanes", Values: []int{1, 2, 4, 8, 16}},
+			{Name: "partitions", Values: []int{1, 2, 4, 8, 16}},
+			{Name: "spad_ports", Values: []int{1, 2, 4}},
+			{Name: "pipelined_dma", Values: []int{0, 1}},
+			{Name: "dma_triggered", Values: []int{0, 1}},
+			{Name: "dma_chunk", Values: []int{1024, 4096, 16384}},
+		},
+	}
+}
+
+// BenchmarkSearchVsGrid is the time-to-front comparison behind the
+// search_time_to_front entry in BENCH_sim.json: "grid" simulates the whole
+// enumerable space exhaustively and extracts the Pareto front; "search" runs
+// the adaptive engine with a 10x-smaller budget that the hypervolume-epsilon
+// regression test pins to within 2% of the exhaustive front quality. Both
+// report points-simulated/op so the 10x shows up next to the wall-clock.
+func BenchmarkSearchVsGrid(b *testing.B) {
+	k := soc.Compile(ddg.Build(machsuite.MustBuild("spmv-crs")))
+	sp := searchBenchSpace()
+	var cfgs []soc.Config
+	for r := uint64(0); r < sp.Size(); r++ {
+		cfg := sp.Config(sp.Unrank(r))
+		if cfg.Validate() != nil {
+			continue
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	b.Run("grid", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			space, err := dse.Sweep(context.Background(), k, cfgs, dse.SweepOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(space.ParetoFront()) == 0 {
+				b.Fatal("empty frontier")
+			}
+		}
+		b.ReportMetric(float64(len(cfgs)), "points/op")
+	})
+	b.Run("search", func(b *testing.B) {
+		b.ReportAllocs()
+		simulated := 0
+		for i := 0; i < b.N; i++ {
+			res, err := dse.Search(context.Background(), k, sp, dse.SearchOptions{
+				Seed: 1, Budget: 90, InitSamples: 24, RoundSize: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Front) == 0 {
+				b.Fatal("empty frontier")
+			}
+			simulated = res.Simulated
+		}
+		b.ReportMetric(float64(simulated), "points/op")
+	})
+}
+
 // BenchmarkParetoFront measures frontier extraction at Fig 3 scale
 // (thousands of evaluated points).
 func BenchmarkParetoFront(b *testing.B) {

@@ -58,6 +58,10 @@ type SweepOptions struct {
 	// Retry bounds per-point retries of fault-injection aborts before the
 	// point is recorded as failed. The zero value never retries.
 	Retry RetryPolicy
+	// cached, when non-nil, counts the points served from Cache instead of
+	// simulated — Search uses it to report simulated-vs-replayed honestly
+	// without letting store contents influence control flow.
+	cached *atomic.Int64
 }
 
 // Sweep evaluates every config over the compiled kernel k, in parallel
@@ -131,6 +135,9 @@ func sweepCore(ctx context.Context, k *soc.Compiled, cfgs []soc.Config, opts Swe
 					if cp, ok, gerr := opts.Cache.Get(cfgs[i]); gerr == nil && ok {
 						cached = true
 						ps.SetAttr("cached", true)
+						if opts.cached != nil {
+							opts.cached.Add(1)
+						}
 						if cp.Aborted {
 							// Replay the stored failure; the typed error
 							// chain is gone, so the classified kind rides

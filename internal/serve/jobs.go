@@ -63,6 +63,17 @@ type job struct {
 	errMsg          string
 	entries         []*entry
 	clientCancelled bool
+
+	// Search-job state (req.Search != nil), guarded by Server.jmu. Stream
+	// lines accumulate as rounds complete; searchUpdate is rotated (closed
+	// and replaced) on every append so tailing streamers wake up.
+	searchBudget    int
+	searchRound     int
+	searchEvaluated int
+	searchSimulated int
+	searchFrontSize int
+	searchLines     [][]byte
+	searchUpdate    chan struct{}
 }
 
 // newJobID returns a 16-hex-char random job identifier.
@@ -101,11 +112,19 @@ func (s *Server) startJob(j *job) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s.jmu.Lock()
 	j.cancel = cancel
+	if j.req.Search != nil {
+		j.searchBudget = s.searchBudget(j.req.Search)
+		j.searchUpdate = make(chan struct{})
+	}
 	s.jobs[j.id] = j
 	s.jmu.Unlock()
 	s.activeJobs.Add(1)
 	s.wgJobs.Add(1)
-	go s.runJob(ctx, j)
+	if j.req.Search != nil {
+		go s.runSearchJob(ctx, j)
+	} else {
+		go s.runJob(ctx, j)
+	}
 }
 
 // runJob drives one job to a terminal state: resolve the kernel, acquire
@@ -226,18 +245,26 @@ func (s *Server) resumeJobs() {
 		if err := json.Unmarshal(data, &m); err != nil || m.State != jobRunning {
 			continue
 		}
-		cfgs, err := m.Request.Configs()
-		if err != nil {
+		var cfgs []soc.Config
+		var expandErr error
+		if m.Request.Search != nil {
+			// Search jobs re-derive everything from the manifest request;
+			// their frontier checkpoint under search/<id> does the rest.
+			_, expandErr = s.searchSpace(m.Request)
+		} else {
+			cfgs, expandErr = m.Request.Configs()
+		}
+		if expandErr != nil {
 			// The request no longer expands (schema drift): fail it durably
 			// rather than resurrect it forever.
 			j := &job{id: m.ID, req: m.Request, created: m.Created,
-				state: jobFailed, errMsg: err.Error(),
+				state: jobFailed, errMsg: expandErr.Error(),
 				acquired: make(chan struct{}), done: make(chan struct{})}
 			close(j.done)
 			s.jmu.Lock()
 			s.jobs[j.id] = j
 			s.jmu.Unlock()
-			s.putManifest(j, jobFailed, err.Error())
+			s.putManifest(j, jobFailed, expandErr.Error())
 			s.jobsFailed.Add(1)
 			continue
 		}
@@ -279,6 +306,14 @@ type jobStatus struct {
 	Completed int `json:"completed"`
 	Failed    int `json:"failed"`
 	Pending   int `json:"pending"`
+
+	// Search-job fields (kind == "search"): Points/Completed/Pending above
+	// are expressed in budget terms (budget, evaluated, remaining), and the
+	// adaptive progress rides alongside.
+	Kind      string `json:"kind,omitempty"`
+	Round     int    `json:"round,omitempty"`
+	FrontSize int    `json:"front_size,omitempty"`
+	Simulated int    `json:"simulated,omitempty"`
 }
 
 // status snapshots the job's per-point progress without blocking on any
@@ -287,6 +322,20 @@ func (s *Server) jobStatusOf(j *job) jobStatus {
 	s.jmu.Lock()
 	st := jobStatus{JobID: j.id, Kernel: j.req.Kernel, State: j.state,
 		Error: j.errMsg, Resumed: j.resumed, Points: len(j.cfgs)}
+	if j.req.Search != nil {
+		st.Kind = "search"
+		st.Points = j.searchBudget
+		st.Completed = j.searchEvaluated
+		st.Pending = j.searchBudget - j.searchEvaluated
+		if st.Pending < 0 {
+			st.Pending = 0
+		}
+		st.Round = j.searchRound
+		st.FrontSize = j.searchFrontSize
+		st.Simulated = j.searchSimulated
+		s.jmu.Unlock()
+		return st
+	}
 	entries := j.entries
 	s.jmu.Unlock()
 	if entries == nil {
@@ -329,10 +378,24 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad job request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	cfgs, err := req.Configs()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var cfgs []soc.Config
+	points := 0
+	if req.Search != nil {
+		// Search jobs carry no expanded grid; validate the space now so a
+		// bad request fails at submission, not inside the job goroutine.
+		if _, err := s.searchSpace(req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		points = s.searchBudget(req.Search)
+	} else {
+		var err error
+		cfgs, err = req.Configs()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		points = len(cfgs)
 	}
 
 	s.jmu.Lock()
@@ -360,18 +423,23 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	s.putManifest(j, jobRunning, "")
 	s.startJob(j)
 	if lg := s.opt.Logger; lg != nil {
-		lg.Info("job submitted", "job", id, "kernel", req.Kernel, "points", len(cfgs))
+		lg.Info("job submitted", "job", id, "kernel", req.Kernel,
+			"points", points, "search", req.Search != nil)
 	}
 
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusAccepted)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(map[string]any{
+	reply := map[string]any{
 		"job_id": id,
 		"state":  jobRunning,
-		"points": len(cfgs),
-	})
+		"points": points,
+	}
+	if req.Search != nil {
+		reply["kind"] = "search"
+	}
+	_ = enc.Encode(reply)
 }
 
 // handleJob serves GET /jobs/{id} (status), DELETE /jobs/{id} (cancel), and
@@ -411,7 +479,11 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(s.jobStatusOf(j))
 	case sub == "results" && r.Method == http.MethodGet:
-		s.streamJobResults(w, r, j)
+		if j.req.Search != nil {
+			s.streamSearchResults(w, r, j)
+		} else {
+			s.streamJobResults(w, r, j)
+		}
 	default:
 		w.Header().Set("Allow", "GET, DELETE")
 		http.Error(w, "unsupported job operation", http.StatusMethodNotAllowed)

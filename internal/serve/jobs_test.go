@@ -32,6 +32,11 @@ type jobStatus struct {
 	Completed int    `json:"completed"`
 	Failed    int    `json:"failed"`
 	Pending   int    `json:"pending"`
+
+	Kind      string `json:"kind,omitempty"`
+	Round     int    `json:"round,omitempty"`
+	FrontSize int    `json:"front_size,omitempty"`
+	Simulated int    `json:"simulated,omitempty"`
 }
 
 // jobLine mirrors one NDJSON line of GET /jobs/{id}/results. Summary lines

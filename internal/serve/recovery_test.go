@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"gem5aladdin/internal/serve"
+	"gem5aladdin/internal/store"
 )
 
 // recoveryReq is the kill-window grid: big enough (about 200 cache points on
@@ -103,6 +104,32 @@ func metricCounter(t *testing.T, base, name string) uint64 {
 	return 0
 }
 
+// buildServeBin compiles cmd/serve into dir for the crash harnesses.
+func buildServeBin(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "serve.bin")
+	build := exec.Command("go", "build", "-o", bin, "gem5aladdin/cmd/serve")
+	build.Dir = "../.." // module root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building cmd/serve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort reserves and releases a localhost port for a child. The tiny
+// window between closing the probe listener and the child binding is an
+// accepted race.
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	return port
+}
+
 // TestKillRestartRecovery is the crash-recovery acceptance test. It runs the
 // real cmd/serve binary, SIGKILLs it mid-job, restarts it over the same
 // store directory, and demands that (a) the server warm-starts from the
@@ -112,12 +139,7 @@ func metricCounter(t *testing.T, base, name string) uint64 {
 func TestKillRestartRecovery(t *testing.T) {
 	// Deliberately not gated on testing.Short(): this IS the CI smoke test.
 	dir := t.TempDir()
-	bin := filepath.Join(dir, "serve.bin")
-	build := exec.Command("go", "build", "-o", bin, "gem5aladdin/cmd/serve")
-	build.Dir = "../.." // module root
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building cmd/serve: %v\n%s", err, out)
-	}
+	bin := buildServeBin(t, dir)
 
 	// Uninterrupted reference: the same request through an in-process
 	// server (identical code path, no store) defines the ground truth
@@ -130,15 +152,7 @@ func TestKillRestartRecovery(t *testing.T) {
 	}
 	refRaw, _, _ := streamJob(t, refTS.URL, refID)
 
-	// Pick a port for the children. The tiny window between closing the
-	// probe listener and the child binding is an accepted race.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
-	port := ln.Addr().(*net.TCPAddr).Port
-	ln.Close()
-
+	port := freePort(t)
 	storeDir := filepath.Join(dir, "results")
 	child := startServeChild(t, bin, storeDir, port)
 	defer child.kill()
@@ -251,6 +265,149 @@ func TestKillRestartRecovery(t *testing.T) {
 	}
 	if !bytes.Equal(resumedRaw, refRaw) {
 		t.Fatalf("resumed stream diverges from the uninterrupted run:\nresumed %d bytes, reference %d bytes\nfirst diff near byte %d",
+			len(resumedRaw), len(refRaw), firstDiff(resumedRaw, refRaw))
+	}
+}
+
+// TestKillRestartSearchRecovery is the adaptive-search twin of
+// TestKillRestartRecovery: SIGKILL the real cmd/serve binary mid-search,
+// restart it over the same store, and demand the search resumes under its
+// original job ID — replaying stored points instead of re-simulating them —
+// to a stream byte-identical to an uninterrupted run.
+func TestKillRestartSearchRecovery(t *testing.T) {
+	dir := t.TempDir()
+	bin := buildServeBin(t, dir)
+
+	// Uninterrupted in-process reference (search streams carry nothing
+	// run-specific, so a storeless run defines the exact bytes).
+	req := searchReq(96, 16, 8)
+	_, refTS := newTestServer(t, serve.Options{Workers: 2})
+	refID := submitJob(t, refTS.URL, req)
+	if st := waitJob(t, refTS.URL, refID); st.State != "completed" {
+		t.Fatalf("reference search state %q (error %q)", st.State, st.Error)
+	}
+	refRaw, _, _ := streamSearch(t, refTS.URL, refID)
+
+	port := freePort(t)
+	storeDir := filepath.Join(dir, "results")
+	child := startServeChild(t, bin, storeDir, port)
+	defer child.kill()
+
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(child.base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submitting search job to child: %v", err)
+	}
+	ack, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("child search submission: %d: %s", resp.StatusCode, ack)
+	}
+	var sub struct {
+		JobID string `json:"job_id"`
+		Kind  string `json:"kind"`
+	}
+	if err := json.Unmarshal(ack, &sub); err != nil {
+		t.Fatal(err)
+	}
+	if sub.Kind != "search" {
+		t.Fatalf("submission kind %q, want search", sub.Kind)
+	}
+
+	// Kill once at least two rounds have checkpointed but well before the
+	// 96-point budget is spent.
+	deadline := time.Now().Add(60 * time.Second)
+	for killed := false; !killed; {
+		if time.Now().After(deadline) {
+			t.Fatal("search never entered the kill window")
+		}
+		r, err := http.Get(child.base + "/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatalf("polling child: %v", err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case st.State != "running":
+			t.Fatalf("search reached %q before the kill; grow the budget", st.State)
+		case st.Round >= 2 && st.Pending >= 16:
+			child.kill()
+			killed = true
+		default:
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// The SIGKILL must have left the resume signals on disk: a "running"
+	// manifest and a frontier checkpoint under search/<id>.
+	chk, err := store.Open(storeDir, store.Options{})
+	if err != nil {
+		t.Fatalf("reopening store after kill: %v", err)
+	}
+	if _, ok, _ := chk.Get("search/" + sub.JobID); !ok {
+		t.Fatal("killed search left no frontier checkpoint")
+	}
+	if err := chk.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	child2 := startServeChild(t, bin, storeDir, port)
+	defer child2.kill()
+
+	if resumed := metricCounter(t, child2.base, "serve_jobs_resumed"); resumed != 1 {
+		t.Fatalf("serve_jobs_resumed = %d, want 1", resumed)
+	}
+
+	deadline = time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(child2.base + "/jobs/" + sub.JobID)
+		if err != nil {
+			t.Fatalf("polling restarted child: %v", err)
+		}
+		var st jobStatus
+		err = json.NewDecoder(r.Body).Decode(&st)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == "completed" {
+			if !st.Resumed || st.Kind != "search" {
+				t.Fatalf("resumed search status off: %+v", st)
+			}
+			// Frontier resume: the first run's rounds replay from the store,
+			// so the restarted server simulates strictly fewer points than
+			// the search evaluated.
+			if st.Simulated == 0 || st.Simulated >= st.Completed {
+				t.Fatalf("resume split off (want 0 < simulated < evaluated): %+v", st)
+			}
+			t.Logf("resume split: %d of %d points simulated after restart",
+				st.Simulated, st.Completed)
+			break
+		}
+		if st.State != "running" {
+			t.Fatalf("resumed search state %q (error %q)", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed search never completed: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	r, err := http.Get(child2.base + "/jobs/" + sub.JobID + "/results")
+	if err != nil {
+		t.Fatalf("streaming resumed search: %v", err)
+	}
+	resumedRaw, err := io.ReadAll(r.Body)
+	r.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resumedRaw, refRaw) {
+		t.Fatalf("resumed search stream diverges from the uninterrupted run:\nresumed %d bytes, reference %d bytes\nfirst diff near byte %d",
 			len(resumedRaw), len(refRaw), firstDiff(resumedRaw, refRaw))
 	}
 }

@@ -109,6 +109,10 @@ type Options struct {
 	// MaxJobs bounds concurrently running jobs (POST /jobs answers 429
 	// beyond it). Defaults to 16.
 	MaxJobs int
+	// MaxSearchBudget caps the evaluation budget of adaptive-search jobs;
+	// requests asking for more (or leaving the budget unset) are clamped
+	// to it. Defaults to 400.
+	MaxSearchBudget int
 
 	// Logger receives structured request, slow-point, and lifecycle
 	// records. Nil disables logging entirely (no formatting work happens).
@@ -150,6 +154,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 16
+	}
+	if o.MaxSearchBudget <= 0 {
+		o.MaxSearchBudget = 400
 	}
 	if o.BuildKernel == nil {
 		o.BuildKernel = func(name string) (*trace.Trace, error) {
@@ -213,6 +220,9 @@ type Server struct {
 	jobsCancelled atomic.Uint64
 	jobsResumed   atomic.Uint64
 	activeJobs    atomic.Int64
+
+	searchRounds atomic.Uint64
+	searchPoints atomic.Uint64
 
 	// statsMu serializes latency-histogram observations against registry
 	// dumps; it is the locker handed to obs.Handler, so stat closures must
@@ -292,6 +302,8 @@ func (s *Server) registerStats() {
 	r.GaugeFunc("serve.jobs.active", "jobs currently running", func() float64 {
 		return float64(s.activeJobs.Load())
 	})
+	r.CounterFunc("serve.search.rounds", "adaptive-search rounds completed (including replayed)", s.searchRounds.Load)
+	r.CounterFunc("serve.search.points", "design points simulated by adaptive-search jobs", s.searchPoints.Load)
 	if s.opt.Store != nil {
 		s.opt.Store.RegisterStats(r, "store")
 	}
@@ -398,6 +410,14 @@ type SweepRequest struct {
 	// on the server's point-budget default (Options.PointBudget).
 	WatchdogTicks uint64 `json:"watchdog_ticks,omitempty"`
 
+	// Search switches the request from an exhaustive grid to the adaptive
+	// Pareto-guided search. Search requests must be submitted as jobs
+	// (POST /jobs): an open-ended search does not fit the synchronous
+	// /sweep contract. The grid axes above are ignored; the searched axes
+	// come from Search.Axes (or the default large space for the memory
+	// kind).
+	Search *SearchSpec `json:"search,omitempty"`
+
 	// Full defaults unspecified axes to the full sweep grid instead of the
 	// pruned quick grid.
 	Full bool `json:"full,omitempty"`
@@ -439,21 +459,23 @@ func (f FaultSpec) Config() fault.Config {
 	}
 }
 
-// Configs expands the request into its design-point grid, exactly as
-// cmd/dse would build it. Exported so tests can replay the same grid
-// through dse.Sweep and demand bit-identical results.
-func (req SweepRequest) Configs() ([]soc.Config, error) {
-	var kind soc.MemKind
+// memKind parses the request's memory system.
+func (req SweepRequest) memKind() (soc.MemKind, error) {
 	switch req.Mem {
 	case "", "dma":
-		kind = soc.DMA
+		return soc.DMA, nil
 	case "isolated":
-		kind = soc.Isolated
+		return soc.Isolated, nil
 	case "cache":
-		kind = soc.Cache
+		return soc.Cache, nil
 	default:
-		return nil, fmt.Errorf("serve: unknown mem kind %q (want isolated, dma, or cache)", req.Mem)
+		return 0, fmt.Errorf("serve: unknown mem kind %q (want isolated, dma, or cache)", req.Mem)
 	}
+}
+
+// baseConfig assembles the validated base design point every grid or search
+// point derives from: bus width, fault injection, and watchdog budget.
+func (req SweepRequest) baseConfig() (soc.Config, error) {
 	base := soc.DefaultConfig()
 	if req.BusBits != 0 {
 		base.BusWidthBits = req.BusBits
@@ -465,6 +487,24 @@ func (req SweepRequest) Configs() ([]soc.Config, error) {
 		base.WatchdogTicks = sim.Tick(req.WatchdogTicks)
 	}
 	if err := base.Validate(); err != nil {
+		return soc.Config{}, err
+	}
+	return base, nil
+}
+
+// Configs expands the request into its design-point grid, exactly as
+// cmd/dse would build it. Exported so tests can replay the same grid
+// through dse.Sweep and demand bit-identical results.
+func (req SweepRequest) Configs() ([]soc.Config, error) {
+	if req.Search != nil {
+		return nil, errors.New("serve: search requests must be submitted as jobs (POST /jobs)")
+	}
+	kind, err := req.memKind()
+	if err != nil {
+		return nil, err
+	}
+	base, err := req.baseConfig()
+	if err != nil {
 		return nil, err
 	}
 	opt := dse.QuickAxes()
