@@ -43,6 +43,7 @@ import (
 
 	"gem5aladdin/internal/ddg"
 	"gem5aladdin/internal/machsuite"
+	"gem5aladdin/internal/sim"
 	"gem5aladdin/internal/soc"
 	"gem5aladdin/internal/trace"
 )
@@ -99,6 +100,41 @@ const (
 	DMA      = soc.DMA
 	Cache    = soc.Cache
 	Ideal    = soc.Ideal
+)
+
+// FabricConfig parameterizes the interconnect topology (Config.Fabric); the
+// zero value is the round-robin bus.
+type FabricConfig = soc.FabricConfig
+
+// FabricKind selects the interconnect topology backend.
+type FabricKind = soc.FabricKind
+
+// Interconnect backends: the split-transaction round-robin bus, the
+// AXI-like burst-based crossbar, and the 2D mesh NoC.
+const (
+	FabricBus      = soc.FabricBus
+	FabricCrossbar = soc.FabricCrossbar
+	FabricMesh     = soc.FabricMesh
+)
+
+// ParseFabricKind maps a fabric name ("bus", "crossbar", "mesh") to its kind.
+func ParseFabricKind(s string) (FabricKind, error) { return soc.ParseFabricKind(s) }
+
+// FabricKinds lists every interconnect backend in canonical axis order.
+func FabricKinds() []FabricKind { return soc.FabricKinds() }
+
+// TrafficConfig parameterizes the background CPU traffic generator
+// (Config.Traffic): every Period ticks it issues a Bytes-sized access on the
+// shared fabric, modeling host cores competing for the interconnect.
+type TrafficConfig = soc.TrafficConfig
+
+// Tick is simulated time in picoseconds (the engine's base unit).
+type Tick = sim.Tick
+
+// Time units for Tick-valued fields such as TrafficConfig.Period.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
 )
 
 // RunResult carries runtime, the flush/DMA/compute breakdown, energy,

@@ -33,6 +33,7 @@ func main() {
 		full     = flag.Bool("full", false, "full Fig 3 sweep axes")
 	)
 	rb := report.AddRobustFlags(flag.CommandLine)
+	fb := report.AddFabricFlags(flag.CommandLine)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -62,6 +63,10 @@ func main() {
 	base := soc.DefaultConfig()
 	base.BusWidthBits = *busBits
 	if err := rb.Apply(&base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := fb.Apply(&base); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -41,6 +41,7 @@ func main() {
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	fb := report.AddFabricFlags(flag.CommandLine)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -104,6 +105,10 @@ func main() {
 	cfg.RecordSchedule = *timeline
 
 	if err := rb.Apply(&cfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := fb.Apply(&cfg); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}

@@ -53,9 +53,11 @@ func main() {
 		folded  = flag.String("profile-folded", "", "write the profiled points' folded stacks (flamegraph input) to this file (implies -profile work)")
 		spanOut = flag.String("span-out", "", "write the sweep's wall-clock spans (one per design point) as JSON lines to this file")
 		storeD  = flag.String("store", "", "durable result store directory: points already simulated (by any run or by cmd/serve) are replayed from disk")
+		fabrics = flag.String("fabrics", "", "comma-separated fabric axis crossed into the sweep (bus,crossbar,mesh); empty sweeps the base -fabric only")
 	)
 	ob := report.AddObsFlags(flag.CommandLine, "re-run the EDP optimum and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	fb := report.AddFabricFlags(flag.CommandLine)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -88,6 +90,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	if err := fb.Apply(&base); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fabricAxis, err := report.ParseFabricList(*fabrics)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if err := base.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
@@ -103,7 +114,15 @@ func main() {
 	if *adapt {
 		sbase := base
 		sbase.Mem = kind
-		sspace = dse.SearchSpace{Base: sbase, Axes: dse.DefaultSearchAxes(kind)}
+		axes := dse.DefaultSearchAxes(kind)
+		if len(fabricAxis) > 0 {
+			vals := make([]int, len(fabricAxis))
+			for i, fk := range fabricAxis {
+				vals[i] = int(fk)
+			}
+			axes = append(axes, dse.SearchAxis{Name: "fabric", Values: vals})
+		}
+		sspace = dse.SearchSpace{Base: sbase, Axes: axes}
 		if err := sspace.Validate(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
@@ -116,6 +135,7 @@ func main() {
 			cfgs = dse.CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
 				opt.CachePorts, opt.CacheAssoc)
 		}
+		cfgs = dse.WithFabrics(cfgs, fabricAxis)
 	}
 
 	// Ctrl-C abandons the sweep at the next design-point boundary instead of

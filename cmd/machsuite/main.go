@@ -21,6 +21,7 @@ func main() {
 	export := flag.String("export", "", "directory to write serialized .trace files into")
 	ob := report.AddObsFlags(flag.CommandLine, "simulate every benchmark under the default SoC config and ")
 	rb := report.AddRobustFlags(flag.CommandLine)
+	fb := report.AddFabricFlags(flag.CommandLine)
 	logf := report.AddLogFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -77,6 +78,10 @@ func main() {
 			cfg := soc.DefaultConfig()
 			cfg.Obs = o.Sub(k.Name)
 			if err := rb.Apply(&cfg); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			if err := fb.Apply(&cfg); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(2)
 			}

@@ -175,6 +175,11 @@ type SearchResult = dse.SearchResult
 // clock, MSHRs, DMA behavior) — ~10^5 points for cache systems.
 func DefaultSearchAxes(mem MemKind) []SearchAxis { return dse.DefaultSearchAxes(mem) }
 
+// FabricAxis is the interconnect-topology search axis over every backend
+// (bus, crossbar, mesh); append it to a SearchSpace's axes to let the
+// search trade fabric parallelism against the other parameters.
+func FabricAxis() SearchAxis { return dse.FabricAxis() }
+
 // Search runs the adaptive Pareto-guided search over the space: a coarse
 // seeded sample, then GA-style refinement that mutates configs near the
 // current front, deduplicating candidates by PointKey so no point is ever

@@ -92,7 +92,7 @@ func (c *CPU) pollDelay() sim.Tick {
 // fixed-size transaction every Period ticks.
 type TrafficGen struct {
 	eng    *sim.Engine
-	bus    *bus.Bus
+	bus    bus.Fabric
 	master int
 
 	Period sim.Tick
@@ -107,7 +107,7 @@ type TrafficGen struct {
 }
 
 // NewTrafficGen registers a background master on b.
-func NewTrafficGen(eng *sim.Engine, b *bus.Bus, period sim.Tick, bytes uint32) *TrafficGen {
+func NewTrafficGen(eng *sim.Engine, b bus.Fabric, period sim.Tick, bytes uint32) *TrafficGen {
 	if period == 0 || bytes == 0 {
 		panic("cpu: invalid traffic generator parameters")
 	}

@@ -57,7 +57,7 @@ func (t cacheTarget) Access(addr uint64, n uint32, write bool, done func()) {
 // controller as peer l2Peer and misses onto sysBus; the L1 is private (its
 // own single-peer controller), which models an inclusive write-back L1
 // whose coherence is enforced at the L2 boundary.
-func NewHierarchy(eng *sim.Engine, cfg HierarchyConfig, sysBus *bus.Bus,
+func NewHierarchy(eng *sim.Engine, cfg HierarchyConfig, sysBus bus.Fabric,
 	coh *coherence.Controller, l2Peer int) *Hierarchy {
 
 	h := &Hierarchy{eng: eng}

@@ -416,6 +416,10 @@ type SweepAxes struct {
 	CacheLines []int
 	CachePorts []int
 	CacheAssoc []int
+	// Fabrics, when non-empty, crosses the grid with interconnect
+	// topologies (the fabric axis). Empty keeps the scenario's default
+	// fabric — the round-robin bus — so legacy sweeps are unchanged.
+	Fabrics []soc.FabricKind
 }
 
 // FullAxes is the complete Fig 3 sweep.
@@ -450,11 +454,29 @@ func ScenarioConfigs(sc Scenario, opt SweepAxes) []soc.Config {
 	base.BusWidthBits = sc.BusBits
 	switch sc.Mem {
 	case soc.Isolated, soc.DMA:
-		return SpadConfigs(base, sc.Mem, opt.Lanes, opt.Partitions)
+		return WithFabrics(SpadConfigs(base, sc.Mem, opt.Lanes, opt.Partitions), opt.Fabrics)
 	default:
-		return CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
-			opt.CachePorts, opt.CacheAssoc)
+		return WithFabrics(CacheConfigs(base, opt.Lanes, opt.CacheKB, opt.CacheLines,
+			opt.CachePorts, opt.CacheAssoc), opt.Fabrics)
 	}
+}
+
+// WithFabrics crosses a config list with interconnect topologies: each
+// config is replicated once per kind, in kind order then config order (so
+// per-fabric slices of the result stay contiguous). An empty kind list
+// returns cfgs untouched — the round-robin bus baseline.
+func WithFabrics(cfgs []soc.Config, kinds []soc.FabricKind) []soc.Config {
+	if len(kinds) == 0 {
+		return cfgs
+	}
+	out := make([]soc.Config, 0, len(cfgs)*len(kinds))
+	for _, k := range kinds {
+		for _, c := range cfgs {
+			c.Fabric.Kind = k
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // --- Fig 9 microarchitectural metrics ---

@@ -52,6 +52,20 @@ var axisSetters = map[string]func(*soc.Config, int){
 	"dma_chunk":     func(c *soc.Config, v int) { c.DMAChunkBytes = uint32(v) },
 	"bus_bits":      func(c *soc.Config, v int) { c.BusWidthBits = v },
 	"accel_mhz":     func(c *soc.Config, v int) { c.AccelHz = float64(v) * 1e6 },
+	"fabric":        func(c *soc.Config, v int) { c.Fabric.Kind = soc.FabricKind(v) },
+	"burst_len":     func(c *soc.Config, v int) { c.Fabric.BurstLen = v },
+	"mesh_dim":      func(c *soc.Config, v int) { c.Fabric.MeshDim = v },
+}
+
+// FabricAxis is the fabric-topology search axis over every backend
+// (values are soc.FabricKind ordinals: bus, crossbar, mesh).
+func FabricAxis() SearchAxis {
+	kinds := soc.FabricKinds()
+	vals := make([]int, len(kinds))
+	for i, k := range kinds {
+		vals[i] = int(k)
+	}
+	return SearchAxis{Name: "fabric", Values: vals}
 }
 
 // SearchSpace describes a design space for adaptive search: a base config

@@ -1,0 +1,103 @@
+package bus
+
+import (
+	"gem5aladdin/internal/fault"
+	"gem5aladdin/internal/obs"
+	"gem5aladdin/internal/sim"
+)
+
+// Fabric abstracts the SoC interconnect so alternative topologies (the
+// AXI-like crossbar, the 2D mesh NoC) plug in behind the same master-facing
+// API as the round-robin bus. The DMA engines, caches, and CPU traffic
+// generators speak only this interface; which fabric they ride on is a
+// design-space axis (soc.Config.Fabric), not a wiring decision.
+//
+// All backends share the split
+// transaction model: Access/ReadStream enqueue a transfer from a registered
+// master; the fabric arbitrates its internal resources (a shared data path,
+// per-slave crossbar ports, mesh links), hands the request to the Target
+// when routing completes, and fires the caller's callbacks. Downstream
+// memory latency never holds fabric resources, so independent transfers
+// from different masters can pipeline or (crossbar/mesh) genuinely overlap.
+//
+// Determinism contract: given the same engine, registration order, and
+// request sequence, every backend must produce bit-identical timing. All
+// state lives on the engine's single event loop; no backend may consult
+// wall-clock time or map iteration order.
+type Fabric interface {
+	// RegisterMaster allocates an arbitration slot and returns its id.
+	// Masters must be registered before the simulation starts so ids are
+	// stable across runs.
+	RegisterMaster() int
+
+	// Access enqueues a transaction to the default memory-side target.
+	// done fires when the transaction fully completes (data returned for
+	// reads, accepted for writes). Zero-byte accesses complete immediately.
+	Access(master int, addr uint64, bytes uint32, write bool, done func())
+
+	// AccessVia is Access with an explicit responder (cache-to-cache
+	// transfers, coherent DMA sourcing from the CPU cache).
+	AccessVia(master int, addr uint64, bytes uint32, write bool, target Target, done func())
+
+	// ReadStream is a read whose delivery is observable: progress fires
+	// with the cumulative bytes delivered, every gran bytes, as beats
+	// arrive at the master.
+	ReadStream(master int, addr uint64, bytes uint32, gran uint32, progress func(uint32), done func())
+
+	// ReadStreamVia is ReadStream with an explicit responder.
+	ReadStreamVia(master int, addr uint64, bytes uint32, gran uint32, target Target, progress func(uint32), done func())
+
+	// Stats returns a copy of the accumulated counters.
+	Stats() Stats
+
+	// RegisterStats registers the fabric counters under prefix.
+	RegisterStats(reg *obs.Registry, prefix string)
+
+	// AttachProbe wires an observability probe; backends fire one span per
+	// occupancy window (address phase, burst, link hop) with the master id
+	// or resource lane attached.
+	AttachProbe(p *obs.Probe)
+
+	// SetFaults attaches a fault injector (nil disables injection).
+	// Backends apply BusNack/backoff/retry-limit/drop at their admission
+	// point, mirroring the bus's address-phase semantics.
+	SetFaults(inj *fault.Injector)
+
+	// InFlight counts transactions the fabric still holds (queued, routed,
+	// awaiting data, or backing off); it feeds the no-progress watchdog.
+	InFlight() int
+
+	// DumpInFlight renders internal queue state for a watchdog diagnostic.
+	DumpInFlight() string
+
+	// Utilization reports the busy fraction of elapsed time, normalized by
+	// the fabric's parallelism (a saturated crossbar reports 1.0, not
+	// nSlaves).
+	Utilization(elapsed sim.Tick) float64
+}
+
+// The round-robin bus is the reference Fabric implementation; the figures
+// regression pins its timing bit-for-bit.
+var _ Fabric = (*Bus)(nil)
+
+// registerFabricStats registers the shared counter set for a backend whose
+// Stats() the closure snapshots live. Kept identical across backends so
+// dashboards and the soc stats dump are fabric-agnostic.
+func registerFabricStats(reg *obs.Registry, prefix string, get func() Stats) {
+	reg.CounterFunc(prefix+".transactions", "fabric transactions granted",
+		func() uint64 { return get().Transactions })
+	reg.CounterFunc(prefix+".bytes_moved", "bytes moved over the data path",
+		func() uint64 { return get().BytesMoved })
+	reg.CounterFunc(prefix+".busy_ticks", "summed resource occupancy ticks",
+		func() uint64 { return uint64(get().BusyTicks) })
+	reg.CounterFunc(prefix+".wait_ticks", "summed arbitration queuing delay",
+		func() uint64 { return uint64(get().WaitTicks) })
+	reg.Formula(prefix+".avg_wait_ns", "mean arbitration delay per transaction",
+		func() float64 {
+			s := get()
+			if s.Transactions == 0 {
+				return 0
+			}
+			return s.WaitTicks.Nanos() / float64(s.Transactions)
+		})
+}

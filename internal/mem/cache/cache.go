@@ -148,7 +148,7 @@ func (s *snoopSupplier) Access(addr uint64, bytesN uint32, write bool, done func
 type Cache struct {
 	cfg   Config
 	eng   *sim.Engine
-	bus   *bus.Bus
+	bus   bus.Fabric
 	bm    int // bus master id
 	coh   *coherence.Controller
 	self  int // coherence peer id
@@ -186,7 +186,7 @@ type Cache struct {
 
 // New builds a cache wired to the bus and coherence controller. peer is the
 // cache's id from coh.AddPeer().
-func New(eng *sim.Engine, cfg Config, b *bus.Bus, coh *coherence.Controller, peer int) *Cache {
+func New(eng *sim.Engine, cfg Config, b bus.Fabric, coh *coherence.Controller, peer int) *Cache {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}

@@ -108,7 +108,7 @@ type Stats struct {
 type Engine struct {
 	cfg    Config
 	eng    *sim.Engine
-	bus    *bus.Bus
+	bus    bus.Fabric
 	master int
 
 	// OnArrive, when set, is called as load data arrives, with the array
@@ -140,7 +140,7 @@ type Engine struct {
 }
 
 // New creates a DMA engine as a bus master.
-func New(eng *sim.Engine, cfg Config, b *bus.Bus) *Engine {
+func New(eng *sim.Engine, cfg Config, b bus.Fabric) *Engine {
 	if cfg.CPULineBytes == 0 || cfg.ChunkBytes == 0 {
 		panic("dma: invalid config")
 	}

@@ -1,0 +1,66 @@
+package report
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"gem5aladdin/internal/soc"
+)
+
+// FabricFlags bundles the interconnect-topology flags every CLI shares
+// (-fabric, -fabric-width, -mesh-dim, -burst-len), mirroring RobustFlags so
+// the binaries don't each re-declare the quadruplet or re-implement the
+// fabric-name parser.
+type FabricFlags struct {
+	Fabric    string
+	WidthBits int
+	MeshDim   int
+	BurstLen  int
+}
+
+// AddFabricFlags registers -fabric/-fabric-width/-mesh-dim/-burst-len on fs.
+func AddFabricFlags(fs *flag.FlagSet) *FabricFlags {
+	f := &FabricFlags{}
+	fs.StringVar(&f.Fabric, "fabric", "bus",
+		"interconnect topology: bus (round-robin split-transaction), crossbar (AXI-like burst crossbar), or mesh (2D NoC)")
+	fs.IntVar(&f.WidthBits, "fabric-width", 0,
+		"fabric link width in bits (0 = the system bus width)")
+	fs.IntVar(&f.MeshDim, "mesh-dim", 0,
+		"mesh side length for -fabric mesh (0 = 2, a 2x2 mesh)")
+	fs.IntVar(&f.BurstLen, "burst-len", 0,
+		"crossbar burst length in beats for -fabric crossbar (0 = derived from the DMA chunk size)")
+	return f
+}
+
+// Apply parses the fabric name and copies the topology settings into cfg. A
+// zero/defaulted FabricFlags leaves cfg on the round-robin bus, bit-identical
+// to a build without the flags.
+func (f *FabricFlags) Apply(cfg *soc.Config) error {
+	kind, err := soc.ParseFabricKind(f.Fabric)
+	if err != nil {
+		return fmt.Errorf("-fabric: %w", err)
+	}
+	cfg.Fabric.Kind = kind
+	cfg.Fabric.LinkWidthBits = f.WidthBits
+	cfg.Fabric.MeshDim = f.MeshDim
+	cfg.Fabric.BurstLen = f.BurstLen
+	return nil
+}
+
+// ParseFabricList parses a comma-separated fabric-name list ("bus,mesh")
+// into backend kinds, for CLIs that sweep the fabric axis.
+func ParseFabricList(s string) ([]soc.FabricKind, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var kinds []soc.FabricKind
+	for _, name := range strings.Split(s, ",") {
+		k, err := soc.ParseFabricKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}

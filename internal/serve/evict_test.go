@@ -1,0 +1,45 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestEvictQueueBoundedRetention drives sustained cache eviction and asserts
+// the FIFO order queue recycles its backing array. The former
+// `evictOrder = evictOrder[1:]` pop stranded every consumed slot in front of
+// the slice for the life of the server — capacity (and the evicted key
+// strings) grew monotonically with points served.
+func TestEvictQueueBoundedRetention(t *testing.T) {
+	const bound = 8
+	s := &Server{opt: Options{CacheEntries: bound}, cache: map[string]*entry{}}
+	for i := 0; i < 100000; i++ {
+		key := fmt.Sprintf("k%06d", i)
+		s.cache[key] = &entry{}
+		s.finished(key)
+	}
+	if n := len(s.cache); n != bound {
+		t.Errorf("cache holds %d entries, want the %d-entry bound", n, bound)
+	}
+	if live := len(s.evictOrder) - s.evictHead; live != bound {
+		t.Errorf("eviction queue tracks %d live keys, want %d", live, bound)
+	}
+	if c := cap(s.evictOrder); c > 256 {
+		t.Errorf("eviction queue retains capacity %d after sustained eviction; the consumed prefix is being stranded", c)
+	}
+	for i := 0; i < s.evictHead; i++ {
+		if s.evictOrder[i] != "" {
+			t.Fatalf("consumed slot %d still pins key %q", i, s.evictOrder[i])
+		}
+	}
+	// The newest keys must be the survivors, in order.
+	for i := 0; i < bound; i++ {
+		want := fmt.Sprintf("k%06d", 100000-bound+i)
+		if got := s.evictOrder[s.evictHead+i]; got != want {
+			t.Fatalf("live slot %d = %q, want %q", i, got, want)
+		}
+		if _, ok := s.cache[want]; !ok {
+			t.Fatalf("surviving key %q missing from the cache", want)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package serve_test
+
+import (
+	"net/http"
+	"reflect"
+	"testing"
+
+	"gem5aladdin/internal/dse"
+	"gem5aladdin/internal/serve"
+)
+
+// TestSweepFabricAxisOverWire drives the fabric axis through the HTTP
+// surface: a request naming all three backends must triple the grid and
+// match a direct in-process sweep bit for bit.
+func TestSweepFabricAxisOverWire(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	req := quickReq()
+	req.Fabrics = []string{"bus", "crossbar", "mesh"}
+	wantSpace, wantPareto, wantEDP := directSweep(t, req)
+	if len(wantSpace) != 12 {
+		t.Fatalf("direct grid has %d points, want 4 x 3 fabrics", len(wantSpace))
+	}
+
+	code, body := postSweep(t, ts.URL, req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	resp := decodeSweep(t, body)
+	if resp.RequestedPoints != 12 || resp.EvaluatedPoints != 12 {
+		t.Fatalf("counts %d/%d, want 12/12", resp.RequestedPoints, resp.EvaluatedPoints)
+	}
+	if !reflect.DeepEqual(resp.Space, wantSpace) {
+		t.Errorf("space differs from direct fabric sweep")
+	}
+	if !reflect.DeepEqual(resp.Pareto, wantPareto) {
+		t.Errorf("pareto differs from direct fabric sweep")
+	}
+	if !reflect.DeepEqual(resp.EDPOptimal, wantEDP) {
+		t.Errorf("EDP optimum differs: got %+v want %+v", resp.EDPOptimal, wantEDP)
+	}
+
+	// Omitting the axis must leave the legacy 4-point grid untouched.
+	code, body = postSweep(t, ts.URL, quickReq())
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if resp := decodeSweep(t, body); resp.RequestedPoints != 4 {
+		t.Errorf("legacy request swept %d points, want 4", resp.RequestedPoints)
+	}
+}
+
+// TestSweepFabricValidation pins the failure modes: unknown backend names
+// and impossible topology parameters are client errors, not 500s.
+func TestSweepFabricValidation(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 1})
+
+	req := quickReq()
+	req.Fabrics = []string{"warp-drive"}
+	if code, body := postSweep(t, ts.URL, req); code != http.StatusBadRequest {
+		t.Errorf("unknown fabric: status %d (%s), want 400", code, body)
+	}
+
+	req = quickReq()
+	req.Fabrics = []string{"mesh"}
+	req.MeshDim = 99
+	if code, body := postSweep(t, ts.URL, req); code != http.StatusBadRequest {
+		t.Errorf("mesh_dim 99: status %d (%s), want 400", code, body)
+	}
+}
+
+// TestSearchJobFabricAxis submits a search job with the convenience fabric
+// list: the server must append the fabric axis, and the evaluated points
+// must carry it in their wire encoding.
+func TestSearchJobFabricAxis(t *testing.T) {
+	_, ts := newTestServer(t, serve.Options{Workers: 2})
+	req := serve.SweepRequest{
+		Kernel:  "spmv-crs",
+		Mem:     "dma",
+		Fabrics: []string{"bus", "crossbar", "mesh"},
+		Search: &serve.SearchSpec{
+			Seed:   5,
+			Budget: 24,
+			Init:   8,
+			Round:  8,
+			Axes: []dse.SearchAxis{
+				{Name: "lanes", Values: []int{1, 2, 4, 8}},
+				{Name: "partitions", Values: []int{1, 2, 4}},
+			},
+		},
+	}
+	id := submitJob(t, ts.URL, req)
+	st := waitJob(t, ts.URL, id)
+	if st.State != "completed" {
+		t.Fatalf("search job state %q (error %q), want completed", st.State, st.Error)
+	}
+	_, rounds, summary := streamSearch(t, ts.URL, id)
+	if len(rounds) == 0 || len(summary.Pareto) == 0 {
+		t.Fatalf("search produced %d rounds and a %d-point pareto", len(rounds), len(summary.Pareto))
+	}
+	last := rounds[len(rounds)-1]
+	if len(last.Front) == 0 {
+		t.Fatal("final round has an empty front")
+	}
+	for _, p := range last.Front {
+		if _, ok := p.Point["fabric"]; !ok {
+			t.Fatalf("front point %v does not carry the fabric axis", p.Point)
+		}
+	}
+}

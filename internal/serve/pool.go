@@ -222,12 +222,25 @@ func (s *Server) simulatePoint(r *soc.Runner, e *entry) (*soc.RunResult, int, er
 
 // finished records a completed (cached) key for FIFO eviction and evicts the
 // oldest completed points past the cache bound. Callers hold s.mu.
+//
+// Pops advance evictHead instead of reslicing: a reslice strands the
+// consumed prefix in the backing array for the life of the server (append
+// can never reuse it), so a long-lived server under sustained eviction
+// would retain one slot per point ever evicted. The head region is
+// compacted away on the same policy as the work queue (dequeue above).
 func (s *Server) finished(key string) {
 	s.evictOrder = append(s.evictOrder, key)
-	for len(s.evictOrder) > s.opt.CacheEntries {
-		victim := s.evictOrder[0]
-		s.evictOrder = s.evictOrder[1:]
+	for len(s.evictOrder)-s.evictHead > s.opt.CacheEntries {
+		victim := s.evictOrder[s.evictHead]
+		s.evictOrder[s.evictHead] = "" // release the key string
+		s.evictHead++
 		delete(s.cache, victim)
+	}
+	if s.evictHead > 64 && s.evictHead*2 > len(s.evictOrder) {
+		n := copy(s.evictOrder, s.evictOrder[s.evictHead:])
+		clear(s.evictOrder[n:])
+		s.evictOrder = s.evictOrder[:n]
+		s.evictHead = 0
 	}
 }
 

@@ -63,11 +63,32 @@ func (s *Server) searchSpace(req SweepRequest) (dse.SearchSpace, error) {
 	if len(axes) == 0 {
 		axes = dse.DefaultSearchAxes(kind)
 	}
+	// A top-level fabric list adds the fabric axis to the search (unless
+	// the spec already names one), mirroring the grid path's crossing.
+	if kinds, err := req.fabricKinds(); err != nil {
+		return dse.SearchSpace{}, err
+	} else if len(kinds) > 0 && !hasAxis(axes, "fabric") {
+		vals := make([]int, len(kinds))
+		for i, k := range kinds {
+			vals[i] = int(k)
+		}
+		axes = append(append([]dse.SearchAxis{}, axes...), dse.SearchAxis{Name: "fabric", Values: vals})
+	}
 	sp := dse.SearchSpace{Base: base, Axes: axes}
 	if err := sp.Validate(); err != nil {
 		return dse.SearchSpace{}, err
 	}
 	return sp, nil
+}
+
+// hasAxis reports whether axes already name the given dimension.
+func hasAxis(axes []dse.SearchAxis, name string) bool {
+	for _, a := range axes {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // searchBudget applies the server clamp to a request's budget.

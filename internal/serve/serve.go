@@ -187,6 +187,7 @@ type Server struct {
 	qhead      int
 	cache      map[string]*entry
 	evictOrder []string
+	evictHead  int
 	closed     bool // Shutdown began: admit no new requests
 	closing    bool // requests drained: workers exit once the queue empties
 
@@ -400,6 +401,15 @@ type SweepRequest struct {
 	CachePorts []int `json:"cache_ports,omitempty"`
 	CacheAssoc []int `json:"cache_assoc,omitempty"`
 
+	// Fabrics crosses the grid with interconnect topologies by name
+	// ("bus", "crossbar", "mesh"). Empty keeps the round-robin bus.
+	Fabrics []string `json:"fabric,omitempty"`
+	// MeshDim sets the mesh side length for every point (mesh only).
+	MeshDim int `json:"mesh_dim,omitempty"`
+	// BurstLen sets the crossbar burst length in beats for every point
+	// (crossbar only; 0 derives it from the DMA chunk size).
+	BurstLen int `json:"burst_len,omitempty"`
+
 	// Faults enables deterministic seeded fault injection for every point
 	// in the grid. Outcomes are still per-point: whether a design point
 	// survives depends on its own traffic under the shared seed, which is
@@ -486,10 +496,25 @@ func (req SweepRequest) baseConfig() (soc.Config, error) {
 	if req.WatchdogTicks != 0 {
 		base.WatchdogTicks = sim.Tick(req.WatchdogTicks)
 	}
+	base.Fabric.MeshDim = req.MeshDim
+	base.Fabric.BurstLen = req.BurstLen
 	if err := base.Validate(); err != nil {
 		return soc.Config{}, err
 	}
 	return base, nil
+}
+
+// fabricKinds parses the request's fabric axis into backend kinds.
+func (req SweepRequest) fabricKinds() ([]soc.FabricKind, error) {
+	kinds := make([]soc.FabricKind, 0, len(req.Fabrics))
+	for _, name := range req.Fabrics {
+		k, err := soc.ParseFabricKind(name)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // Configs expands the request into its design-point grid, exactly as
@@ -529,6 +554,10 @@ func (req SweepRequest) Configs() ([]soc.Config, error) {
 	if len(req.CacheAssoc) > 0 {
 		opt.CacheAssoc = req.CacheAssoc
 	}
+	kinds, err := req.fabricKinds()
+	if err != nil {
+		return nil, err
+	}
 	var cfgs []soc.Config
 	if kind == soc.Cache {
 		// CacheConfigs validates and silently prunes illegal combinations
@@ -544,6 +573,7 @@ func (req SweepRequest) Configs() ([]soc.Config, error) {
 			}
 		}
 	}
+	cfgs = dse.WithFabrics(cfgs, kinds)
 	if len(cfgs) == 0 {
 		return nil, errors.New("serve: request expands to an empty design grid")
 	}

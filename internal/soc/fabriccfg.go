@@ -1,0 +1,140 @@
+package soc
+
+import (
+	"fmt"
+
+	"gem5aladdin/internal/mem/bus"
+	"gem5aladdin/internal/sim"
+)
+
+// FabricKind selects the interconnect topology backend.
+type FabricKind uint8
+
+const (
+	// FabricBus is the split-transaction round-robin bus — the reference
+	// backend, pinned bit-for-bit by the figures regression.
+	FabricBus FabricKind = iota
+	// FabricCrossbar is the AXI-like burst-based crossbar: per-master
+	// channel pairs, address-interleaved slave ports, parallel
+	// non-conflicting routes.
+	FabricCrossbar
+	// FabricMesh is the 2D mesh NoC: XY routing, per-hop latency,
+	// link-width back-pressure.
+	FabricMesh
+
+	numFabricKinds = 3
+)
+
+// String names the kind as accepted by ParseFabricKind.
+func (k FabricKind) String() string {
+	switch k {
+	case FabricBus:
+		return "bus"
+	case FabricCrossbar:
+		return "crossbar"
+	case FabricMesh:
+		return "mesh"
+	}
+	return fmt.Sprintf("FabricKind(%d)", uint8(k))
+}
+
+// ParseFabricKind maps a CLI/wire name to its kind.
+func ParseFabricKind(s string) (FabricKind, error) {
+	switch s {
+	case "bus", "":
+		return FabricBus, nil
+	case "crossbar", "xbar":
+		return FabricCrossbar, nil
+	case "mesh", "noc":
+		return FabricMesh, nil
+	}
+	return 0, fmt.Errorf("unknown fabric %q (want bus, crossbar, or mesh)", s)
+}
+
+// FabricKinds lists every backend, in canonical axis order.
+func FabricKinds() []FabricKind {
+	return []FabricKind{FabricBus, FabricCrossbar, FabricMesh}
+}
+
+// FabricConfig parameterizes the interconnect topology. Every field's zero
+// value defers to a derived default, so the zero FabricConfig is exactly
+// the pre-Fabric round-robin bus and existing PointKeys stay valid.
+type FabricConfig struct {
+	// Kind selects the backend; zero is FabricBus.
+	Kind FabricKind
+	// LinkWidthBits overrides the fabric data-path width (0 = the system
+	// BusWidthBits). Crossbar routes and mesh links are this wide.
+	LinkWidthBits int
+	// MeshDim is the mesh side length (FabricMesh only; 0 = 2, giving a
+	// 2x2 mesh with the memory port at one corner).
+	MeshDim int
+	// BurstLen caps the beats per crossbar burst (FabricCrossbar only;
+	// 0 derives it from DMAChunkBytes over the link width, clamped to
+	// [1, 256], so the burst matches the DMA chunk the paper tunes).
+	BurstLen int
+}
+
+// widthBits resolves the fabric data-path width for cfg.
+func (c Config) fabricWidthBits() int {
+	if c.Fabric.LinkWidthBits != 0 {
+		return c.Fabric.LinkWidthBits
+	}
+	return c.BusWidthBits
+}
+
+// fabricBurstBeats resolves the crossbar burst length for cfg: explicit
+// BurstLen, else DMAChunkBytes over the link width (the burst carries one
+// DMA chunk), else 16 beats, clamped to [1, 256].
+func (c Config) fabricBurstBeats() int {
+	if c.Fabric.BurstLen != 0 {
+		return c.Fabric.BurstLen
+	}
+	burst := 16
+	if c.DMAChunkBytes != 0 {
+		burst = int(c.DMAChunkBytes) / (c.fabricWidthBits() / 8)
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if burst > 256 {
+		burst = 256
+	}
+	return burst
+}
+
+// newInterconnect constructs the configured fabric backend on eng, fronting
+// target. The FabricBus arm must stay bit-identical to the pre-Fabric
+// construction: same bus.Config, same target, nothing extra scheduled.
+func newInterconnect(eng *sim.Engine, cfg Config, target bus.Target) bus.Fabric {
+	width := cfg.fabricWidthBits()
+	clock := sim.NewClockHz(cfg.BusHz)
+	switch cfg.Fabric.Kind {
+	case FabricCrossbar:
+		slaves := cfg.DRAM.Banks
+		if slaves < 1 {
+			slaves = 4
+		}
+		if slaves > 8 {
+			slaves = 8
+		}
+		return bus.NewCrossbar(eng, bus.CrossbarConfig{
+			WidthBits:  width,
+			Clock:      clock,
+			Slaves:     slaves,
+			BurstBeats: cfg.fabricBurstBeats(),
+		}, target)
+	case FabricMesh:
+		dim := cfg.Fabric.MeshDim
+		if dim == 0 {
+			dim = 2
+		}
+		return bus.NewMesh(eng, bus.MeshConfig{
+			WidthBits: width,
+			Clock:     clock,
+			Dim:       dim,
+			HopCycles: 1,
+		}, target)
+	default:
+		return bus.New(eng, bus.Config{WidthBits: width, Clock: clock}, target)
+	}
+}

@@ -125,9 +125,13 @@ type Config struct {
 	// System.
 	BusWidthBits int
 	BusHz        float64
-	DRAM         dram.Config
-	CPU          cpu.Config
-	Traffic      *TrafficConfig
+	// Fabric selects and parameterizes the interconnect topology. The zero
+	// value is the round-robin bus, bit-identical to builds predating the
+	// Fabric axis.
+	Fabric  FabricConfig
+	DRAM    dram.Config
+	CPU     cpu.Config
+	Traffic *TrafficConfig
 
 	// Faults configures deterministic fault injection (internal/fault).
 	// The zero value disables every fault class and leaves the simulation
@@ -265,7 +269,7 @@ var ErrAborted = errors.New("aborted")
 type fabric struct {
 	eng     *sim.Engine
 	dram    *dram.DRAM
-	bus     *bus.Bus
+	bus     bus.Fabric
 	host    *cpu.CPU
 	coh     *coherence.Controller
 	cpuPeer int
@@ -290,7 +294,7 @@ func newFabricOn(eng *sim.Engine, coh *coherence.Controller, cfg Config) *fabric
 	f.inj = fault.New(cfg.Faults)
 	f.dram = dram.New(eng, cfg.DRAM)
 	f.dram.SetFaults(f.inj)
-	f.bus = bus.New(eng, bus.Config{WidthBits: cfg.BusWidthBits, Clock: sim.NewClockHz(cfg.BusHz)}, f.dram)
+	f.bus = newInterconnect(eng, cfg, f.dram)
 	f.bus.SetFaults(f.inj)
 	f.host = cpu.New(eng, cfg.CPU)
 	f.cpuPeer = f.coh.AddPeer()

@@ -72,6 +72,9 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "BusWidthBits", Value: c.BusWidthBits,
 			Reason: fmt.Sprintf("bus width cannot exceed %d bits (would truncate at uint32 narrowing)", maxBusWidthBits)}
 	}
+	if err := c.validateFabric(); err != nil {
+		return err
+	}
 	if c.DRAM.Banks <= 0 {
 		return &ConfigError{Field: "DRAM.Banks", Value: c.DRAM.Banks, Reason: "DRAM needs at least one bank"}
 	}
@@ -122,6 +125,34 @@ func (c Config) Validate() error {
 				Value:  fmt.Sprintf("%dKB/%dB/%d-way", c.CacheKB, c.CacheLineBytes, c.CacheAssoc),
 				Reason: err.Error()}
 		}
+	}
+	return nil
+}
+
+// validateFabric checks the interconnect topology block. Zero values are
+// always legal (they defer to derived defaults); explicit values must be
+// constructible.
+func (c Config) validateFabric() error {
+	f := c.Fabric
+	switch f.Kind {
+	case FabricBus, FabricCrossbar, FabricMesh:
+	default:
+		return &ConfigError{Field: "Fabric.Kind", Value: uint8(f.Kind), Reason: "unknown fabric kind"}
+	}
+	if f.LinkWidthBits != 0 {
+		if f.LinkWidthBits < 0 || f.LinkWidthBits%8 != 0 {
+			return &ConfigError{Field: "Fabric.LinkWidthBits", Value: f.LinkWidthBits, Reason: "link width must be a positive whole number of bytes"}
+		}
+		if f.LinkWidthBits > maxBusWidthBits {
+			return &ConfigError{Field: "Fabric.LinkWidthBits", Value: f.LinkWidthBits,
+				Reason: fmt.Sprintf("link width cannot exceed %d bits (would truncate at uint32 narrowing)", maxBusWidthBits)}
+		}
+	}
+	if f.MeshDim != 0 && (f.MeshDim < 2 || f.MeshDim > 16) {
+		return &ConfigError{Field: "Fabric.MeshDim", Value: f.MeshDim, Reason: "mesh side must be in [2,16]"}
+	}
+	if f.BurstLen != 0 && (f.BurstLen < 1 || f.BurstLen > 4096) {
+		return &ConfigError{Field: "Fabric.BurstLen", Value: f.BurstLen, Reason: "burst length must be in [1,4096]"}
 	}
 	return nil
 }

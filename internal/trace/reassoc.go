@@ -249,16 +249,21 @@ func applyPermutation(tr *Trace, perm []int32) {
 // yields minimum tree height.
 func rewireBalanced(tr *Trace, ch chainInfo) {
 	// Operand queue: leaves in ascending order; a chain seeded by a
-	// constant has one fewer real operand than 2*ops.
+	// constant has one fewer real operand than 2*ops. Pops advance a head
+	// index (as in the BFS queue): reslicing would strand the consumed
+	// prefix, forcing the trailing appends to reallocate every few ops.
 	queue := append([]int32{}, ch.leaves...)
+	qh := 0
 	for _, op := range ch.ops {
 		nd := &tr.Nodes[op]
 		a, b := NoDep, NoDep
-		if len(queue) > 0 {
-			a, queue = queue[0], queue[1:]
+		if qh < len(queue) {
+			a = queue[qh]
+			qh++
 		}
-		if len(queue) > 0 {
-			b, queue = queue[0], queue[1:]
+		if qh < len(queue) {
+			b = queue[qh]
+			qh++
 		}
 		nd.Deps = [3]int32{a, b, NoDep}
 		queue = append(queue, op)
